@@ -1,0 +1,88 @@
+// Shared infrastructure for the per-table / per-figure benchmark binaries.
+//
+// Every bench:
+//   * generates the simulated dataset at the scale given by PARAGRAPH_SCALE
+//     (smoke | default | full),
+//   * trains whatever models the experiment needs (epochs overridable via
+//     PARAGRAPH_EPOCHS),
+//   * prints the paper-shaped table with the paper's published values
+//     alongside, and writes a CSV next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "compoff/compoff.hpp"
+#include "dataset/generator.hpp"
+#include "dataset/sample_builder.hpp"
+#include "model/metrics.hpp"
+#include "model/trainer.hpp"
+#include "sim/platform.hpp"
+#include "support/csv.hpp"
+#include "support/env.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace pg::bench {
+
+struct BenchConfig {
+  RunScale scale = run_scale_from_env();
+  int epochs = static_cast<int>(env_int("PARAGRAPH_EPOCHS", 60));
+  std::size_t hidden_dim =
+      static_cast<std::size_t>(env_int("PARAGRAPH_HIDDEN", 24));
+  std::uint64_t seed = static_cast<std::uint64_t>(env_int("PARAGRAPH_SEED", 2024));
+};
+
+inline void print_header(const std::string& title, const BenchConfig& config) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("scale=%s epochs=%d hidden=%zu seed=%llu\n\n",
+              to_string(config.scale), config.epochs, config.hidden_dim,
+              static_cast<unsigned long long>(config.seed));
+}
+
+/// Everything one (platform, representation) training run produces.
+struct PlatformRun {
+  sim::Platform platform;
+  std::vector<dataset::RawDataPoint> points;
+  model::SampleSet set;
+  model::TrainResult result;
+};
+
+/// Generates the platform's dataset, builds samples at `representation`,
+/// trains a fresh ParaGraph model, and returns everything.
+inline PlatformRun train_platform(
+    const sim::Platform& platform, const BenchConfig& config,
+    graph::Representation representation = graph::Representation::kParaGraph,
+    const model::TrainConfig* train_override = nullptr) {
+  PlatformRun run;
+  run.platform = platform;
+
+  dataset::GenerationConfig gen;
+  gen.scale = config.scale;
+  gen.seed = config.seed;
+  run.points = dataset::generate_dataset(platform, gen);
+
+  dataset::SampleBuildConfig build;
+  build.representation = representation;
+  run.set = dataset::build_sample_set(run.points, build);
+
+  model::ModelConfig model_config;
+  model_config.hidden_dim = config.hidden_dim;
+  model::ParaGraphModel model(model_config);
+
+  model::TrainConfig train;
+  if (train_override != nullptr) train = *train_override;
+  train.epochs = train_override != nullptr ? train_override->epochs : config.epochs;
+  run.result = model::train_model(model, run.set, train);
+  return run;
+}
+
+/// Actual runtimes of the validation split, in microseconds.
+inline std::vector<double> validation_actuals(const model::SampleSet& set) {
+  std::vector<double> actual;
+  actual.reserve(set.validation.size());
+  for (const auto& s : set.validation) actual.push_back(s.runtime_us);
+  return actual;
+}
+
+}  // namespace pg::bench

@@ -1,0 +1,81 @@
+// Figure 8: per-data-point prediction error of ParaGraph vs COMPOFF on the
+// NVIDIA V100.
+//
+// Paper shape: COMPOFF's relative error is visibly higher for small-runtime
+// kernels and shrinks as runtime grows; ParaGraph's error is significantly
+// lower across the board.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pg;
+  bench::BenchConfig config;
+  bench::print_header("Figure 8: per-point error, ParaGraph vs COMPOFF (V100)",
+                      config);
+
+  // ParaGraph on the V100.
+  const auto run = bench::train_platform(sim::summit_v100(), config);
+  const auto actual = bench::validation_actuals(run.set);
+  const auto& para_pred = run.result.val_predictions_us;
+
+  // COMPOFF on the same dataset with the same split seed.
+  compoff::CompoffConfig compoff_config;
+  const auto compoff_eval = compoff::train_and_evaluate(run.points, compoff_config);
+
+  // Both validation sets are the same points (same split seed) but COMPOFF
+  // orders them by its own shuffle; summarise per runtime-decade instead of
+  // per index so the comparison is stable.
+  struct Decade {
+    double para_abs = 0.0;
+    std::size_t para_n = 0;
+    double compoff_abs = 0.0;
+    std::size_t compoff_n = 0;
+  };
+  auto decade_of = [](double us) {
+    int d = 0;
+    while (us >= 10.0 && d < 8) {
+      us /= 10.0;
+      ++d;
+    }
+    return d;
+  };
+  std::array<Decade, 9> decades{};
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    auto& d = decades[decade_of(actual[i])];
+    d.para_abs += std::abs(actual[i] - para_pred[i]);
+    ++d.para_n;
+  }
+  for (std::size_t i = 0; i < compoff_eval.actual_us.size(); ++i) {
+    auto& d = decades[decade_of(compoff_eval.actual_us[i])];
+    d.compoff_abs += std::abs(compoff_eval.actual_us[i] -
+                              compoff_eval.predicted_us[i]);
+    ++d.compoff_n;
+  }
+
+  TextTable table({"Runtime decade", "#pts", "ParaGraph mean |err| (ms)",
+                   "COMPOFF mean |err| (ms)", "COMPOFF/ParaGraph"});
+  CsvWriter csv("fig8_compoff_error.csv",
+                {"decade_us", "paragraph_abs_err_ms", "compoff_abs_err_ms"});
+  for (std::size_t d = 0; d < decades.size(); ++d) {
+    const auto& row = decades[d];
+    if (row.para_n == 0 && row.compoff_n == 0) continue;
+    const double para =
+        row.para_n > 0 ? row.para_abs / row.para_n / 1e3 : 0.0;
+    const double compoff =
+        row.compoff_n > 0 ? row.compoff_abs / row.compoff_n / 1e3 : 0.0;
+    const std::string label = "1e" + std::to_string(d) + " us";
+    table.add_row({label, std::to_string(row.para_n), format_double(para, 4),
+                   format_double(compoff, 4),
+                   para > 0 ? format_double(compoff / para, 3) : "-"});
+    csv.add_row({label, format_double(para, 8), format_double(compoff, 8)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double para_rmse = stats::rmse(actual, para_pred);
+  std::printf("overall RMSE: ParaGraph %.1f ms vs COMPOFF %.1f ms "
+              "(paper: ParaGraph clearly lower, esp. small kernels)\n",
+              para_rmse / 1e3, compoff_eval.rmse_us / 1e3);
+  std::printf("wrote fig8_compoff_error.csv\n");
+  return para_rmse < compoff_eval.rmse_us ? 0 : 1;
+}

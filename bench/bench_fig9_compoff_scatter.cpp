@@ -1,0 +1,46 @@
+// Figure 9: predicted vs actual runtime on the NVIDIA V100 for ParaGraph
+// and COMPOFF (the paper's scatter plot; here: the underlying pairs as CSV
+// plus the correlation summary).
+//
+// Paper shape: both correlate strongly with the actual runtime, but
+// ParaGraph's correlation is visibly tighter.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pg;
+  bench::BenchConfig config;
+  bench::print_header(
+      "Figure 9: predicted vs actual runtime, ParaGraph & COMPOFF (V100)",
+      config);
+
+  const auto run = bench::train_platform(sim::summit_v100(), config);
+  const auto actual = bench::validation_actuals(run.set);
+  const auto& para_pred = run.result.val_predictions_us;
+
+  compoff::CompoffConfig compoff_config;
+  const auto compoff_eval = compoff::train_and_evaluate(run.points, compoff_config);
+
+  CsvWriter csv("fig9_compoff_scatter.csv",
+                {"model", "actual_us", "predicted_us"});
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    csv.add_row({"ParaGraph", format_double(actual[i], 8),
+                 format_double(para_pred[i], 8)});
+  for (std::size_t i = 0; i < compoff_eval.actual_us.size(); ++i)
+    csv.add_row({"COMPOFF", format_double(compoff_eval.actual_us[i], 8),
+                 format_double(compoff_eval.predicted_us[i], 8)});
+
+  const double para_corr = stats::pearson(actual, para_pred);
+  const double compoff_corr =
+      stats::pearson(compoff_eval.actual_us, compoff_eval.predicted_us);
+
+  TextTable table({"Model", "Pearson r (pred vs actual)", "Norm-RMSE"});
+  table.add_row({"ParaGraph", format_double(para_corr, 6),
+                 format_sci(run.result.final_norm_rmse, 2)});
+  table.add_row({"COMPOFF", format_double(compoff_corr, 6),
+                 format_sci(compoff_eval.norm_rmse, 2)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("paper: both strongly correlated; ParaGraph much stronger\n");
+  std::printf("wrote fig9_compoff_scatter.csv (%zu + %zu points)\n",
+              actual.size(), compoff_eval.actual_us.size());
+  return para_corr >= compoff_corr ? 0 : 1;
+}

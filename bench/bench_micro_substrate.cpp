@@ -1,0 +1,155 @@
+// Microbenchmarks for the substrates (google-benchmark): frontend parse,
+// graph construction, graph encoding, RGAT forward/backward, matmul, the
+// runtime simulator, and a full end-to-end sample encode.
+#include <benchmark/benchmark.h>
+
+#include "dataset/generator.hpp"
+#include "dataset/sample_builder.hpp"
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "model/encoding.hpp"
+#include "model/paragraph_model.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/runtime_simulator.hpp"
+#include "support/rng.hpp"
+#include "tensor/init.hpp"
+
+namespace {
+
+using namespace pg;
+
+const std::string& mm_source() {
+  static const std::string source = [] {
+    const auto& suite = dataset::benchmark_suite();
+    for (const auto& spec : suite)
+      if (spec.kernel == "matmul")
+        return dataset::instantiate_source(spec, dataset::Variant::kGpuCollapseMem,
+                                           spec.default_sizes[3], 256, 256);
+    return std::string{};
+  }();
+  return source;
+}
+
+void BM_ParseKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = frontend::parse_source(mm_source());
+    benchmark::DoNotOptimize(result.root());
+  }
+}
+BENCHMARK(BM_ParseKernel);
+
+void BM_BuildParaGraph(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  graph::BuildOptions options;
+  options.parallel_workers = 65536;
+  for (auto _ : state) {
+    auto g = graph::build_graph(parsed.root(), options);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_BuildParaGraph);
+
+void BM_EncodeGraph(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  graph::BuildOptions options;
+  const auto g = graph::build_graph(parsed.root(), options);
+  for (auto _ : state) {
+    auto enc = model::encode_graph(g, g.max_child_weight());
+    benchmark::DoNotOptimize(enc.features.size());
+  }
+}
+BENCHMARK(BM_EncodeGraph);
+
+void BM_ProfileKernel(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  for (auto _ : state) {
+    auto profile = sim::profile_kernel(parsed.root());
+    benchmark::DoNotOptimize(profile.flops);
+  }
+}
+BENCHMARK(BM_ProfileKernel);
+
+void BM_SimulateRuntime(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  const auto profile = sim::profile_kernel(parsed.root());
+  const auto platform = sim::summit_v100();
+  pg::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::measure_runtime_us(profile, platform, rng));
+  }
+}
+BENCHMARK(BM_SimulateRuntime);
+
+void BM_ModelPredict(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  const auto g = graph::build_graph(parsed.root(), {});
+  const auto enc = model::encode_graph(g, g.max_child_weight());
+  model::ModelConfig config;
+  config.hidden_dim = static_cast<std::size_t>(state.range(0));
+  model::ParaGraphModel m(config);
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(enc, aux));
+  }
+}
+BENCHMARK(BM_ModelPredict)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  const auto parsed = frontend::parse_source(mm_source());
+  const auto g = graph::build_graph(parsed.root(), {});
+  const auto enc = model::encode_graph(g, g.max_child_weight());
+  model::ModelConfig config;
+  config.hidden_dim = static_cast<std::size_t>(state.range(0));
+  model::ParaGraphModel m(config);
+  std::vector<tensor::Matrix> grads;
+  for (auto* p : m.parameters()) grads.emplace_back(p->rows(), p->cols());
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m.accumulate_gradients(enc, aux, 0.5, 1.0, grads));
+  }
+}
+BENCHMARK(BM_ModelTrainStep)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  tensor::Matrix a(n, n), b(n, n);
+  pg::Rng rng(3);
+  tensor::uniform_init(a, rng, -1, 1);
+  tensor::uniform_init(b, rng, -1, 1);
+  for (auto _ : state) {
+    auto c = tensor::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_DatasetPointEndToEnd(benchmark::State& state) {
+  // Instantiate -> parse -> profile -> simulate -> graph -> encode: one
+  // complete data point, the unit of dataset-generation cost.
+  const auto& suite = dataset::benchmark_suite();
+  const auto& spec = suite.front();
+  const auto platform = sim::summit_v100();
+  pg::Rng rng(7);
+  for (auto _ : state) {
+    dataset::RawDataPoint point;
+    point.variant = "gpu_mem";
+    point.num_teams = 128;
+    point.num_threads = 128;
+    point.source = dataset::instantiate_source(
+        spec, dataset::Variant::kGpuMem, spec.default_sizes.front(), 128, 128);
+    const auto parsed = frontend::parse_source(point.source);
+    const auto profile = sim::profile_kernel(parsed.root());
+    const double runtime = sim::measure_runtime_us(profile, platform, rng);
+    const auto g =
+        dataset::build_point_graph(point, graph::Representation::kParaGraph);
+    const auto enc = model::encode_graph(g, g.max_child_weight());
+    benchmark::DoNotOptimize(runtime + enc.features.sum());
+  }
+}
+BENCHMARK(BM_DatasetPointEndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table II: data points collected on each accelerator (#points, runtime
+// range, standard deviation).
+//
+// Paper values (for shape comparison; our sweep is smaller by default):
+//   POWER9:  13,023 points, [0.23 .. 736,798] ms, stddev 48,502
+//   V100:    26,040 points, [0.035 .. 30,174] ms, stddev  3,708
+//   EPYC:    17,681 points, [0.024 .. 291,627] ms, stddev 16,942
+//   MI50:    26,668 points, [0.448 .. 46,913] ms, stddev  4,828
+// The *shape* to reproduce: GPU sweeps have ~2x the CPU points; CPU runtime
+// ranges and stddevs are 1-2 orders of magnitude wider than GPU ones.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pg;
+  bench::BenchConfig config;
+  bench::print_header("Table II: Data points per accelerator", config);
+
+  struct PaperRow {
+    const char* points;
+    const char* range;
+    const char* stddev;
+  };
+  const PaperRow paper[4] = {
+      {"13023", "[0.23 - 736798]", "48502"},
+      {"26040", "[0.035 - 30174]", "3708"},
+      {"17681", "[0.024 - 291627]", "16942"},
+      {"26668", "[0.448 - 46913]", "4828"},
+  };
+
+  TextTable table({"Platform", "#Points", "Runtime Range (ms)", "Std. Dev.",
+                   "paper #Points", "paper Range", "paper Std."});
+  CsvWriter csv("table2_dataset.csv",
+                {"platform", "points", "min_ms", "max_ms", "stddev_ms"});
+
+  dataset::GenerationConfig gen;
+  gen.scale = config.scale;
+  gen.seed = config.seed;
+
+  int row = 0;
+  for (const auto& platform : sim::all_platforms()) {
+    const auto points = dataset::generate_dataset(platform, gen);
+    const auto stats = dataset::dataset_stats(points);
+    const double min_ms = stats.min_runtime_us / 1e3;
+    const double max_ms = stats.max_runtime_us / 1e3;
+    const double stddev_ms = stats.stddev_us / 1e3;
+    table.add_row({platform.name, std::to_string(stats.num_points),
+                   "[" + format_double(min_ms, 3) + " - " +
+                       format_double(max_ms, 6) + "]",
+                   format_double(stddev_ms, 5), paper[row].points,
+                   paper[row].range, paper[row].stddev});
+    csv.add_row({platform.name, std::to_string(stats.num_points),
+                 format_double(min_ms, 8), format_double(max_ms, 8),
+                 format_double(stddev_ms, 8)});
+    ++row;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("wrote table2_dataset.csv\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// graph_to_dot: parse a C/OpenMP source file, dump its AST, and emit the
+// ParaGraph as Graphviz DOT (colour-coded edge relations, Child weights as
+// labels — the same rendering as the paper's Figure 2).
+//
+// Usage: ./graph_to_dot [file.c] [--raw|--augmented|--paragraph]
+//                       [--workers P] [--out graph.dot]
+// With no file argument a built-in demo kernel (loop + branch) is used.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "frontend/ast_dump.hpp"
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+
+namespace {
+
+constexpr const char* kDemoKernel = R"(
+double data[4096];
+double out[4096];
+
+void demo(void) {
+  #pragma omp parallel for num_threads(4) schedule(static)
+  for (int i = 0; i < 4096; i++) {
+    if (data[i] > 0.5) {
+      out[i] = data[i] * 2.0;
+    } else {
+      out[i] = 0.0;
+    }
+  }
+}
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pg;
+
+  std::string source = kDemoKernel;
+  std::string out_path = "graph.dot";
+  graph::BuildOptions options;
+  options.parallel_workers = 4;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--raw") options.representation = graph::Representation::kRawAst;
+    else if (arg == "--augmented")
+      options.representation = graph::Representation::kAugmentedAst;
+    else if (arg == "--paragraph")
+      options.representation = graph::Representation::kParaGraph;
+    else if (arg == "--workers" && i + 1 < argc)
+      options.parallel_workers = std::atoll(argv[++i]);
+    else if (arg == "--out" && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      std::ifstream in(arg);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", arg.c_str());
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+    }
+  }
+
+  const frontend::ParseResult parsed = frontend::parse_source(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse failed:\n%s\n",
+                 parsed.diagnostics.summary().c_str());
+    return 1;
+  }
+
+  std::printf("== AST ==\n%s\n", frontend::dump_ast(parsed.root()).c_str());
+
+  const graph::ProgramGraph pgraph = graph::build_graph(parsed.root(), options);
+  std::printf("== %s: %zu nodes, %zu edges, max Child weight %.2f ==\n",
+              std::string(graph::representation_name(options.representation)).c_str(),
+              pgraph.num_nodes(), pgraph.num_edges(), pgraph.max_child_weight());
+
+  std::ofstream out(out_path);
+  pgraph.write_dot(out);
+  std::printf("wrote %s (render with: dot -Tpng %s -o graph.png)\n",
+              out_path.c_str(), out_path.c_str());
+  return 0;
+}

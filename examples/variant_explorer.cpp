@@ -1,0 +1,103 @@
+// variant_explorer: show what the variant generator produces for a kernel
+// and how the simulated runtime responds to the transformation and launch
+// configuration — the paper's motivating "which variant should I pick?"
+// question, answered here with the simulator's ground truth.
+//
+// Usage: ./variant_explorer [kernel-name]   (default: matmul)
+//        ./variant_explorer --list
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dataset/kernel_spec.hpp"
+#include "dataset/variants.hpp"
+#include "frontend/parser.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/platform.hpp"
+#include "sim/runtime_simulator.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pg;
+
+  std::string kernel_name = "matmul";
+  if (argc > 1) {
+    if (std::strcmp(argv[1], "--list") == 0) {
+      std::printf("Available kernels (paper Table I):\n");
+      for (const auto& spec : dataset::benchmark_suite())
+        std::printf("  %-16s (%s, %s)\n", spec.kernel.c_str(), spec.app.c_str(),
+                    spec.domain.c_str());
+      return 0;
+    }
+    kernel_name = argv[1];
+  }
+
+  const dataset::KernelSpec* spec = nullptr;
+  for (const auto& s : dataset::benchmark_suite())
+    if (s.kernel == kernel_name) spec = &s;
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown kernel '%s' (try --list)\n",
+                 kernel_name.c_str());
+    return 1;
+  }
+
+  const dataset::SizePoint sizes = spec->default_sizes[spec->default_sizes.size() / 2];
+  std::string size_str;
+  for (const auto& [k, v] : sizes) size_str += k + "=" + std::to_string(v) + " ";
+  std::printf("Kernel %s (%s), sizes: %s\n\n", spec->kernel.c_str(),
+              spec->app.c_str(), size_str.c_str());
+
+  // Show one instantiated source.
+  std::printf("== gpu_mem variant source ==\n%s\n",
+              spec->collapsible
+                  ? dataset::instantiate_source(*spec, dataset::Variant::kGpuCollapseMem,
+                                                sizes, 256, 256)
+                        .c_str()
+                  : dataset::instantiate_source(*spec, dataset::Variant::kGpuMem,
+                                                sizes, 256, 256)
+                        .c_str());
+
+  // Sweep variants across the four platforms.
+  TextTable table({"Variant", "Config", "POWER9 (ms)", "V100 (ms)",
+                   "EPYC (ms)", "MI50 (ms)"});
+  const auto platforms = sim::all_platforms();
+  sim::SimOptions noise_free;
+  noise_free.noise_sigma = 0.0;
+
+  struct Config { std::int64_t teams, threads; };
+  for (const auto variant :
+       {dataset::Variant::kCpu, dataset::Variant::kCpuCollapse,
+        dataset::Variant::kGpu, dataset::Variant::kGpuCollapse,
+        dataset::Variant::kGpuMem, dataset::Variant::kGpuCollapseMem}) {
+    if (dataset::variant_has_collapse(variant) && !spec->collapsible) continue;
+    const bool gpu = dataset::variant_is_gpu(variant);
+    const Config config = gpu ? Config{256, 256} : Config{1, 16};
+
+    const std::string source = dataset::instantiate_source(
+        *spec, variant, sizes, config.teams, config.threads);
+    const auto parsed = frontend::parse_source(source);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "internal error: variant failed to parse\n");
+      return 1;
+    }
+    const sim::KernelProfile profile = sim::profile_kernel(parsed.root());
+
+    std::vector<std::string> row;
+    row.push_back(std::string(dataset::variant_name(variant)));
+    row.push_back(gpu ? "teams=256 thr=256" : "threads=16");
+    for (const auto& platform : platforms) {
+      const bool platform_gpu = platform.kind == sim::DeviceKind::kGpu;
+      if (platform_gpu != gpu) {
+        row.push_back("-");
+        continue;
+      }
+      const double us = sim::simulate_runtime_us(profile, platform, noise_free);
+      row.push_back(format_double(us / 1e3, 4));
+    }
+    table.add_row(row);
+  }
+  std::printf("== Simulated runtime by variant ==\n%s", table.render().c_str());
+  std::printf("\n(cpu variants run on the CPU platforms, gpu variants on the "
+              "GPUs; '-' = not applicable)\n");
+  return 0;
+}

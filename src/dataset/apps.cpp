@@ -1,0 +1,498 @@
+// The benchmark suite of Table I, written as parameterised C templates.
+//
+// The loop nests, operation mixes, and kernel counts per application mirror
+// the paper's sources (Rodinia for KNN / Particle Filter, standard numeric
+// kernels elsewhere). Sizes are chosen so the simulated runtimes span the
+// paper's ranges (Table II): CPU runs reach hundreds of seconds at one
+// thread, GPU runs tens of seconds, the smallest kernels fractions of a
+// millisecond.
+#include "dataset/kernel_spec.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pg::dataset {
+namespace {
+
+SizePoint n(std::int64_t v) { return {{"N", v}}; }
+SizePoint nm(std::int64_t nv, std::int64_t mv) { return {{"N", nv}, {"M", mv}}; }
+
+std::vector<KernelSpec> make_suite() {
+  std::vector<KernelSpec> suite;
+
+  // --- Correlation Coefficient (1 kernel, Statistics) ---------------------
+  suite.push_back({
+      "Correlation", "corr", "Statistics",
+      R"(
+double corr_x[${N}];
+double corr_y[${N}];
+double corr_result[4];
+
+void corr_kernel(void) {
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    sx += corr_x[i];
+    sy += corr_y[i];
+    sxx += corr_x[i] * corr_x[i];
+    syy += corr_y[i] * corr_y[i];
+    sxy += corr_x[i] * corr_y[i];
+  }
+  corr_result[0] = (${N} * sxy - sx * sy) /
+                   (sqrt(${N} * sxx - sx * sx) * sqrt(${N} * syy - sy * sy));
+}
+)",
+      /*collapsible=*/false,
+      "reduction(+: sx, sy, sxx, syy, sxy)",
+      "map(to: corr_x[0:${N}], corr_y[0:${N}]) map(tofrom: corr_result[0:4])",
+      {n(1 << 16), n(1 << 18), n(1 << 20), n(1 << 22), n(1 << 24), n(1 << 26)},
+      {n(1 << 17), n(1 << 21), n(1 << 25), n(1 << 27)},
+  });
+
+  // --- Covariance (2 kernels, Probability Theory) --------------------------
+  suite.push_back({
+      "Covariance", "covar_mean", "Probability Theory",
+      R"(
+double covar_data[${M}][${N}];
+double covar_mean[${M}];
+
+void covar_mean_kernel(void) {
+  ${PRAGMA}
+  for (int j = 0; j < ${M}; j++) {
+    double s = 0.0;
+    for (int i = 0; i < ${N}; i++) {
+      s += covar_data[j][i];
+    }
+    covar_mean[j] = s / ${N};
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: covar_data[0:${M}*${N}]) map(from: covar_mean[0:${M}])",
+      {nm(1 << 12, 64), nm(1 << 14, 64), nm(1 << 16, 96), nm(1 << 16, 192),
+       nm(1 << 18, 128), nm(1 << 19, 256)},
+      {nm(1 << 13, 64), nm(1 << 15, 128), nm(1 << 18, 256), nm(1 << 20, 256)},
+  });
+
+  suite.push_back({
+      "Covariance", "covar_cov", "Probability Theory",
+      R"(
+double covar_data[${M}][${N}];
+double covar_mean[${M}];
+double covar_cov[${M}][${M}];
+
+void covar_cov_kernel(void) {
+  ${PRAGMA}
+  for (int j1 = 0; j1 < ${M}; j1++) {
+    for (int j2 = 0; j2 < ${M}; j2++) {
+      double s = 0.0;
+      for (int i = 0; i < ${N}; i++) {
+        s += (covar_data[j1][i] - covar_mean[j1]) *
+             (covar_data[j2][i] - covar_mean[j2]);
+      }
+      covar_cov[j1][j2] = s / (${N} - 1);
+    }
+  }
+}
+)",
+      /*collapsible=*/true,
+      "",
+      "map(to: covar_data[0:${M}*${N}], covar_mean[0:${M}]) "
+      "map(from: covar_cov[0:${M}*${M}])",
+      {nm(1 << 12, 48), nm(1 << 13, 64), nm(1 << 14, 96), nm(1 << 15, 128),
+       nm(1 << 16, 192), nm(1 << 17, 256)},
+      {nm(1 << 12, 64), nm(1 << 14, 128), nm(1 << 16, 256), nm(1 << 18, 256)},
+  });
+
+  // --- Gauss-Seidel (1 kernel, Linear Algebra) ------------------------------
+  suite.push_back({
+      "Gauss", "gauss_seidel", "Linear Algebra",
+      R"(
+double gs_grid[${N}][${N}];
+
+void gauss_seidel_kernel(void) {
+  ${PRAGMA}
+  for (int i = 1; i < ${N} - 1; i++) {
+    for (int j = 1; j < ${N} - 1; j++) {
+      gs_grid[i][j] = 0.25 * (gs_grid[i - 1][j] + gs_grid[i + 1][j] +
+                              gs_grid[i][j - 1] + gs_grid[i][j + 1]);
+    }
+  }
+}
+)",
+      /*collapsible=*/true,
+      "",
+      "map(tofrom: gs_grid[0:${N}*${N}])",
+      {n(256), n(512), n(1024), n(2048), n(4096), n(8192)},
+      {n(384), n(768), n(1536), n(3072), n(6144), n(12288)},
+  });
+
+  // --- K-nearest neighbors (1 kernel, Data Mining; Rodinia nn) -------------
+  suite.push_back({
+      "NN", "knn_dist", "Data Mining",
+      R"(
+double knn_lat[${N}];
+double knn_lng[${N}];
+double knn_dist[${N}];
+double knn_target[2];
+
+void knn_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    double dlat = knn_lat[i] - knn_target[0];
+    double dlng = knn_lng[i] - knn_target[1];
+    knn_dist[i] = sqrt(dlat * dlat + dlng * dlng);
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: knn_lat[0:${N}], knn_lng[0:${N}], knn_target[0:2]) "
+      "map(from: knn_dist[0:${N}])",
+      {n(1 << 15), n(1 << 17), n(1 << 19), n(1 << 21), n(1 << 23), n(1 << 25)},
+      {n(1 << 16), n(1 << 20), n(1 << 24), n(1 << 26)},
+  });
+
+  // --- Laplace's Equation (2 kernels, Numerical Analysis) -------------------
+  suite.push_back({
+      "Laplace", "laplace_update", "Numerical Analysis",
+      R"(
+double lap_in[${N}][${N}];
+double lap_out[${N}][${N}];
+
+void laplace_update_kernel(void) {
+  ${PRAGMA}
+  for (int i = 1; i < ${N} - 1; i++) {
+    for (int j = 1; j < ${N} - 1; j++) {
+      lap_out[i][j] = 0.25 * (lap_in[i - 1][j] + lap_in[i + 1][j] +
+                              lap_in[i][j - 1] + lap_in[i][j + 1]);
+    }
+  }
+}
+)",
+      /*collapsible=*/true,
+      "",
+      "map(to: lap_in[0:${N}*${N}]) map(from: lap_out[0:${N}*${N}])",
+      {n(256), n(512), n(1024), n(2048), n(4096), n(8192)},
+      {n(384), n(768), n(1536), n(3072), n(6144)},
+  });
+
+  suite.push_back({
+      "Laplace", "laplace_residual", "Numerical Analysis",
+      R"(
+double lap_in[${N}][${N}];
+double lap_out[${N}][${N}];
+double lap_residual[1];
+
+void laplace_residual_kernel(void) {
+  double r = 0.0;
+  ${PRAGMA}
+  for (int i = 1; i < ${N} - 1; i++) {
+    for (int j = 1; j < ${N} - 1; j++) {
+      double d = lap_out[i][j] - lap_in[i][j];
+      if (d < 0.0) {
+        d = 0.0 - d;
+      }
+      r += d;
+    }
+  }
+  lap_residual[0] = r;
+}
+)",
+      /*collapsible=*/true,
+      "reduction(+: r)",
+      "map(to: lap_in[0:${N}*${N}], lap_out[0:${N}*${N}]) "
+      "map(tofrom: lap_residual[0:1])",
+      {n(256), n(512), n(1024), n(2048), n(4096), n(8192)},
+      {n(384), n(768), n(1536), n(3072), n(6144)},
+  });
+
+  // --- Matrix-Matrix Multiplication (1 kernel, Linear Algebra) --------------
+  suite.push_back({
+      "MM", "matmul", "Linear Algebra",
+      R"(
+double mm_a[${N}][${N}];
+double mm_b[${N}][${N}];
+double mm_c[${N}][${N}];
+
+void mm_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    for (int j = 0; j < ${N}; j++) {
+      double s = 0.0;
+      for (int k = 0; k < ${N}; k++) {
+        s += mm_a[i][k] * mm_b[k][j];
+      }
+      mm_c[i][j] = s;
+    }
+  }
+}
+)",
+      /*collapsible=*/true,
+      "",
+      "map(to: mm_a[0:${N}*${N}], mm_b[0:${N}*${N}]) map(from: mm_c[0:${N}*${N}])",
+      {n(128), n(256), n(512), n(1024), n(2048), n(4096), n(8192)},
+      {n(192), n(384), n(768), n(1536), n(3072), n(6144)},
+  });
+
+  // --- Matrix-Vector Multiplication (1 kernel, Linear Algebra) --------------
+  suite.push_back({
+      "MV", "matvec", "Linear Algebra",
+      R"(
+double mv_a[${N}][${N}];
+double mv_x[${N}];
+double mv_y[${N}];
+
+void mv_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    double s = 0.0;
+    for (int j = 0; j < ${N}; j++) {
+      s += mv_a[i][j] * mv_x[j];
+    }
+    mv_y[i] = s;
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: mv_a[0:${N}*${N}], mv_x[0:${N}]) map(from: mv_y[0:${N}])",
+      {n(512), n(1024), n(2048), n(4096), n(8192), n(16384), n(32768)},
+      {n(768), n(1536), n(3072), n(6144), n(12288)},
+  });
+
+  // --- Matrix Transpose (1 kernel, Linear Algebra) ---------------------------
+  suite.push_back({
+      "Transpose", "transpose", "Linear Algebra",
+      R"(
+double tr_a[${N}][${N}];
+double tr_b[${N}][${N}];
+
+void transpose_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    for (int j = 0; j < ${N}; j++) {
+      tr_b[j][i] = tr_a[i][j];
+    }
+  }
+}
+)",
+      /*collapsible=*/true,
+      "",
+      "map(to: tr_a[0:${N}*${N}]) map(from: tr_b[0:${N}*${N}])",
+      {n(512), n(1024), n(2048), n(4096), n(8192), n(16384)},
+      {n(768), n(1536), n(3072), n(6144), n(12288)},
+  });
+
+  // --- Particle Filter (7 kernels, Medical Imaging; Rodinia) -----------------
+  const std::vector<SizePoint> pf_sizes = {
+      nm(1 << 12, 32), nm(1 << 14, 48), nm(1 << 16, 64),
+      nm(1 << 18, 96), nm(1 << 19, 128), nm(1 << 20, 128)};
+  const std::vector<SizePoint> pf_full = {nm(1 << 13, 32), nm(1 << 15, 64),
+                                          nm(1 << 17, 96), nm(1 << 21, 128)};
+
+  suite.push_back({
+      "ParticleFilter", "pf_likelihood", "Medical Imaging",
+      R"(
+double pf_array_x[${N}];
+double pf_array_y[${N}];
+double pf_objxy[${M}];
+double pf_likelihood[${N}];
+
+void pf_likelihood_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    double s = 0.0;
+    for (int j = 0; j < ${M}; j++) {
+      double dx = pf_array_x[i] - pf_objxy[j];
+      double dy = pf_array_y[i] - pf_objxy[j];
+      s += (dx * dx + dy * dy) / 50.0;
+    }
+    pf_likelihood[i] = s / ${M};
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: pf_array_x[0:${N}], pf_array_y[0:${N}], pf_objxy[0:${M}]) "
+      "map(from: pf_likelihood[0:${N}])",
+      pf_sizes, pf_full,
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_weights", "Medical Imaging",
+      R"(
+double pf_weights[${N}];
+double pf_likelihood[${N}];
+
+void pf_weights_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    pf_weights[i] = pf_weights[i] * exp(pf_likelihood[i]);
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: pf_likelihood[0:${N}]) map(tofrom: pf_weights[0:${N}])",
+      pf_sizes, pf_full,
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_normalize", "Medical Imaging",
+      R"(
+double pf_weights[${N}];
+double pf_sum_weights[1];
+
+void pf_normalize_kernel(void) {
+  double s = 0.0;
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    s += pf_weights[i];
+  }
+  pf_sum_weights[0] = s;
+}
+)",
+      /*collapsible=*/false,
+      "reduction(+: s)",
+      "map(to: pf_weights[0:${N}]) map(tofrom: pf_sum_weights[0:1])",
+      pf_sizes, pf_full,
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_divide", "Medical Imaging",
+      R"(
+double pf_weights[${N}];
+double pf_sum_weights[1];
+
+void pf_divide_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    pf_weights[i] = pf_weights[i] / pf_sum_weights[0];
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: pf_sum_weights[0:1]) map(tofrom: pf_weights[0:${N}])",
+      pf_sizes, pf_full,
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_u_init", "Medical Imaging",
+      R"(
+double pf_u[${N}];
+double pf_u1[1];
+
+void pf_u_kernel(void) {
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    pf_u[i] = pf_u1[0] + i * (1.0 / ${N});
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: pf_u1[0:1]) map(from: pf_u[0:${N}])",
+      pf_sizes, pf_full,
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_find_index", "Medical Imaging",
+      R"(
+double pf_cfd[${N}];
+double pf_u[${N}];
+int pf_indices[${N}];
+
+void pf_find_index_kernel(void) {
+  ${PRAGMA}
+  for (int j = 0; j < ${N}; j++) {
+    int index = 0 - 1;
+    for (int x = 0; x < ${N}; x++) {
+      if (pf_cfd[x] >= pf_u[j]) {
+        if (index < 0) {
+          index = x;
+        }
+      }
+    }
+    if (index < 0) {
+      index = ${N} - 1;
+    }
+    pf_indices[j] = index;
+  }
+}
+)",
+      /*collapsible=*/false,
+      "",
+      "map(to: pf_cfd[0:${N}], pf_u[0:${N}]) map(from: pf_indices[0:${N}])",
+      {nm(1 << 10, 32), nm(1 << 12, 48), nm(1 << 14, 64), nm(1 << 16, 96),
+       nm(1 << 17, 128), nm(1 << 18, 128)},
+      {nm(1 << 11, 32), nm(1 << 13, 64), nm(1 << 15, 96), nm(1 << 19, 128)},
+  });
+
+  suite.push_back({
+      "ParticleFilter", "pf_moments", "Medical Imaging",
+      R"(
+double pf_array_x[${N}];
+double pf_array_y[${N}];
+double pf_weights[${N}];
+double pf_moments[2];
+
+void pf_moments_kernel(void) {
+  double mx = 0.0;
+  double my = 0.0;
+  ${PRAGMA}
+  for (int i = 0; i < ${N}; i++) {
+    mx += pf_array_x[i] * pf_weights[i];
+    my += pf_array_y[i] * pf_weights[i];
+  }
+  pf_moments[0] = mx;
+  pf_moments[1] = my;
+}
+)",
+      /*collapsible=*/false,
+      "reduction(+: mx, my)",
+      "map(to: pf_array_x[0:${N}], pf_array_y[0:${N}], pf_weights[0:${N}]) "
+      "map(tofrom: pf_moments[0:2])",
+      pf_sizes, pf_full,
+  });
+
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<KernelSpec>& benchmark_suite() {
+  static const std::vector<KernelSpec> suite = make_suite();
+  return suite;
+}
+
+std::size_t num_applications() {
+  std::vector<std::string> apps;
+  for (const KernelSpec& spec : benchmark_suite()) apps.push_back(spec.app);
+  std::sort(apps.begin(), apps.end());
+  apps.erase(std::unique(apps.begin(), apps.end()), apps.end());
+  return apps.size();
+}
+
+std::int32_t app_id(const std::string& app_name) {
+  static const std::vector<std::string> sorted_apps = [] {
+    std::vector<std::string> apps;
+    for (const KernelSpec& spec : benchmark_suite()) apps.push_back(spec.app);
+    std::sort(apps.begin(), apps.end());
+    apps.erase(std::unique(apps.begin(), apps.end()), apps.end());
+    return apps;
+  }();
+  const auto it =
+      std::lower_bound(sorted_apps.begin(), sorted_apps.end(), app_name);
+  check(it != sorted_apps.end() && *it == app_name, "unknown application name");
+  return static_cast<std::int32_t>(it - sorted_apps.begin());
+}
+
+}  // namespace pg::dataset

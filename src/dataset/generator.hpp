@@ -1,0 +1,59 @@
+// Dataset generation: sweep (kernel x variant x size x launch config),
+// instantiate sources, profile them, and "measure" runtimes on the
+// simulated platform (paper §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/kernel_spec.hpp"
+#include "dataset/variants.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/platform.hpp"
+#include "sim/runtime_simulator.hpp"
+#include "support/env.hpp"
+
+namespace pg::dataset {
+
+/// One measured kernel instance — everything downstream consumers need
+/// (graph construction re-parses `source`; COMPOFF reads `profile`).
+struct RawDataPoint {
+  std::string app;
+  std::string kernel;
+  std::string variant;
+  std::int32_t app_id = -1;
+  SizePoint sizes;
+  std::int64_t num_teams = 1;
+  std::int64_t num_threads = 1;
+  std::string source;
+  sim::KernelProfile profile;
+  double runtime_us = 0.0;
+};
+
+struct GenerationConfig {
+  RunScale scale = RunScale::kDefault;
+  std::uint64_t seed = 2024;
+  sim::SimOptions sim;
+
+  /// Launch-config sweeps; filled from `scale` when empty.
+  std::vector<std::int64_t> cpu_thread_counts;
+  std::vector<std::pair<std::int64_t, std::int64_t>> gpu_launch_configs;
+};
+
+/// Generates the dataset for one platform. Deterministic for a fixed
+/// (platform, config); parallelised internally.
+std::vector<RawDataPoint> generate_dataset(const sim::Platform& platform,
+                                           const GenerationConfig& config);
+
+/// Summary statistics in the shape of the paper's Table II.
+struct DatasetStats {
+  std::size_t num_points = 0;
+  double min_runtime_us = 0.0;
+  double max_runtime_us = 0.0;
+  double stddev_us = 0.0;
+};
+
+DatasetStats dataset_stats(const std::vector<RawDataPoint>& points);
+
+}  // namespace pg::dataset

@@ -1,0 +1,46 @@
+// Benchmark-kernel specifications (paper Table I).
+//
+// Each kernel is a complete C translation unit template with placeholders:
+//   ${PRAGMA}  — replaced by the variant's OpenMP directive (or nothing)
+//   ${N}, ${M} — problem sizes, instantiated per sweep point
+//   ${NTEAMS}, ${NTHREADS} — launch configuration (inside the pragma)
+// The instantiated source goes through the real frontend: the graphs the
+// model sees are parsed from code, exactly like the paper's pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pg::dataset {
+
+/// One named assignment of every size placeholder, e.g. {N: 2048, M: 64}.
+using SizePoint = std::map<std::string, std::int64_t>;
+
+struct KernelSpec {
+  std::string app;      // Fig. 6 app label: Correlation, Covariance, Gauss, ...
+  std::string kernel;   // unique kernel name, e.g. "covar_mean"
+  std::string domain;   // Table I domain column
+  std::string source_template;
+  /// Whether the loop nest admits collapse(2) (paper's *_collapse variants).
+  bool collapsible = false;
+  /// Reduction clause text appended to the directive ("" when none).
+  std::string reduction_clause;
+  /// Map clauses for the *_mem variants (placeholders allowed).
+  std::string map_clause;
+  /// Problem-size sweep: each entry instantiates one kernel size.
+  std::vector<SizePoint> default_sizes;
+  std::vector<SizePoint> extra_full_sizes;  // added at PARAGRAPH_SCALE=full
+};
+
+/// The nine applications / seventeen kernels of Table I.
+const std::vector<KernelSpec>& benchmark_suite();
+
+/// Number of distinct applications in the suite.
+std::size_t num_applications();
+
+/// Stable application id for a given app label (index into sorted app list).
+std::int32_t app_id(const std::string& app_name);
+
+}  // namespace pg::dataset

@@ -1,0 +1,115 @@
+#include "dataset/variants.hpp"
+
+#include "support/check.hpp"
+
+namespace pg::dataset {
+
+std::string_view variant_name(Variant variant) {
+  switch (variant) {
+    case Variant::kCpu: return "cpu";
+    case Variant::kCpuCollapse: return "cpu_collapse";
+    case Variant::kGpu: return "gpu";
+    case Variant::kGpuCollapse: return "gpu_collapse";
+    case Variant::kGpuMem: return "gpu_mem";
+    case Variant::kGpuCollapseMem: return "gpu_collapse_mem";
+    case Variant::kCount: break;
+  }
+  return "<invalid>";
+}
+
+bool variant_is_gpu(Variant variant) {
+  return variant == Variant::kGpu || variant == Variant::kGpuCollapse ||
+         variant == Variant::kGpuMem || variant == Variant::kGpuCollapseMem;
+}
+
+bool variant_has_collapse(Variant variant) {
+  return variant == Variant::kCpuCollapse || variant == Variant::kGpuCollapse ||
+         variant == Variant::kGpuCollapseMem;
+}
+
+bool variant_has_transfer(Variant variant) {
+  return variant == Variant::kGpuMem || variant == Variant::kGpuCollapseMem;
+}
+
+std::vector<Variant> applicable_variants(const KernelSpec& spec,
+                                         bool gpu_platform) {
+  std::vector<Variant> variants;
+  if (gpu_platform) {
+    variants.push_back(Variant::kGpu);
+    variants.push_back(Variant::kGpuMem);
+    if (spec.collapsible) {
+      variants.push_back(Variant::kGpuCollapse);
+      variants.push_back(Variant::kGpuCollapseMem);
+    }
+  } else {
+    variants.push_back(Variant::kCpu);
+    if (spec.collapsible) variants.push_back(Variant::kCpuCollapse);
+  }
+  return variants;
+}
+
+std::string substitute_placeholders(
+    const std::string& text,
+    const std::vector<std::pair<std::string, std::string>>& bindings) {
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t open = text.find("${", pos);
+    if (open == std::string::npos) {
+      out.append(text, pos, std::string::npos);
+      break;
+    }
+    out.append(text, pos, open - pos);
+    const std::size_t close = text.find('}', open + 2);
+    check(close != std::string::npos, "unterminated ${...} placeholder");
+    const std::string key = text.substr(open + 2, close - open - 2);
+    bool found = false;
+    for (const auto& [name, value] : bindings) {
+      if (name == key) {
+        out += value;
+        found = true;
+        break;
+      }
+    }
+    check(found, "unbound placeholder ${" + key + "}");
+    pos = close + 1;
+  }
+  return out;
+}
+
+std::string build_directive(const KernelSpec& spec, Variant variant,
+                            std::int64_t num_teams, std::int64_t num_threads) {
+  std::string directive;
+  if (variant_is_gpu(variant)) {
+    directive = "omp target teams distribute parallel for num_teams(" +
+                std::to_string(num_teams) + ") thread_limit(" +
+                std::to_string(num_threads) + ")";
+  } else {
+    directive = "omp parallel for num_threads(" + std::to_string(num_threads) +
+                ") schedule(static)";
+  }
+  if (variant_has_collapse(variant)) directive += " collapse(2)";
+  if (!spec.reduction_clause.empty()) directive += " " + spec.reduction_clause;
+  if (variant_has_transfer(variant) && !spec.map_clause.empty())
+    directive += " " + spec.map_clause;
+  return directive;
+}
+
+std::string instantiate_source(const KernelSpec& spec, Variant variant,
+                               const SizePoint& sizes, std::int64_t num_teams,
+                               std::int64_t num_threads) {
+  std::vector<std::pair<std::string, std::string>> bindings;
+  bindings.emplace_back(
+      "PRAGMA", "#pragma " + build_directive(spec, variant, num_teams, num_threads));
+  bindings.emplace_back("NTEAMS", std::to_string(num_teams));
+  bindings.emplace_back("NTHREADS", std::to_string(num_threads));
+  for (const auto& [name, value] : sizes)
+    bindings.emplace_back(name, std::to_string(value));
+  // The pragma itself can contain ${N}-style size placeholders (map
+  // sections), so substitute sizes after splicing the pragma in.
+  std::string source = substitute_placeholders(spec.source_template, bindings);
+  return substitute_placeholders(source, bindings);
+}
+
+}  // namespace pg::dataset

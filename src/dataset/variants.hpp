@@ -1,0 +1,52 @@
+// The paper's six code transformations (§IV-A.1) and source instantiation.
+//
+// This module plays the role of OpenMP Advisor's code-transformation module:
+// it rewrites a kernel template into a concrete variant by inserting the
+// corresponding OpenMP directive and substituting sizes and launch
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/kernel_spec.hpp"
+
+namespace pg::dataset {
+
+enum class Variant : std::uint8_t {
+  kCpu,              // omp parallel for
+  kCpuCollapse,      // omp parallel for collapse(2)
+  kGpu,              // omp target teams distribute parallel for
+  kGpuCollapse,      //   ... collapse(2)
+  kGpuMem,           // gpu + map clauses (explicit data transfer)
+  kGpuCollapseMem,   // gpu_collapse + map clauses
+  kCount,
+};
+
+std::string_view variant_name(Variant variant);
+bool variant_is_gpu(Variant variant);
+bool variant_has_collapse(Variant variant);
+bool variant_has_transfer(Variant variant);
+
+/// Variants applicable to a kernel on a device kind ("cpu" variants for CPU
+/// platforms, "gpu" variants for GPUs; collapse variants only when the
+/// kernel is collapsible).
+std::vector<Variant> applicable_variants(const KernelSpec& spec, bool gpu_platform);
+
+/// Replaces every `${KEY}` in `text`; unknown keys are an error.
+std::string substitute_placeholders(
+    const std::string& text,
+    const std::vector<std::pair<std::string, std::string>>& bindings);
+
+/// Full source of one concrete kernel instance.
+std::string instantiate_source(const KernelSpec& spec, Variant variant,
+                               const SizePoint& sizes, std::int64_t num_teams,
+                               std::int64_t num_threads);
+
+/// Just the directive line (exposed for tests / the variant_explorer
+/// example), without the leading "#pragma ".
+std::string build_directive(const KernelSpec& spec, Variant variant,
+                            std::int64_t num_teams, std::int64_t num_threads);
+
+}  // namespace pg::dataset

@@ -1,0 +1,81 @@
+#include "frontend/ast.hpp"
+
+#include <algorithm>
+
+namespace pg::frontend {
+
+std::string_view node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kTranslationUnit: return "TranslationUnit";
+    case NodeKind::kFunctionDecl: return "FunctionDecl";
+    case NodeKind::kParmVarDecl: return "ParmVarDecl";
+    case NodeKind::kVarDecl: return "VarDecl";
+    case NodeKind::kDeclStmt: return "DeclStmt";
+    case NodeKind::kCompoundStmt: return "CompoundStmt";
+    case NodeKind::kForStmt: return "ForStmt";
+    case NodeKind::kWhileStmt: return "WhileStmt";
+    case NodeKind::kDoStmt: return "DoStmt";
+    case NodeKind::kIfStmt: return "IfStmt";
+    case NodeKind::kReturnStmt: return "ReturnStmt";
+    case NodeKind::kBreakStmt: return "BreakStmt";
+    case NodeKind::kContinueStmt: return "ContinueStmt";
+    case NodeKind::kNullStmt: return "NullStmt";
+    case NodeKind::kBinaryOperator: return "BinaryOperator";
+    case NodeKind::kCompoundAssignOperator: return "CompoundAssignOperator";
+    case NodeKind::kUnaryOperator: return "UnaryOperator";
+    case NodeKind::kConditionalOperator: return "ConditionalOperator";
+    case NodeKind::kCallExpr: return "CallExpr";
+    case NodeKind::kArraySubscriptExpr: return "ArraySubscriptExpr";
+    case NodeKind::kDeclRefExpr: return "DeclRefExpr";
+    case NodeKind::kImplicitCastExpr: return "ImplicitCastExpr";
+    case NodeKind::kParenExpr: return "ParenExpr";
+    case NodeKind::kIntegerLiteral: return "IntegerLiteral";
+    case NodeKind::kFloatingLiteral: return "FloatingLiteral";
+    case NodeKind::kCharacterLiteral: return "CharacterLiteral";
+    case NodeKind::kStringLiteral: return "StringLiteral";
+    case NodeKind::kInitListExpr: return "InitListExpr";
+    case NodeKind::kOmpParallelForDirective: return "OmpParallelForDirective";
+    case NodeKind::kOmpTargetTeamsDistributeParallelForDirective:
+      return "OmpTargetTeamsDistributeParallelForDirective";
+    case NodeKind::kOmpCollapseClause: return "OmpCollapseClause";
+    case NodeKind::kOmpNumThreadsClause: return "OmpNumThreadsClause";
+    case NodeKind::kOmpNumTeamsClause: return "OmpNumTeamsClause";
+    case NodeKind::kOmpThreadLimitClause: return "OmpThreadLimitClause";
+    case NodeKind::kOmpScheduleClause: return "OmpScheduleClause";
+    case NodeKind::kOmpMapToClause: return "OmpMapToClause";
+    case NodeKind::kOmpMapFromClause: return "OmpMapFromClause";
+    case NodeKind::kOmpMapTofromClause: return "OmpMapTofromClause";
+    case NodeKind::kOmpMapAllocClause: return "OmpMapAllocClause";
+    case NodeKind::kOmpReductionClause: return "OmpReductionClause";
+    case NodeKind::kOmpPrivateClause: return "OmpPrivateClause";
+    case NodeKind::kOmpSharedClause: return "OmpSharedClause";
+    case NodeKind::kOmpFirstprivateClause: return "OmpFirstprivateClause";
+    case NodeKind::kOmpArraySection: return "OmpArraySection";
+    case NodeKind::kCount: break;
+  }
+  return "<invalid>";
+}
+
+std::size_t subtree_size(const AstNode* node) {
+  std::size_t count = 0;
+  walk(node, [&count](const AstNode*, int) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+std::vector<const AstNode*> terminals_in_token_order(const AstNode* root) {
+  std::vector<const AstNode*> terminals;
+  walk(root, [&terminals](const AstNode* node, int) {
+    if (node->is_terminal()) terminals.push_back(node);
+    return true;
+  });
+  std::stable_sort(terminals.begin(), terminals.end(),
+                   [](const AstNode* a, const AstNode* b) {
+                     return a->range().begin.offset < b->range().begin.offset;
+                   });
+  return terminals;
+}
+
+}  // namespace pg::frontend

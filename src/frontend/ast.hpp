@@ -1,0 +1,247 @@
+// Clang-shaped AST for the C subset.
+//
+// Design note: nodes are *homogeneous* — a single `AstNode` class carrying a
+// `NodeKind` plus a small set of attribute fields, rather than a class
+// hierarchy. ParaGraph construction, NextToken ordering, feature encoding,
+// and the AST dumper are all generic tree walks over (kind, children), so a
+// uniform node keeps every consumer a single loop. Kind-specific structure
+// (e.g. "ForStmt has exactly 4 children") is enforced by the parser and by
+// accessors that `check()` their preconditions.
+//
+// Child layouts (documented invariants):
+//   TranslationUnit : [FunctionDecl...]
+//   FunctionDecl    : [ParmVarDecl..., CompoundStmt body]
+//   DeclStmt        : [VarDecl...]
+//   VarDecl         : [] or [init expr]
+//   CompoundStmt    : [stmt...]
+//   ForStmt         : [init, cond, body, inc]      <- paper's Fig. 2 order
+//   WhileStmt       : [cond, body]
+//   DoStmt          : [body, cond]
+//   IfStmt          : [cond, then] or [cond, then, else]
+//   ReturnStmt      : [] or [expr]
+//   BinaryOperator / CompoundAssignOperator : [lhs, rhs]   (op in text())
+//   UnaryOperator   : [operand]                            (op in text())
+//   ConditionalOperator : [cond, true-expr, false-expr]
+//   CallExpr        : [callee, args...]
+//   ArraySubscriptExpr : [base, index]
+//   ImplicitCastExpr / ParenExpr : [sub-expr]
+//   DeclRefExpr / literals : []                    (terminal "syntax tokens")
+//   Omp*Directive   : [clause-nodes..., associated stmt]
+//   Omp*Clause      : [expr or DeclRef/ArraySection operands...]
+//   OmpArraySection : [base DeclRef, lower expr, length expr]
+//
+// The ForStmt child order follows the paper's Figure 2 ([init, cond, body,
+// inc]) rather than Clang's [init, cond, inc, body]; ForExec/ForNext edges
+// assume it. NextToken edges are ordered by source location, so the layout
+// difference does not leak into token order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/source_location.hpp"
+#include "frontend/type.hpp"
+#include "support/check.hpp"
+
+namespace pg::frontend {
+
+enum class NodeKind : std::uint8_t {
+  kTranslationUnit,
+  kFunctionDecl,
+  kParmVarDecl,
+  kVarDecl,
+  kDeclStmt,
+  kCompoundStmt,
+  kForStmt,
+  kWhileStmt,
+  kDoStmt,
+  kIfStmt,
+  kReturnStmt,
+  kBreakStmt,
+  kContinueStmt,
+  kNullStmt,
+  kBinaryOperator,
+  kCompoundAssignOperator,
+  kUnaryOperator,
+  kConditionalOperator,
+  kCallExpr,
+  kArraySubscriptExpr,
+  kDeclRefExpr,
+  kImplicitCastExpr,
+  kParenExpr,
+  kIntegerLiteral,
+  kFloatingLiteral,
+  kCharacterLiteral,
+  kStringLiteral,
+  kInitListExpr,
+  // OpenMP directives: one kind per combined construct so that variants are
+  // distinguishable by node-kind features alone.
+  kOmpParallelForDirective,
+  kOmpTargetTeamsDistributeParallelForDirective,
+  // OpenMP clauses. Map clauses are split by direction for the same reason.
+  kOmpCollapseClause,
+  kOmpNumThreadsClause,
+  kOmpNumTeamsClause,
+  kOmpThreadLimitClause,
+  kOmpScheduleClause,
+  kOmpMapToClause,
+  kOmpMapFromClause,
+  kOmpMapTofromClause,
+  kOmpMapAllocClause,
+  kOmpReductionClause,
+  kOmpPrivateClause,
+  kOmpSharedClause,
+  kOmpFirstprivateClause,
+  kOmpArraySection,
+  kCount,  // sentinel: number of kinds (feature-vector width)
+};
+
+constexpr std::size_t kNumNodeKinds = static_cast<std::size_t>(NodeKind::kCount);
+
+std::string_view node_kind_name(NodeKind kind);
+
+class AstNode {
+ public:
+  AstNode(NodeKind kind, SourceRange range) : kind_(kind), range_(range) {}
+
+  AstNode(const AstNode&) = delete;
+  AstNode& operator=(const AstNode&) = delete;
+
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] const SourceRange& range() const { return range_; }
+  void set_range(SourceRange range) { range_ = range; }
+
+  [[nodiscard]] const std::vector<AstNode*>& children() const { return children_; }
+  [[nodiscard]] std::size_t num_children() const { return children_.size(); }
+  [[nodiscard]] AstNode* child(std::size_t i) const {
+    check(i < children_.size(), "AST child index out of range");
+    return children_[i];
+  }
+  void add_child(AstNode* node) {
+    check(node != nullptr, "null AST child");
+    children_.push_back(node);
+  }
+  void set_child(std::size_t i, AstNode* node) {
+    check(i < children_.size() && node != nullptr, "bad set_child");
+    children_[i] = node;
+  }
+
+  /// Terminal nodes are the paper's "syntax tokens".
+  [[nodiscard]] bool is_terminal() const { return children_.empty(); }
+
+  // --- attributes -------------------------------------------------------
+  /// Identifier name, operator spelling, or literal spelling.
+  [[nodiscard]] const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  [[nodiscard]] std::int64_t int_value() const { return int_value_; }
+  void set_int_value(std::int64_t v) { int_value_ = v; }
+
+  [[nodiscard]] double float_value() const { return float_value_; }
+  void set_float_value(double v) { float_value_ = v; }
+
+  /// For DeclRefExpr: the VarDecl/ParmVarDecl/FunctionDecl it names
+  /// (nullptr for unresolved builtins like sqrt).
+  [[nodiscard]] AstNode* referenced_decl() const { return referenced_decl_; }
+  void set_referenced_decl(AstNode* decl) { referenced_decl_ = decl; }
+
+  [[nodiscard]] const QualType& type() const { return type_; }
+  void set_type(QualType type) { type_ = std::move(type); }
+
+  // --- kind queries -----------------------------------------------------
+  [[nodiscard]] bool is(NodeKind k) const { return kind_ == k; }
+  [[nodiscard]] bool is_decl() const {
+    return kind_ == NodeKind::kFunctionDecl || kind_ == NodeKind::kVarDecl ||
+           kind_ == NodeKind::kParmVarDecl;
+  }
+  [[nodiscard]] bool is_omp_directive() const {
+    return kind_ == NodeKind::kOmpParallelForDirective ||
+           kind_ == NodeKind::kOmpTargetTeamsDistributeParallelForDirective;
+  }
+  [[nodiscard]] bool is_omp_clause() const {
+    return kind_ >= NodeKind::kOmpCollapseClause &&
+           kind_ <= NodeKind::kOmpFirstprivateClause;
+  }
+  [[nodiscard]] bool is_loop() const {
+    return kind_ == NodeKind::kForStmt || kind_ == NodeKind::kWhileStmt ||
+           kind_ == NodeKind::kDoStmt;
+  }
+
+  // --- structured accessors (precondition-checked) ----------------------
+  [[nodiscard]] AstNode* for_init() const { return checked(NodeKind::kForStmt, 0); }
+  [[nodiscard]] AstNode* for_cond() const { return checked(NodeKind::kForStmt, 1); }
+  [[nodiscard]] AstNode* for_body() const { return checked(NodeKind::kForStmt, 2); }
+  [[nodiscard]] AstNode* for_inc() const { return checked(NodeKind::kForStmt, 3); }
+
+  [[nodiscard]] AstNode* if_cond() const { return checked(NodeKind::kIfStmt, 0); }
+  [[nodiscard]] AstNode* if_then() const { return checked(NodeKind::kIfStmt, 1); }
+  [[nodiscard]] AstNode* if_else() const {
+    check(kind_ == NodeKind::kIfStmt, "if_else on non-IfStmt");
+    return children_.size() > 2 ? children_[2] : nullptr;
+  }
+
+  /// For an OpenMP directive: the associated statement (last child).
+  [[nodiscard]] AstNode* omp_body() const {
+    check(is_omp_directive() && !children_.empty(), "omp_body: bad node");
+    return children_.back();
+  }
+
+ private:
+  [[nodiscard]] AstNode* checked(NodeKind expect, std::size_t i) const {
+    check(kind_ == expect, "structured accessor on wrong node kind");
+    return child(i);
+  }
+
+  NodeKind kind_;
+  SourceRange range_;
+  std::vector<AstNode*> children_;
+  std::string text_;
+  std::int64_t int_value_ = 0;
+  double float_value_ = 0.0;
+  AstNode* referenced_decl_ = nullptr;
+  QualType type_;
+};
+
+/// Arena that owns every node of one parse. Nodes hold non-owning pointers
+/// into the arena; the context must outlive all of them.
+class AstContext {
+ public:
+  AstContext() = default;
+  AstContext(AstContext&&) = default;
+  AstContext& operator=(AstContext&&) = default;
+
+  AstNode* create(NodeKind kind, SourceRange range = {}) {
+    nodes_.push_back(std::make_unique<AstNode>(kind, range));
+    return nodes_.back().get();
+  }
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  [[nodiscard]] AstNode* root() const { return root_; }
+  void set_root(AstNode* root) { root_ = root; }
+
+ private:
+  std::vector<std::unique_ptr<AstNode>> nodes_;
+  AstNode* root_ = nullptr;
+};
+
+/// Pre-order depth-first visit; `visit(node, depth)` returning false prunes
+/// the subtree.
+template <typename Visitor>
+void walk(const AstNode* node, Visitor&& visit, int depth = 0) {
+  if (node == nullptr) return;
+  if (!visit(node, depth)) return;
+  for (const AstNode* child : node->children())
+    walk(child, visit, depth + 1);
+}
+
+/// Counts nodes in a subtree.
+std::size_t subtree_size(const AstNode* node);
+
+/// Collects terminal nodes ("syntax tokens") ordered by source position.
+std::vector<const AstNode*> terminals_in_token_order(const AstNode* root);
+
+}  // namespace pg::frontend

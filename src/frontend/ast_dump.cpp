@@ -1,0 +1,42 @@
+#include "frontend/ast_dump.hpp"
+
+#include <sstream>
+
+namespace pg::frontend {
+namespace {
+
+void dump_rec(const AstNode* node, std::string& prefix, bool last,
+              std::ostringstream& os, bool is_root) {
+  if (!is_root) {
+    os << prefix << (last ? "`-" : "|-");
+  }
+  os << node_kind_name(node->kind());
+  if (!node->text().empty()) os << " '" << node->text() << "'";
+  if (node->is(NodeKind::kIntegerLiteral)) os << " = " << node->int_value();
+  if (node->is(NodeKind::kFloatingLiteral)) os << " = " << node->float_value();
+  if (node->is_decl() && node->type() != QualType{})
+    os << " : " << node->type().to_string();
+  if (node->is(NodeKind::kDeclRefExpr) && node->referenced_decl() != nullptr)
+    os << " -> " << node->referenced_decl()->text();
+  os << '\n';
+
+  const std::size_t n = node->num_children();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t grow = is_root ? 0 : 2;
+    if (!is_root) prefix += last ? "  " : "| ";
+    dump_rec(node->child(i), prefix, i + 1 == n, os, false);
+    prefix.resize(prefix.size() - grow);
+  }
+}
+
+}  // namespace
+
+std::string dump_ast(const AstNode* root) {
+  if (root == nullptr) return "<null>\n";
+  std::ostringstream os;
+  std::string prefix;
+  dump_rec(root, prefix, true, os, true);
+  return os.str();
+}
+
+}  // namespace pg::frontend

@@ -1,0 +1,19 @@
+// Human-readable AST dumping (clang -ast-dump flavoured), used by the
+// graph_to_dot example and by tests asserting tree shapes.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace pg::frontend {
+
+/// Renders a subtree as an indented tree, e.g.
+///   ForStmt
+///   |-DeclStmt
+///   | `-VarDecl 'i' int = ...
+///   |-BinaryOperator '<'
+///   ...
+std::string dump_ast(const AstNode* root);
+
+}  // namespace pg::frontend

@@ -1,0 +1,21 @@
+// Integer constant-expression evaluation.
+//
+// Used to fold loop bounds, array extents, and map-clause section lengths.
+// A DeclRefExpr folds when its declaration has a foldable initializer (the
+// dataset generator instantiates sizes as literal-initialized locals, so
+// this covers `int n = 2048; ... for (i = 0; i < n; ...)`). Reassignment is
+// not tracked — a documented simplification that holds for the generated
+// kernels, where size variables are single-assignment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "frontend/ast.hpp"
+
+namespace pg::frontend {
+
+/// Attempts to evaluate `expr` as a 64-bit integer constant.
+std::optional<std::int64_t> evaluate_integer_constant(const AstNode* expr);
+
+}  // namespace pg::frontend

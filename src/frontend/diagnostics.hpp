@@ -1,0 +1,45 @@
+// Error reporting for the frontend. Unlike library-internal invariants
+// (support/check.hpp), these describe problems in the *input program*.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/source_location.hpp"
+
+namespace pg::frontend {
+
+struct Diagnostic {
+  SourceLocation location;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return location.to_string() + ": error: " + message;
+  }
+};
+
+/// Accumulates diagnostics produced while lexing/parsing one buffer.
+class Diagnostics {
+ public:
+  void error(SourceLocation loc, std::string message) {
+    entries_.push_back({loc, std::move(message)});
+  }
+
+  [[nodiscard]] bool has_errors() const { return !entries_.empty(); }
+  [[nodiscard]] const std::vector<Diagnostic>& entries() const { return entries_; }
+
+  /// All diagnostics joined with newlines (for test assertions / logs).
+  [[nodiscard]] std::string summary() const {
+    std::string out;
+    for (const auto& d : entries_) {
+      if (!out.empty()) out += '\n';
+      out += d.to_string();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Diagnostic> entries_;
+};
+
+}  // namespace pg::frontend

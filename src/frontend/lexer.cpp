@@ -1,0 +1,277 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace pg::frontend {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"int", TokenKind::kKwInt},         {"long", TokenKind::kKwLong},
+      {"float", TokenKind::kKwFloat},     {"double", TokenKind::kKwDouble},
+      {"char", TokenKind::kKwChar},       {"void", TokenKind::kKwVoid},
+      {"unsigned", TokenKind::kKwUnsigned}, {"const", TokenKind::kKwConst},
+      {"static", TokenKind::kKwStatic},   {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},       {"for", TokenKind::kKwFor},
+      {"while", TokenKind::kKwWhile},     {"do", TokenKind::kKwDo},
+      {"return", TokenKind::kKwReturn},   {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue}, {"sizeof", TokenKind::kKwSizeof},
+      {"struct", TokenKind::kKwStruct},
+  };
+  return table;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+Lexer::Lexer(std::string_view source, Diagnostics& diags)
+    : source_(source), diags_(diags) {}
+
+char Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (at_end() || peek() != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLocation Lexer::location() const {
+  return {static_cast<std::uint32_t>(pos_), line_, column_};
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLocation start = location();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::make(TokenKind kind, SourceLocation start, std::string text) const {
+  return Token{kind, std::move(text), start};
+}
+
+Token Lexer::next() {
+  skip_trivia();
+  if (at_end()) return make(TokenKind::kEof, location());
+
+  const SourceLocation start = location();
+  const char c = peek();
+  if (c == '#') return lex_preprocessor_line(start);
+  if (is_ident_start(c)) return lex_identifier_or_keyword(start);
+  if (is_digit(c) || (c == '.' && is_digit(peek(1)))) return lex_number(start);
+  if (c == '\'') return lex_char_literal(start);
+  if (c == '"') return lex_string_literal(start);
+  return lex_punctuation(start);
+}
+
+std::vector<Token> Lexer::tokenize_all() {
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(next());
+    if (tokens.back().is(TokenKind::kEof)) break;
+  }
+  return tokens;
+}
+
+Token Lexer::lex_identifier_or_keyword(SourceLocation start) {
+  std::string text;
+  while (!at_end() && is_ident_char(peek())) text += advance();
+  const auto& table = keyword_table();
+  if (auto it = table.find(text); it != table.end()) return make(it->second, start, text);
+  return make(TokenKind::kIdentifier, start, std::move(text));
+}
+
+Token Lexer::lex_number(SourceLocation start) {
+  std::string text;
+  bool is_float = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text += advance();
+    text += advance();
+    while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) text += advance();
+  } else {
+    while (!at_end() && is_digit(peek())) text += advance();
+    if (!at_end() && peek() == '.') {
+      is_float = true;
+      text += advance();
+      while (!at_end() && is_digit(peek())) text += advance();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      is_float = true;
+      text += advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) text += advance();
+      if (at_end() || !is_digit(peek())) {
+        diags_.error(start, "malformed exponent in numeric literal");
+      }
+      while (!at_end() && is_digit(peek())) text += advance();
+    }
+  }
+  // Suffixes: f/F force float; u/U/l/L are consumed but not recorded.
+  while (!at_end() && (peek() == 'f' || peek() == 'F' || peek() == 'l' ||
+                       peek() == 'L' || peek() == 'u' || peek() == 'U')) {
+    if (peek() == 'f' || peek() == 'F') is_float = true;
+    advance();
+  }
+  return make(is_float ? TokenKind::kFloatingLiteral : TokenKind::kIntegerLiteral,
+              start, std::move(text));
+}
+
+Token Lexer::lex_char_literal(SourceLocation start) {
+  advance();  // opening quote
+  std::string text;
+  while (!at_end() && peek() != '\'') {
+    if (peek() == '\\') text += advance();
+    if (!at_end()) text += advance();
+  }
+  if (at_end()) {
+    diags_.error(start, "unterminated character literal");
+  } else {
+    advance();  // closing quote
+  }
+  return make(TokenKind::kCharLiteral, start, std::move(text));
+}
+
+Token Lexer::lex_string_literal(SourceLocation start) {
+  advance();  // opening quote
+  std::string text;
+  while (!at_end() && peek() != '"') {
+    if (peek() == '\\') text += advance();
+    if (!at_end()) text += advance();
+  }
+  if (at_end()) {
+    diags_.error(start, "unterminated string literal");
+  } else {
+    advance();  // closing quote
+  }
+  return make(TokenKind::kStringLiteral, start, std::move(text));
+}
+
+Token Lexer::lex_preprocessor_line(SourceLocation start) {
+  advance();  // '#'
+  // Read the directive name.
+  while (!at_end() && (peek() == ' ' || peek() == '\t')) advance();
+  std::string directive;
+  while (!at_end() && is_ident_char(peek())) directive += advance();
+
+  // Collect the rest of the (possibly continued) line.
+  std::string body;
+  while (!at_end() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      body += ' ';
+      continue;
+    }
+    body += advance();
+  }
+
+  if (directive == "pragma") {
+    // Trim leading whitespace of the pragma body.
+    std::size_t first = body.find_first_not_of(" \t");
+    body = first == std::string::npos ? std::string{} : body.substr(first);
+    return make(TokenKind::kPragma, start, std::move(body));
+  }
+  // Any other preprocessor line (#include, #define, ...) is skipped; the
+  // dataset pipeline feeds fully-instantiated sources.
+  return next();
+}
+
+Token Lexer::lex_punctuation(SourceLocation start) {
+  const char c = advance();
+  switch (c) {
+    case '(': return make(TokenKind::kLParen, start);
+    case ')': return make(TokenKind::kRParen, start);
+    case '{': return make(TokenKind::kLBrace, start);
+    case '}': return make(TokenKind::kRBrace, start);
+    case '[': return make(TokenKind::kLBracket, start);
+    case ']': return make(TokenKind::kRBracket, start);
+    case ';': return make(TokenKind::kSemi, start);
+    case ',': return make(TokenKind::kComma, start);
+    case '?': return make(TokenKind::kQuestion, start);
+    case ':': return make(TokenKind::kColon, start);
+    case '~': return make(TokenKind::kTilde, start);
+    case '+':
+      if (match('+')) return make(TokenKind::kPlusPlus, start);
+      if (match('=')) return make(TokenKind::kPlusEqual, start);
+      return make(TokenKind::kPlus, start);
+    case '-':
+      if (match('-')) return make(TokenKind::kMinusMinus, start);
+      if (match('=')) return make(TokenKind::kMinusEqual, start);
+      if (match('>')) return make(TokenKind::kArrow, start);
+      return make(TokenKind::kMinus, start);
+    case '*':
+      if (match('=')) return make(TokenKind::kStarEqual, start);
+      return make(TokenKind::kStar, start);
+    case '/':
+      if (match('=')) return make(TokenKind::kSlashEqual, start);
+      return make(TokenKind::kSlash, start);
+    case '%':
+      if (match('=')) return make(TokenKind::kPercentEqual, start);
+      return make(TokenKind::kPercent, start);
+    case '&':
+      if (match('&')) return make(TokenKind::kAmpAmp, start);
+      return make(TokenKind::kAmp, start);
+    case '|':
+      if (match('|')) return make(TokenKind::kPipePipe, start);
+      return make(TokenKind::kPipe, start);
+    case '^': return make(TokenKind::kCaret, start);
+    case '!':
+      if (match('=')) return make(TokenKind::kExclaimEqual, start);
+      return make(TokenKind::kExclaim, start);
+    case '<':
+      if (match('=')) return make(TokenKind::kLessEqual, start);
+      if (match('<')) return make(TokenKind::kLessLess, start);
+      return make(TokenKind::kLess, start);
+    case '>':
+      if (match('=')) return make(TokenKind::kGreaterEqual, start);
+      if (match('>')) return make(TokenKind::kGreaterGreater, start);
+      return make(TokenKind::kGreater, start);
+    case '=':
+      if (match('=')) return make(TokenKind::kEqualEqual, start);
+      return make(TokenKind::kEqual, start);
+    case '.': return make(TokenKind::kPeriod, start);
+    default:
+      diags_.error(start, std::string("unexpected character '") + c + "'");
+      return next();
+  }
+}
+
+}  // namespace pg::frontend

@@ -1,0 +1,55 @@
+// Lexer for the C subset used by the benchmark kernels.
+//
+// Differences from a full C lexer, all deliberate:
+//  * `#pragma ...` lines become a single kPragma token (body = rest of line,
+//    with backslash line-continuations folded), so the parser can attach
+//    OpenMP directives to the following statement.
+//  * `#include`/`#define`/other preprocessor lines are skipped — kernel
+//    sources are already fully instantiated by the variant generator.
+//  * No trigraphs, wide literals, or universal character names.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/diagnostics.hpp"
+#include "frontend/token.hpp"
+
+namespace pg::frontend {
+
+class Lexer {
+ public:
+  /// `source` must outlive the lexer. Diagnostics accumulate in `diags`.
+  Lexer(std::string_view source, Diagnostics& diags);
+
+  /// Lexes the next token (kEof forever once exhausted).
+  Token next();
+
+  /// Lexes the whole buffer. The returned vector always ends with kEof.
+  std::vector<Token> tokenize_all();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= source_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const;
+  char advance();
+  bool match(char expected);
+  void skip_trivia();  // whitespace + comments + non-pragma preprocessor lines
+  [[nodiscard]] SourceLocation location() const;
+
+  Token make(TokenKind kind, SourceLocation start, std::string text = {}) const;
+  Token lex_identifier_or_keyword(SourceLocation start);
+  Token lex_number(SourceLocation start);
+  Token lex_char_literal(SourceLocation start);
+  Token lex_string_literal(SourceLocation start);
+  Token lex_preprocessor_line(SourceLocation start);
+  Token lex_punctuation(SourceLocation start);
+
+  std::string_view source_;
+  Diagnostics& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+}  // namespace pg::frontend

@@ -1,0 +1,33 @@
+// Static loop analysis: induction variable and trip-count extraction.
+//
+// ParaGraph multiplies Child-edge weights inside a loop body by the loop's
+// iteration count (paper §III-A.3); the simulator also needs trip counts to
+// price kernels. Both consume this module.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "frontend/ast.hpp"
+
+namespace pg::frontend {
+
+/// The canonical-form description of a `for` loop:
+///   for (iv = begin; iv REL bound; iv += step) — with REL in {<, <=, >, >=}
+struct LoopInfo {
+  const AstNode* induction_var = nullptr;  // VarDecl / ParmVarDecl
+  std::int64_t begin = 0;
+  std::int64_t bound = 0;
+  std::int64_t step = 1;
+  std::string relation;                    // "<", "<=", ">", ">="
+  std::int64_t trip_count = 0;
+};
+
+/// Analyzes a ForStmt. Returns nullopt when the loop is not in canonical
+/// form or its bounds don't fold to constants.
+std::optional<LoopInfo> analyze_for_loop(const AstNode* for_stmt);
+
+/// Trip count of a ForStmt with a fallback for unanalyzable loops.
+std::int64_t trip_count_or(const AstNode* for_stmt, std::int64_t fallback);
+
+}  // namespace pg::frontend

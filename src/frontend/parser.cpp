@@ -1,0 +1,965 @@
+#include "frontend/parser.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+
+#include "frontend/lexer.hpp"
+
+namespace pg::frontend {
+namespace {
+
+/// Binary operator precedence (C precedence levels, comma excluded).
+int binary_precedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPipePipe: return 1;
+    case TokenKind::kAmpAmp: return 2;
+    case TokenKind::kPipe: return 3;
+    case TokenKind::kCaret: return 4;
+    case TokenKind::kAmp: return 5;
+    case TokenKind::kEqualEqual:
+    case TokenKind::kExclaimEqual: return 6;
+    case TokenKind::kLess:
+    case TokenKind::kGreater:
+    case TokenKind::kLessEqual:
+    case TokenKind::kGreaterEqual: return 7;
+    case TokenKind::kLessLess:
+    case TokenKind::kGreaterGreater: return 8;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus: return 9;
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent: return 10;
+    default: return -1;
+  }
+}
+
+std::string_view operator_spelling(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPipePipe: return "||";
+    case TokenKind::kAmpAmp: return "&&";
+    case TokenKind::kPipe: return "|";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kEqualEqual: return "==";
+    case TokenKind::kExclaimEqual: return "!=";
+    case TokenKind::kLess: return "<";
+    case TokenKind::kGreater: return ">";
+    case TokenKind::kLessEqual: return "<=";
+    case TokenKind::kGreaterEqual: return ">=";
+    case TokenKind::kLessLess: return "<<";
+    case TokenKind::kGreaterGreater: return ">>";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kEqual: return "=";
+    case TokenKind::kPlusEqual: return "+=";
+    case TokenKind::kMinusEqual: return "-=";
+    case TokenKind::kStarEqual: return "*=";
+    case TokenKind::kSlashEqual: return "/=";
+    case TokenKind::kPercentEqual: return "%=";
+    default: return "?";
+  }
+}
+
+bool is_compound_assign(TokenKind kind) {
+  return kind == TokenKind::kPlusEqual || kind == TokenKind::kMinusEqual ||
+         kind == TokenKind::kStarEqual || kind == TokenKind::kSlashEqual ||
+         kind == TokenKind::kPercentEqual;
+}
+
+}  // namespace
+
+ParseResult parse_source(std::string_view source) {
+  ParseResult result;
+  result.context = std::make_unique<AstContext>();
+  Lexer lexer(source, result.diagnostics);
+  std::vector<Token> tokens = lexer.tokenize_all();
+  if (result.diagnostics.has_errors()) return result;
+
+  Parser parser(std::move(tokens), *result.context, result.diagnostics);
+  AstNode* root = parser.parse_translation_unit();
+  if (root != nullptr && !result.diagnostics.has_errors()) {
+    insert_implicit_casts(*result.context, root);
+    result.context->set_root(root);
+  }
+  return result;
+}
+
+Parser::Parser(std::vector<Token> tokens, AstContext& context, Diagnostics& diags)
+    : tokens_(std::move(tokens)), context_(context), diags_(diags) {
+  check(!tokens_.empty() && tokens_.back().is(TokenKind::kEof),
+        "token stream must end with EOF");
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+  return tokens_[i];
+}
+
+const Token& Parser::advance() {
+  const Token& tok = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::accept(TokenKind kind) {
+  if (!at(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, std::string_view what) {
+  if (!at(kind)) {
+    fail(std::string("expected ") + std::string(token_kind_name(kind)) +
+         " while parsing " + std::string(what) + ", found " +
+         std::string(token_kind_name(peek().kind)));
+  }
+  return advance();
+}
+
+void Parser::fail(std::string_view message) {
+  diags_.error(peek().location, std::string(message));
+  throw ParseError{};
+}
+
+void Parser::push_scope() { scopes_.emplace_back(); }
+
+void Parser::pop_scope() {
+  check(!scopes_.empty(), "scope underflow");
+  scopes_.pop_back();
+}
+
+void Parser::declare(const std::string& name, AstNode* decl) {
+  check(!scopes_.empty(), "declare outside any scope");
+  scopes_.back()[name] = decl;
+}
+
+AstNode* Parser::lookup(const std::string& name) const {
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    if (auto found = it->find(name); found != it->end()) return found->second;
+  }
+  return nullptr;
+}
+
+AstNode* Parser::make_node(NodeKind kind, const Token& tok) {
+  AstNode* node = context_.create(kind, {tok.location, tok.location});
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+AstNode* Parser::parse_translation_unit() {
+  push_scope();
+  AstNode* tu = make_node(NodeKind::kTranslationUnit, peek());
+  try {
+    while (!at(TokenKind::kEof)) {
+      accept(TokenKind::kKwStatic);
+      if (!at_type_specifier())
+        fail("expected a type specifier at file scope");
+      QualType base = parse_type_specifier();
+      tu->add_child(parse_function_or_global(base));
+    }
+  } catch (const ParseError&) {
+    pop_scope();
+    return nullptr;
+  }
+  pop_scope();
+  return tu;
+}
+
+bool Parser::at_type_specifier() const {
+  switch (peek().kind) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwLong:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwChar:
+    case TokenKind::kKwVoid:
+    case TokenKind::kKwUnsigned:
+    case TokenKind::kKwConst:
+      return true;
+    default:
+      return false;
+  }
+}
+
+QualType Parser::parse_type_specifier() {
+  QualType type;
+  bool is_unsigned = false;
+  bool saw_base = false;
+  for (;;) {
+    switch (peek().kind) {
+      case TokenKind::kKwConst: advance(); type.is_const = true; continue;
+      case TokenKind::kKwUnsigned: advance(); is_unsigned = true; continue;
+      case TokenKind::kKwInt: advance(); type.base = BaseType::kInt; saw_base = true; continue;
+      case TokenKind::kKwLong:
+        advance();
+        type.base = BaseType::kLong;
+        saw_base = true;
+        accept(TokenKind::kKwLong);  // "long long" collapses to long
+        if (accept(TokenKind::kKwInt)) {}
+        continue;
+      case TokenKind::kKwFloat: advance(); type.base = BaseType::kFloat; saw_base = true; continue;
+      case TokenKind::kKwDouble: advance(); type.base = BaseType::kDouble; saw_base = true; continue;
+      case TokenKind::kKwChar: advance(); type.base = BaseType::kChar; saw_base = true; continue;
+      case TokenKind::kKwVoid: advance(); type.base = BaseType::kVoid; saw_base = true; continue;
+      default: break;
+    }
+    break;
+  }
+  if (is_unsigned) {
+    type.base = (type.base == BaseType::kLong) ? BaseType::kULong : BaseType::kUInt;
+    saw_base = true;
+  }
+  if (!saw_base) fail("expected a type specifier");
+  while (accept(TokenKind::kStar)) ++type.pointer_depth;
+  return type;
+}
+
+void Parser::parse_declarator_suffix(QualType& type) {
+  while (at(TokenKind::kLBracket)) {
+    advance();
+    if (accept(TokenKind::kRBracket)) {
+      type.array_extents.push_back(QualType::kUnknownExtent);
+      continue;
+    }
+    AstNode* extent = parse_conditional();
+    // Fold literal extents immediately; more complex extents stay unknown
+    // here and are resolved later by const_eval when needed.
+    if (extent->is(NodeKind::kIntegerLiteral)) {
+      type.array_extents.push_back(extent->int_value());
+    } else {
+      type.array_extents.push_back(QualType::kUnknownExtent);
+    }
+    expect(TokenKind::kRBracket, "array declarator");
+  }
+}
+
+AstNode* Parser::parse_function_or_global(QualType base) {
+  const Token& name = expect(TokenKind::kIdentifier, "declaration name");
+  if (at(TokenKind::kLParen)) {
+    AstNode* fn = make_node(NodeKind::kFunctionDecl, name);
+    fn->set_text(name.text);
+    fn->set_type(base);
+    declare(name.text, fn);
+    advance();  // '('
+    push_scope();
+    if (!at(TokenKind::kRParen)) {
+      if (at(TokenKind::kKwVoid) && peek(1).is(TokenKind::kRParen)) {
+        advance();
+      } else {
+        do {
+          fn->add_child(parse_parm_var_decl());
+        } while (accept(TokenKind::kComma));
+      }
+    }
+    expect(TokenKind::kRParen, "parameter list");
+    if (accept(TokenKind::kSemi)) {  // forward declaration: keep, no body
+      pop_scope();
+      return fn;
+    }
+    fn->add_child(parse_compound_stmt());
+    pop_scope();
+    return fn;
+  }
+
+  // Global variable declaration (single declarator).
+  AstNode* decl_stmt = make_node(NodeKind::kDeclStmt, name);
+  AstNode* var = make_node(NodeKind::kVarDecl, name);
+  var->set_text(name.text);
+  QualType type = base;
+  parse_declarator_suffix(type);
+  var->set_type(std::move(type));
+  declare(name.text, var);
+  if (accept(TokenKind::kEqual)) var->add_child(parse_assignment());
+  expect(TokenKind::kSemi, "global variable declaration");
+  decl_stmt->add_child(var);
+  return decl_stmt;
+}
+
+AstNode* Parser::parse_parm_var_decl() {
+  QualType type = parse_type_specifier();
+  const Token& name = expect(TokenKind::kIdentifier, "parameter name");
+  AstNode* parm = make_node(NodeKind::kParmVarDecl, name);
+  parm->set_text(name.text);
+  parse_declarator_suffix(type);
+  parm->set_type(std::move(type));
+  declare(name.text, parm);
+  return parm;
+}
+
+AstNode* Parser::parse_decl_stmt() {
+  const Token& start = peek();
+  QualType base = parse_type_specifier();
+  AstNode* decl_stmt = make_node(NodeKind::kDeclStmt, start);
+  do {
+    decl_stmt->add_child(parse_var_decl(base));
+  } while (accept(TokenKind::kComma));
+  expect(TokenKind::kSemi, "declaration statement");
+  return decl_stmt;
+}
+
+AstNode* Parser::parse_var_decl(const QualType& base_type) {
+  QualType type = base_type;
+  while (accept(TokenKind::kStar)) ++type.pointer_depth;
+  const Token& name = expect(TokenKind::kIdentifier, "variable name");
+  AstNode* var = make_node(NodeKind::kVarDecl, name);
+  var->set_text(name.text);
+  parse_declarator_suffix(type);
+  var->set_type(std::move(type));
+  declare(name.text, var);
+  if (accept(TokenKind::kEqual)) {
+    if (at(TokenKind::kLBrace)) {
+      AstNode* init_list = make_node(NodeKind::kInitListExpr, peek());
+      advance();
+      if (!at(TokenKind::kRBrace)) {
+        do {
+          init_list->add_child(parse_assignment());
+        } while (accept(TokenKind::kComma));
+      }
+      expect(TokenKind::kRBrace, "initializer list");
+      var->add_child(init_list);
+    } else {
+      var->add_child(parse_assignment());
+    }
+  }
+  return var;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+AstNode* Parser::parse_statement() {
+  switch (peek().kind) {
+    case TokenKind::kPragma: {
+      const Token pragma = advance();
+      return parse_omp_directive(pragma);
+    }
+    case TokenKind::kLBrace: return parse_compound_stmt();
+    case TokenKind::kKwIf: return parse_if_stmt();
+    case TokenKind::kKwFor: return parse_for_stmt();
+    case TokenKind::kKwWhile: return parse_while_stmt();
+    case TokenKind::kKwDo: return parse_do_stmt();
+    case TokenKind::kKwReturn: return parse_return_stmt();
+    case TokenKind::kKwBreak: {
+      AstNode* node = make_node(NodeKind::kBreakStmt, advance());
+      expect(TokenKind::kSemi, "break statement");
+      return node;
+    }
+    case TokenKind::kKwContinue: {
+      AstNode* node = make_node(NodeKind::kContinueStmt, advance());
+      expect(TokenKind::kSemi, "continue statement");
+      return node;
+    }
+    case TokenKind::kSemi: return make_node(NodeKind::kNullStmt, advance());
+    default: break;
+  }
+  if (at_type_specifier()) return parse_decl_stmt();
+  AstNode* expr = parse_expression();
+  expect(TokenKind::kSemi, "expression statement");
+  return expr;
+}
+
+AstNode* Parser::parse_compound_stmt() {
+  const Token& brace = expect(TokenKind::kLBrace, "compound statement");
+  AstNode* compound = make_node(NodeKind::kCompoundStmt, brace);
+  push_scope();
+  while (!at(TokenKind::kRBrace) && !at(TokenKind::kEof))
+    compound->add_child(parse_statement());
+  expect(TokenKind::kRBrace, "compound statement");
+  pop_scope();
+  return compound;
+}
+
+AstNode* Parser::parse_if_stmt() {
+  const Token& kw = expect(TokenKind::kKwIf, "if statement");
+  AstNode* node = make_node(NodeKind::kIfStmt, kw);
+  expect(TokenKind::kLParen, "if condition");
+  node->add_child(parse_expression());
+  expect(TokenKind::kRParen, "if condition");
+  node->add_child(parse_statement());
+  if (accept(TokenKind::kKwElse)) node->add_child(parse_statement());
+  return node;
+}
+
+AstNode* Parser::parse_for_stmt() {
+  const Token& kw = expect(TokenKind::kKwFor, "for statement");
+  AstNode* node = make_node(NodeKind::kForStmt, kw);
+  expect(TokenKind::kLParen, "for header");
+  push_scope();  // the induction variable lives in the loop's scope
+
+  // init: declaration, expression, or empty.
+  AstNode* init = nullptr;
+  if (at(TokenKind::kSemi)) {
+    init = make_node(NodeKind::kNullStmt, peek());
+    advance();
+  } else if (at_type_specifier()) {
+    init = parse_decl_stmt();  // consumes ';'
+  } else {
+    init = parse_expression();
+    expect(TokenKind::kSemi, "for-init");
+  }
+
+  AstNode* cond = at(TokenKind::kSemi) ? make_node(NodeKind::kNullStmt, peek())
+                                       : parse_expression();
+  expect(TokenKind::kSemi, "for-condition");
+
+  AstNode* inc = at(TokenKind::kRParen) ? make_node(NodeKind::kNullStmt, peek())
+                                        : parse_expression();
+  expect(TokenKind::kRParen, "for header");
+
+  AstNode* body = parse_statement();
+
+  // Paper's Figure 2 child order: [init, cond, body, inc].
+  node->add_child(init);
+  node->add_child(cond);
+  node->add_child(body);
+  node->add_child(inc);
+  pop_scope();
+  return node;
+}
+
+AstNode* Parser::parse_while_stmt() {
+  const Token& kw = expect(TokenKind::kKwWhile, "while statement");
+  AstNode* node = make_node(NodeKind::kWhileStmt, kw);
+  expect(TokenKind::kLParen, "while condition");
+  node->add_child(parse_expression());
+  expect(TokenKind::kRParen, "while condition");
+  node->add_child(parse_statement());
+  return node;
+}
+
+AstNode* Parser::parse_do_stmt() {
+  const Token& kw = expect(TokenKind::kKwDo, "do statement");
+  AstNode* node = make_node(NodeKind::kDoStmt, kw);
+  node->add_child(parse_statement());
+  expect(TokenKind::kKwWhile, "do-while");
+  expect(TokenKind::kLParen, "do-while condition");
+  node->add_child(parse_expression());
+  expect(TokenKind::kRParen, "do-while condition");
+  expect(TokenKind::kSemi, "do-while");
+  return node;
+}
+
+AstNode* Parser::parse_return_stmt() {
+  const Token& kw = expect(TokenKind::kKwReturn, "return statement");
+  AstNode* node = make_node(NodeKind::kReturnStmt, kw);
+  if (!at(TokenKind::kSemi)) node->add_child(parse_expression());
+  expect(TokenKind::kSemi, "return statement");
+  return node;
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP directives
+// ---------------------------------------------------------------------------
+
+AstNode* Parser::parse_omp_directive(const Token& pragma) {
+  // Re-lex the pragma body; token offsets are shifted to the pragma's
+  // position so NextToken ordering stays consistent with the whole buffer.
+  Diagnostics pragma_diags;
+  Lexer sub_lexer(pragma.text, pragma_diags);
+  std::vector<Token> body_tokens = sub_lexer.tokenize_all();
+  for (Token& tok : body_tokens) {
+    tok.location.offset += pragma.location.offset + 1;
+    tok.location.line = pragma.location.line;
+  }
+  if (pragma_diags.has_errors())
+    fail("malformed pragma: " + pragma_diags.summary());
+
+  // Match the directive name sequence.
+  auto word_at = [&body_tokens](std::size_t i) -> std::string_view {
+    if (i >= body_tokens.size()) return {};
+    const Token& t = body_tokens[i];
+    return (t.is(TokenKind::kIdentifier) || t.is_keyword()) ? std::string_view(t.text)
+                                                            : std::string_view{};
+  };
+  // Keywords inside pragmas arrive with kind kKwFor etc.; map them by text.
+  auto text_at = [&body_tokens, &word_at](std::size_t i) -> std::string_view {
+    if (i < body_tokens.size() && body_tokens[i].is(TokenKind::kKwFor)) return "for";
+    return word_at(i);
+  };
+
+  if (text_at(0) != "omp") fail("unsupported pragma (only 'omp' is handled)");
+
+  NodeKind directive_kind;
+  std::size_t clause_start;
+  if (text_at(1) == "parallel" && text_at(2) == "for") {
+    directive_kind = NodeKind::kOmpParallelForDirective;
+    clause_start = 3;
+  } else if (text_at(1) == "target" && text_at(2) == "teams" &&
+             text_at(3) == "distribute" && text_at(4) == "parallel" &&
+             text_at(5) == "for") {
+    directive_kind = NodeKind::kOmpTargetTeamsDistributeParallelForDirective;
+    clause_start = 6;
+  } else {
+    fail("unsupported OpenMP directive: " + pragma.text);
+  }
+
+  AstNode* directive = context_.create(
+      directive_kind, {pragma.location, pragma.location});
+
+  // Parse clauses by temporarily switching the parser onto the pragma's
+  // token stream (so clause expressions reuse the normal expression parser
+  // and resolve against the current scopes).
+  std::vector<Token> saved_tokens = std::move(tokens_);
+  const std::size_t saved_pos = pos_;
+  tokens_ = std::move(body_tokens);
+  pos_ = clause_start;
+  try {
+    while (!at(TokenKind::kEof)) directive->add_child(parse_omp_clause(directive_kind));
+  } catch (const ParseError&) {
+    tokens_ = std::move(saved_tokens);
+    pos_ = saved_pos;
+    throw;
+  }
+  tokens_ = std::move(saved_tokens);
+  pos_ = saved_pos;
+
+  // The associated statement must be a loop.
+  AstNode* stmt = parse_statement();
+  if (!stmt->is(NodeKind::kForStmt))
+    fail("OpenMP loop directive must be followed by a for statement");
+  directive->add_child(stmt);
+  return directive;
+}
+
+AstNode* Parser::parse_omp_clause(NodeKind directive_kind) {
+  const Token name_tok = advance();
+  const std::string& name = name_tok.text;
+  if (name.empty()) fail("expected an OpenMP clause name");
+
+  auto clause_with_expr = [this, &name_tok](NodeKind kind) {
+    AstNode* clause = make_node(kind, name_tok);
+    expect(TokenKind::kLParen, "clause argument");
+    clause->add_child(parse_assignment());
+    expect(TokenKind::kRParen, "clause argument");
+    return clause;
+  };
+  auto clause_with_var_list = [this, &name_tok](NodeKind kind) {
+    AstNode* clause = make_node(kind, name_tok);
+    expect(TokenKind::kLParen, "clause variable list");
+    do {
+      clause->add_child(parse_omp_var_or_section());
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "clause variable list");
+    return clause;
+  };
+
+  if (name == "collapse") return clause_with_expr(NodeKind::kOmpCollapseClause);
+  if (name == "num_threads") return clause_with_expr(NodeKind::kOmpNumThreadsClause);
+  if (name == "num_teams") return clause_with_expr(NodeKind::kOmpNumTeamsClause);
+  if (name == "thread_limit") return clause_with_expr(NodeKind::kOmpThreadLimitClause);
+  if (name == "schedule") {
+    AstNode* clause = make_node(NodeKind::kOmpScheduleClause, name_tok);
+    expect(TokenKind::kLParen, "schedule clause");
+    const Token& policy = advance();
+    if (policy.text != "static" && policy.text != "dynamic" &&
+        policy.text != "guided" && policy.text != "auto" &&
+        policy.text != "runtime" && !policy.is(TokenKind::kKwStatic)) {
+      fail("unknown schedule policy");
+    }
+    clause->set_text(policy.is(TokenKind::kKwStatic) ? "static" : policy.text);
+    if (accept(TokenKind::kComma)) clause->add_child(parse_assignment());
+    expect(TokenKind::kRParen, "schedule clause");
+    return clause;
+  }
+  if (name == "map") {
+    expect(TokenKind::kLParen, "map clause");
+    const Token& dir = advance();
+    NodeKind kind;
+    if (dir.text == "to") kind = NodeKind::kOmpMapToClause;
+    else if (dir.text == "from") kind = NodeKind::kOmpMapFromClause;
+    else if (dir.text == "tofrom") kind = NodeKind::kOmpMapTofromClause;
+    else if (dir.text == "alloc") kind = NodeKind::kOmpMapAllocClause;
+    else fail("unknown map direction '" + dir.text + "'");
+    AstNode* clause = make_node(kind, name_tok);
+    expect(TokenKind::kColon, "map clause");
+    do {
+      clause->add_child(parse_omp_var_or_section());
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "map clause");
+    return clause;
+  }
+  if (name == "reduction") {
+    AstNode* clause = make_node(NodeKind::kOmpReductionClause, name_tok);
+    expect(TokenKind::kLParen, "reduction clause");
+    const Token& op = advance();  // +, *, -, min, max, ...
+    clause->set_text(op.text.empty() ? std::string(token_kind_name(op.kind))
+                                     : op.text);
+    if (clause->text().empty() || op.is(TokenKind::kPlus)) clause->set_text("+");
+    if (op.is(TokenKind::kStar)) clause->set_text("*");
+    if (op.is(TokenKind::kMinus)) clause->set_text("-");
+    expect(TokenKind::kColon, "reduction clause");
+    do {
+      clause->add_child(parse_omp_var_or_section());
+    } while (accept(TokenKind::kComma));
+    expect(TokenKind::kRParen, "reduction clause");
+    return clause;
+  }
+  if (name == "private") return clause_with_var_list(NodeKind::kOmpPrivateClause);
+  if (name == "shared") return clause_with_var_list(NodeKind::kOmpSharedClause);
+  if (name == "firstprivate")
+    return clause_with_var_list(NodeKind::kOmpFirstprivateClause);
+
+  (void)directive_kind;
+  fail("unsupported OpenMP clause '" + name + "'");
+}
+
+AstNode* Parser::parse_omp_var_or_section() {
+  const Token& name = expect(TokenKind::kIdentifier, "clause variable");
+  AstNode* ref = make_node(NodeKind::kDeclRefExpr, name);
+  ref->set_text(name.text);
+  if (AstNode* decl = lookup(name.text); decl != nullptr) {
+    ref->set_referenced_decl(decl);
+    ref->set_type(decl->type());
+  }
+  if (!at(TokenKind::kLBracket)) return ref;
+
+  // Array section: A[lo:len] ([lo:len] repeated for multi-dim sections).
+  AstNode* section = make_node(NodeKind::kOmpArraySection, name);
+  section->add_child(ref);
+  while (accept(TokenKind::kLBracket)) {
+    section->add_child(parse_assignment());  // lower bound
+    expect(TokenKind::kColon, "array section");
+    section->add_child(parse_assignment());  // length
+    expect(TokenKind::kRBracket, "array section");
+  }
+  return section;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+AstNode* Parser::parse_expression() {
+  AstNode* expr = parse_assignment();
+  while (at(TokenKind::kComma)) {
+    const Token& comma = advance();
+    AstNode* node = make_node(NodeKind::kBinaryOperator, comma);
+    node->set_text(",");
+    node->add_child(expr);
+    node->add_child(parse_assignment());
+    infer_expr_type(node);
+    expr = node;
+  }
+  return expr;
+}
+
+AstNode* Parser::parse_assignment() {
+  AstNode* lhs = parse_conditional();
+  const TokenKind kind = peek().kind;
+  if (kind == TokenKind::kEqual) {
+    const Token& op = advance();
+    AstNode* node = make_node(NodeKind::kBinaryOperator, op);
+    node->set_text("=");
+    node->add_child(lhs);
+    node->add_child(parse_assignment());
+    node->set_type(lhs->type());
+    return node;
+  }
+  if (is_compound_assign(kind)) {
+    const Token& op = advance();
+    AstNode* node = make_node(NodeKind::kCompoundAssignOperator, op);
+    node->set_text(std::string(operator_spelling(kind)));
+    node->add_child(lhs);
+    node->add_child(parse_assignment());
+    node->set_type(lhs->type());
+    return node;
+  }
+  return lhs;
+}
+
+AstNode* Parser::parse_conditional() {
+  AstNode* cond = parse_binary(1);
+  if (!at(TokenKind::kQuestion)) return cond;
+  const Token& question = advance();
+  AstNode* node = make_node(NodeKind::kConditionalOperator, question);
+  node->add_child(cond);
+  node->add_child(parse_assignment());
+  expect(TokenKind::kColon, "conditional expression");
+  node->add_child(parse_conditional());
+  node->set_type(binary_result_type(node->child(1)->type(), node->child(2)->type()));
+  return node;
+}
+
+AstNode* Parser::parse_binary(int min_precedence) {
+  AstNode* lhs = parse_unary();
+  for (;;) {
+    const int prec = binary_precedence(peek().kind);
+    if (prec < min_precedence) return lhs;
+    const Token& op = advance();
+    AstNode* rhs = parse_binary(prec + 1);
+    AstNode* node = make_node(NodeKind::kBinaryOperator, op);
+    node->set_text(std::string(operator_spelling(op.kind)));
+    node->add_child(lhs);
+    node->add_child(rhs);
+    infer_expr_type(node);
+    lhs = node;
+  }
+}
+
+AstNode* Parser::parse_unary() {
+  switch (peek().kind) {
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+    case TokenKind::kExclaim:
+    case TokenKind::kTilde:
+    case TokenKind::kStar:
+    case TokenKind::kAmp: {
+      const Token& op = advance();
+      AstNode* node = make_node(NodeKind::kUnaryOperator, op);
+      switch (op.kind) {
+        case TokenKind::kPlus: node->set_text("+"); break;
+        case TokenKind::kMinus: node->set_text("-"); break;
+        case TokenKind::kExclaim: node->set_text("!"); break;
+        case TokenKind::kTilde: node->set_text("~"); break;
+        case TokenKind::kStar: node->set_text("*"); break;
+        case TokenKind::kAmp: node->set_text("&"); break;
+        default: break;
+      }
+      AstNode* operand = parse_unary();
+      node->add_child(operand);
+      QualType t = operand->type();
+      if (op.kind == TokenKind::kStar && t.pointer_depth > 0) --t.pointer_depth;
+      if (op.kind == TokenKind::kAmp) ++t.pointer_depth;
+      node->set_type(std::move(t));
+      return node;
+    }
+    case TokenKind::kPlusPlus:
+    case TokenKind::kMinusMinus: {
+      const Token& op = advance();
+      AstNode* node = make_node(NodeKind::kUnaryOperator, op);
+      node->set_text(op.is(TokenKind::kPlusPlus) ? "++pre" : "--pre");
+      AstNode* operand = parse_unary();
+      node->add_child(operand);
+      node->set_type(operand->type());
+      return node;
+    }
+    case TokenKind::kKwSizeof: {
+      const Token& op = advance();
+      AstNode* node = make_node(NodeKind::kUnaryOperator, op);
+      node->set_text("sizeof");
+      expect(TokenKind::kLParen, "sizeof");
+      if (at_type_specifier()) {
+        QualType type = parse_type_specifier();
+        AstNode* lit = make_node(NodeKind::kIntegerLiteral, op);
+        lit->set_int_value(static_cast<std::int64_t>(type.element_size()));
+        lit->set_type({BaseType::kULong, 0, {}, false});
+        node->add_child(lit);
+      } else {
+        node->add_child(parse_expression());
+      }
+      expect(TokenKind::kRParen, "sizeof");
+      node->set_type({BaseType::kULong, 0, {}, false});
+      return node;
+    }
+    default:
+      return parse_postfix();
+  }
+}
+
+AstNode* Parser::parse_postfix() {
+  AstNode* expr = parse_primary();
+  for (;;) {
+    if (at(TokenKind::kLBracket)) {
+      const Token& bracket = advance();
+      AstNode* node = make_node(NodeKind::kArraySubscriptExpr, bracket);
+      node->add_child(expr);
+      node->add_child(parse_expression());
+      expect(TokenKind::kRBracket, "array subscript");
+      QualType t = expr->type();
+      if (!t.array_extents.empty()) t.array_extents.erase(t.array_extents.begin());
+      else if (t.pointer_depth > 0) --t.pointer_depth;
+      node->set_type(std::move(t));
+      expr = node;
+    } else if (at(TokenKind::kLParen) && expr->is(NodeKind::kDeclRefExpr)) {
+      const Token& paren = advance();
+      AstNode* node = make_node(NodeKind::kCallExpr, paren);
+      node->add_child(expr);
+      if (!at(TokenKind::kRParen)) {
+        do {
+          node->add_child(parse_assignment());
+        } while (accept(TokenKind::kComma));
+      }
+      expect(TokenKind::kRParen, "call expression");
+      if (AstNode* callee = expr->referenced_decl(); callee != nullptr) {
+        node->set_type(callee->type());
+      } else {
+        // Unknown functions (math builtins) are assumed to return double.
+        node->set_type({BaseType::kDouble, 0, {}, false});
+      }
+      expr = node;
+    } else if (at(TokenKind::kPlusPlus) || at(TokenKind::kMinusMinus)) {
+      const Token& op = advance();
+      AstNode* node = make_node(NodeKind::kUnaryOperator, op);
+      node->set_text(op.is(TokenKind::kPlusPlus) ? "++post" : "--post");
+      node->add_child(expr);
+      node->set_type(expr->type());
+      expr = node;
+    } else {
+      return expr;
+    }
+  }
+}
+
+AstNode* Parser::parse_primary() {
+  switch (peek().kind) {
+    case TokenKind::kIntegerLiteral: {
+      const Token& tok = advance();
+      AstNode* node = make_node(NodeKind::kIntegerLiteral, tok);
+      node->set_text(tok.text);
+      node->set_int_value(std::strtoll(tok.text.c_str(), nullptr, 0));
+      node->set_type({BaseType::kInt, 0, {}, false});
+      return node;
+    }
+    case TokenKind::kFloatingLiteral: {
+      const Token& tok = advance();
+      AstNode* node = make_node(NodeKind::kFloatingLiteral, tok);
+      node->set_text(tok.text);
+      node->set_float_value(std::strtod(tok.text.c_str(), nullptr));
+      node->set_type({BaseType::kDouble, 0, {}, false});
+      return node;
+    }
+    case TokenKind::kCharLiteral: {
+      const Token& tok = advance();
+      AstNode* node = make_node(NodeKind::kCharacterLiteral, tok);
+      node->set_text(tok.text);
+      node->set_int_value(tok.text.empty() ? 0 : tok.text[0]);
+      node->set_type({BaseType::kChar, 0, {}, false});
+      return node;
+    }
+    case TokenKind::kStringLiteral: {
+      const Token& tok = advance();
+      AstNode* node = make_node(NodeKind::kStringLiteral, tok);
+      node->set_text(tok.text);
+      node->set_type({BaseType::kChar, 1, {}, true});
+      return node;
+    }
+    case TokenKind::kIdentifier: {
+      const Token& tok = advance();
+      AstNode* node = make_node(NodeKind::kDeclRefExpr, tok);
+      node->set_text(tok.text);
+      if (AstNode* decl = lookup(tok.text); decl != nullptr) {
+        node->set_referenced_decl(decl);
+        node->set_type(decl->type());
+      } else {
+        // Unresolved: math builtin or library symbol; treated as double().
+        node->set_type({BaseType::kDouble, 0, {}, false});
+      }
+      return node;
+    }
+    case TokenKind::kLParen: {
+      // Cast expression (type) expr, or parenthesised expression.
+      if (peek(1).kind == TokenKind::kKwInt || peek(1).kind == TokenKind::kKwLong ||
+          peek(1).kind == TokenKind::kKwFloat || peek(1).kind == TokenKind::kKwDouble ||
+          peek(1).kind == TokenKind::kKwChar || peek(1).kind == TokenKind::kKwUnsigned ||
+          peek(1).kind == TokenKind::kKwVoid || peek(1).kind == TokenKind::kKwConst) {
+        const Token& paren = advance();
+        QualType type = parse_type_specifier();
+        expect(TokenKind::kRParen, "cast expression");
+        AstNode* node = make_node(NodeKind::kImplicitCastExpr, paren);
+        node->set_text("CStyleCast");
+        node->add_child(parse_unary());
+        node->set_type(std::move(type));
+        return node;
+      }
+      const Token& paren = advance();
+      AstNode* node = make_node(NodeKind::kParenExpr, paren);
+      node->add_child(parse_expression());
+      expect(TokenKind::kRParen, "parenthesised expression");
+      node->set_type(node->child(0)->type());
+      return node;
+    }
+    default:
+      fail(std::string("unexpected token ") +
+           std::string(token_kind_name(peek().kind)) + " in expression");
+  }
+}
+
+QualType Parser::binary_result_type(const QualType& lhs, const QualType& rhs) {
+  if (lhs.is_pointer() || lhs.is_array()) return lhs;
+  if (rhs.is_pointer() || rhs.is_array()) return rhs;
+  if (lhs.base == BaseType::kDouble || rhs.base == BaseType::kDouble)
+    return {BaseType::kDouble, 0, {}, false};
+  if (lhs.base == BaseType::kFloat || rhs.base == BaseType::kFloat)
+    return {BaseType::kFloat, 0, {}, false};
+  if (lhs.base == BaseType::kLong || rhs.base == BaseType::kLong ||
+      lhs.base == BaseType::kULong || rhs.base == BaseType::kULong)
+    return {BaseType::kLong, 0, {}, false};
+  return {BaseType::kInt, 0, {}, false};
+}
+
+void Parser::infer_expr_type(AstNode* expr) {
+  check(expr->num_children() == 2, "infer_expr_type expects binary node");
+  const std::string& op = expr->text();
+  if (op == "<" || op == ">" || op == "<=" || op == ">=" || op == "==" ||
+      op == "!=" || op == "&&" || op == "||") {
+    expr->set_type({BaseType::kInt, 0, {}, false});
+    return;
+  }
+  if (op == ",") {
+    expr->set_type(expr->child(1)->type());
+    return;
+  }
+  expr->set_type(binary_result_type(expr->child(0)->type(), expr->child(1)->type()));
+}
+
+// ---------------------------------------------------------------------------
+// Implicit cast insertion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_assignment_node(const AstNode* node) {
+  return (node->is(NodeKind::kBinaryOperator) && node->text() == "=") ||
+         node->is(NodeKind::kCompoundAssignOperator);
+}
+
+/// Should child `i` of `parent` be treated as an lvalue (no rvalue wrap)?
+bool is_lvalue_position(const AstNode* parent, std::size_t i) {
+  if (parent == nullptr) return false;
+  if (is_assignment_node(parent) && i == 0) return true;
+  if (parent->is(NodeKind::kUnaryOperator)) {
+    const std::string& op = parent->text();
+    if (op == "&" || op == "++pre" || op == "--pre" || op == "++post" ||
+        op == "--post")
+      return true;
+  }
+  if (parent->is(NodeKind::kCallExpr) && i == 0) return true;  // callee
+  if (parent->is(NodeKind::kArraySubscriptExpr) && i == 0) return true;  // base decays
+  if (parent->is_omp_clause() || parent->is(NodeKind::kOmpArraySection))
+    return true;  // clause operands name variables, they don't read them
+  return false;
+}
+
+void insert_casts_rec(AstContext& ctx, AstNode* node) {
+  for (std::size_t i = 0; i < node->num_children(); ++i) {
+    AstNode* child = node->child(i);
+    insert_casts_rec(ctx, child);
+    const bool readable_ref =
+        child->is(NodeKind::kDeclRefExpr) && child->referenced_decl() != nullptr &&
+        !child->referenced_decl()->is(NodeKind::kFunctionDecl) &&
+        !child->type().is_array();
+    if (readable_ref && !is_lvalue_position(node, i)) {
+      AstNode* cast = ctx.create(NodeKind::kImplicitCastExpr, child->range());
+      cast->set_text("LValueToRValue");
+      cast->set_type(child->type());
+      cast->add_child(child);
+      node->set_child(i, cast);
+    }
+  }
+}
+
+}  // namespace
+
+void insert_implicit_casts(AstContext& context, AstNode* root) {
+  if (root != nullptr) insert_casts_rec(context, root);
+}
+
+}  // namespace pg::frontend

@@ -1,0 +1,123 @@
+// Recursive-descent parser for the C subset + OpenMP pragmas.
+//
+// Produces a Clang-shaped AST (see ast.hpp for child layouts). Identifier
+// references are resolved against lexical scopes during parsing, so
+// DeclRefExpr nodes carry their defining declaration (the basis for
+// ParaGraph's `Ref` edges). Calls to unknown functions (math builtins like
+// `sqrt`) produce DeclRefExpr nodes with a null referenced decl.
+//
+// OpenMP support: a `#pragma omp ...` line followed by a for-statement
+// becomes an Omp*Directive node whose children are the clause nodes followed
+// by the loop. Supported directives are exactly the ones the paper's variant
+// generator emits:
+//   omp parallel for [collapse(n)] [num_threads(e)] [schedule(...)]
+//                    [reduction(op:list)] [private/shared/firstprivate(list)]
+//   omp target teams distribute parallel for [collapse(n)] [num_teams(e)]
+//                    [thread_limit(e)] [map(dir:list)] [reduction(op:list)]
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/diagnostics.hpp"
+#include "frontend/token.hpp"
+
+namespace pg::frontend {
+
+/// Result of a parse: the context owns all nodes; `root` is the
+/// TranslationUnit (nullptr when parsing failed).
+struct ParseResult {
+  std::unique_ptr<AstContext> context;
+  Diagnostics diagnostics;
+
+  [[nodiscard]] AstNode* root() const {
+    return context == nullptr ? nullptr : context->root();
+  }
+  [[nodiscard]] bool ok() const {
+    return root() != nullptr && !diagnostics.has_errors();
+  }
+};
+
+/// Parses a full translation unit.
+ParseResult parse_source(std::string_view source);
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, AstContext& context, Diagnostics& diags);
+
+  /// Parses the token stream as a translation unit; returns nullptr and
+  /// fills diagnostics on error.
+  AstNode* parse_translation_unit();
+
+ private:
+  // --- token stream ------------------------------------------------------
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool accept(TokenKind kind);
+  const Token& expect(TokenKind kind, std::string_view what);
+
+  // --- error handling ----------------------------------------------------
+  struct ParseError {};
+  [[noreturn]] void fail(std::string_view message);
+
+  // --- scopes ------------------------------------------------------------
+  void push_scope();
+  void pop_scope();
+  void declare(const std::string& name, AstNode* decl);
+  [[nodiscard]] AstNode* lookup(const std::string& name) const;
+
+  // --- declarations ------------------------------------------------------
+  [[nodiscard]] bool at_type_specifier() const;
+  QualType parse_type_specifier();
+  AstNode* parse_function_or_global(QualType base);
+  AstNode* parse_parm_var_decl();
+  AstNode* parse_decl_stmt();
+  AstNode* parse_var_decl(const QualType& base_type);
+  void parse_declarator_suffix(QualType& type);
+
+  // --- statements --------------------------------------------------------
+  AstNode* parse_statement();
+  AstNode* parse_compound_stmt();
+  AstNode* parse_if_stmt();
+  AstNode* parse_for_stmt();
+  AstNode* parse_while_stmt();
+  AstNode* parse_do_stmt();
+  AstNode* parse_return_stmt();
+  AstNode* parse_omp_directive(const Token& pragma);
+
+  // --- OpenMP clause parsing (operates on the same token stream) ---------
+  AstNode* parse_omp_clause(NodeKind directive_kind);
+  AstNode* parse_omp_var_or_section();
+
+  // --- expressions -------------------------------------------------------
+  AstNode* parse_expression();        // comma has lowest precedence
+  AstNode* parse_assignment();
+  AstNode* parse_conditional();
+  AstNode* parse_binary(int min_precedence);
+  AstNode* parse_unary();
+  AstNode* parse_postfix();
+  AstNode* parse_primary();
+
+  // --- helpers ------------------------------------------------------------
+  AstNode* make_node(NodeKind kind, const Token& tok);
+  static QualType binary_result_type(const QualType& lhs, const QualType& rhs);
+  void infer_expr_type(AstNode* expr);
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  AstContext& context_;
+  Diagnostics& diags_;
+  std::vector<std::unordered_map<std::string, AstNode*>> scopes_;
+};
+
+/// Post-parse pass: wraps DeclRefExpr nodes that are read as rvalues in
+/// ImplicitCastExpr (LValueToRValue), mirroring Clang's AST shape shown in
+/// the paper's Figure 2. Skips assignment LHS, ++/-- and unary-& operands,
+/// and callees.
+void insert_implicit_casts(AstContext& context, AstNode* root);
+
+}  // namespace pg::frontend

@@ -1,0 +1,9 @@
+#include "frontend/source_location.hpp"
+
+namespace pg::frontend {
+
+std::string SourceLocation::to_string() const {
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+}  // namespace pg::frontend

@@ -1,0 +1,30 @@
+// Source positions for tokens, AST nodes, and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pg::frontend {
+
+/// A position in the input buffer. `offset` is the byte offset from the
+/// start of the buffer; line/column are 1-based.
+struct SourceLocation {
+  std::uint32_t offset = 0;
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const SourceLocation&, const SourceLocation&) = default;
+};
+
+/// Half-open byte range [begin, end) covered by a token or node.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  friend bool operator==(const SourceRange&, const SourceRange&) = default;
+};
+
+}  // namespace pg::frontend

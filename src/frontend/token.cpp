@@ -1,0 +1,77 @@
+#include "frontend/token.hpp"
+
+namespace pg::frontend {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntegerLiteral: return "integer literal";
+    case TokenKind::kFloatingLiteral: return "floating literal";
+    case TokenKind::kCharLiteral: return "character literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kPragma: return "#pragma";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwLong: return "'long'";
+    case TokenKind::kKwFloat: return "'float'";
+    case TokenKind::kKwDouble: return "'double'";
+    case TokenKind::kKwChar: return "'char'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwUnsigned: return "'unsigned'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwStatic: return "'static'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwDo: return "'do'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwSizeof: return "'sizeof'";
+    case TokenKind::kKwStruct: return "'struct'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kExclaim: return "'!'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLessEqual: return "'<='";
+    case TokenKind::kGreaterEqual: return "'>='";
+    case TokenKind::kEqualEqual: return "'=='";
+    case TokenKind::kExclaimEqual: return "'!='";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kLessLess: return "'<<'";
+    case TokenKind::kGreaterGreater: return "'>>'";
+    case TokenKind::kEqual: return "'='";
+    case TokenKind::kPlusEqual: return "'+='";
+    case TokenKind::kMinusEqual: return "'-='";
+    case TokenKind::kStarEqual: return "'*='";
+    case TokenKind::kSlashEqual: return "'/='";
+    case TokenKind::kPercentEqual: return "'%='";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kPeriod: return "'.'";
+  }
+  return "unknown token";
+}
+
+}  // namespace pg::frontend

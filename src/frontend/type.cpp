@@ -1,0 +1,55 @@
+#include "frontend/type.hpp"
+
+namespace pg::frontend {
+
+std::size_t QualType::element_size() const {
+  switch (base) {
+    case BaseType::kVoid: return 1;
+    case BaseType::kChar: return 1;
+    case BaseType::kInt:
+    case BaseType::kUInt: return 4;
+    case BaseType::kLong:
+    case BaseType::kULong: return 8;
+    case BaseType::kFloat: return 4;
+    case BaseType::kDouble: return 8;
+  }
+  return 1;
+}
+
+std::int64_t QualType::total_array_elements() const {
+  std::int64_t total = 1;
+  for (std::int64_t extent : array_extents) {
+    if (extent == kUnknownExtent) return kUnknownExtent;
+    total *= extent;
+  }
+  return total;
+}
+
+std::string_view base_type_name(BaseType base) {
+  switch (base) {
+    case BaseType::kVoid: return "void";
+    case BaseType::kChar: return "char";
+    case BaseType::kInt: return "int";
+    case BaseType::kUInt: return "unsigned int";
+    case BaseType::kLong: return "long";
+    case BaseType::kULong: return "unsigned long";
+    case BaseType::kFloat: return "float";
+    case BaseType::kDouble: return "double";
+  }
+  return "?";
+}
+
+std::string QualType::to_string() const {
+  std::string out;
+  if (is_const) out += "const ";
+  out += base_type_name(base);
+  for (int i = 0; i < pointer_depth; ++i) out += '*';
+  for (std::int64_t extent : array_extents) {
+    out += '[';
+    if (extent != kUnknownExtent) out += std::to_string(extent);
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace pg::frontend

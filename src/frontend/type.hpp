@@ -1,0 +1,52 @@
+// Minimal type representation — just enough to size data transfers and
+// drive the simulator's operation classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pg::frontend {
+
+enum class BaseType : std::uint8_t {
+  kVoid, kChar, kInt, kUInt, kLong, kULong, kFloat, kDouble,
+};
+
+/// A (possibly pointer / array) qualified type. Array extents are stored
+/// after constant folding; kUnknownExtent marks runtime-sized dimensions.
+struct QualType {
+  static constexpr std::int64_t kUnknownExtent = -1;
+
+  BaseType base = BaseType::kInt;
+  int pointer_depth = 0;
+  std::vector<std::int64_t> array_extents;
+  bool is_const = false;
+
+  [[nodiscard]] bool is_pointer() const { return pointer_depth > 0; }
+  [[nodiscard]] bool is_array() const { return !array_extents.empty(); }
+  [[nodiscard]] bool is_floating() const {
+    return !is_pointer() && !is_array() &&
+           (base == BaseType::kFloat || base == BaseType::kDouble);
+  }
+  [[nodiscard]] bool is_integer() const {
+    return !is_pointer() && !is_array() &&
+           (base == BaseType::kChar || base == BaseType::kInt ||
+            base == BaseType::kUInt || base == BaseType::kLong ||
+            base == BaseType::kULong);
+  }
+
+  /// sizeof the *element* type (ignores pointer/array wrapping).
+  [[nodiscard]] std::size_t element_size() const;
+
+  /// Total elements across all array dimensions; kUnknownExtent if any
+  /// dimension is runtime-sized.
+  [[nodiscard]] std::int64_t total_array_elements() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const QualType&, const QualType&) = default;
+};
+
+std::string_view base_type_name(BaseType base);
+
+}  // namespace pg::frontend

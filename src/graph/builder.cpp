@@ -1,0 +1,153 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "frontend/loop_analysis.hpp"
+#include "support/check.hpp"
+
+namespace pg::graph {
+namespace {
+
+using frontend::AstNode;
+using frontend::NodeKind;
+
+class Builder {
+ public:
+  Builder(const BuildOptions& options) : options_(options) {}
+
+  ProgramGraph build(const AstNode* root) {
+    check(root != nullptr, "build_graph: null root");
+    add_subtree(root, 1.0);
+    if (options_.representation != Representation::kRawAst) {
+      add_next_token_edges(root);
+      add_ref_edges();
+    }
+    return std::move(graph_);
+  }
+
+ private:
+  /// Recursively adds `node` and its subtree. `multiplier` is the execution
+  /// count of the region containing `node`.
+  std::uint32_t add_subtree(const AstNode* node, double multiplier) {
+    const std::uint32_t id = graph_.add_node(node->kind(), node->text());
+    node_ids_.emplace(node, id);
+    if (node->is(NodeKind::kDeclRefExpr) && node->referenced_decl() != nullptr)
+      refs_.push_back(node);
+
+    const bool weighted = options_.representation == Representation::kParaGraph;
+    const bool augmented = options_.representation != Representation::kRawAst;
+
+    // Per-child weight multipliers.
+    std::vector<std::uint32_t> child_ids(node->num_children());
+    for (std::size_t i = 0; i < node->num_children(); ++i) {
+      const AstNode* child = node->child(i);
+      double child_multiplier = multiplier;
+
+      if (node->is(NodeKind::kForStmt)) {
+        // Children [init, cond, body, inc]: all but init run once per trip.
+        if (i != 0) {
+          double trips = static_cast<double>(frontend::trip_count_or(
+              node, options_.unknown_trip_fallback));
+          trips = std::max(trips, 1.0);
+          if (pending_division_.count(node) > 0) {
+            trips = std::max(1.0, trips / static_cast<double>(
+                                              std::max<std::int64_t>(
+                                                  1, options_.parallel_workers)));
+          }
+          child_multiplier = multiplier * trips;
+        }
+      } else if (node->is(NodeKind::kWhileStmt) || node->is(NodeKind::kDoStmt)) {
+        // Non-canonical loops: bounds don't fold; use the fallback count.
+        child_multiplier =
+            multiplier * static_cast<double>(options_.unknown_trip_fallback);
+      } else if (node->is(NodeKind::kIfStmt) && i >= 1) {
+        child_multiplier = multiplier * options_.branch_probability;
+      } else if (node->is_omp_directive() && i + 1 == node->num_children() &&
+                 child->is(NodeKind::kForStmt)) {
+        // The directly associated loop's iteration space is split among the
+        // parallel workers; with collapse the division is applied once, at
+        // the outermost loop (equivalent to dividing the collapsed product).
+        pending_division_.insert(child);
+      }
+
+      child_multiplier = std::min(child_multiplier, options_.max_weight);
+      child_ids[i] = add_subtree(child, child_multiplier);
+      const float weight =
+          weighted ? static_cast<float>(child_multiplier) : 1.0f;
+      graph_.add_edge(id, child_ids[i], EdgeType::kChild, weight);
+    }
+
+    if (augmented) {
+      // NextSib: consecutive children, left to right.
+      for (std::size_t i = 0; i + 1 < child_ids.size(); ++i)
+        graph_.add_edge(child_ids[i], child_ids[i + 1], EdgeType::kNextSib, 0.0f);
+
+      if (node->is(NodeKind::kForStmt)) {
+        check(child_ids.size() == 4, "ForStmt must have 4 children");
+        const std::uint32_t init = child_ids[0];
+        const std::uint32_t cond = child_ids[1];
+        const std::uint32_t body = child_ids[2];
+        const std::uint32_t inc = child_ids[3];
+        graph_.add_edge(init, cond, EdgeType::kForExec, 0.0f);
+        graph_.add_edge(cond, body, EdgeType::kForExec, 0.0f);
+        graph_.add_edge(body, inc, EdgeType::kForNext, 0.0f);
+        graph_.add_edge(inc, cond, EdgeType::kForNext, 0.0f);
+      }
+      if (node->is(NodeKind::kIfStmt)) {
+        graph_.add_edge(child_ids[0], child_ids[1], EdgeType::kConTrue, 0.0f);
+        if (child_ids.size() > 2)
+          graph_.add_edge(child_ids[0], child_ids[2], EdgeType::kConFalse, 0.0f);
+      }
+    }
+    return id;
+  }
+
+  void add_next_token_edges(const AstNode* root) {
+    const auto terminals = frontend::terminals_in_token_order(root);
+    for (std::size_t i = 0; i + 1 < terminals.size(); ++i) {
+      const auto src = node_ids_.find(terminals[i]);
+      const auto dst = node_ids_.find(terminals[i + 1]);
+      check(src != node_ids_.end() && dst != node_ids_.end(),
+            "terminal missing from graph");
+      graph_.add_edge(src->second, dst->second, EdgeType::kNextToken, 0.0f);
+    }
+  }
+
+  void add_ref_edges() {
+    for (const AstNode* ref : refs_) {
+      const auto src = node_ids_.find(ref);
+      const auto dst = node_ids_.find(ref->referenced_decl());
+      // Declarations outside the built subtree (e.g. globals when building a
+      // single function) simply have no Ref edge.
+      if (src == node_ids_.end() || dst == node_ids_.end()) continue;
+      graph_.add_edge(src->second, dst->second, EdgeType::kRef, 0.0f);
+    }
+  }
+
+  const BuildOptions& options_;
+  ProgramGraph graph_;
+  std::unordered_map<const AstNode*, std::uint32_t> node_ids_;
+  std::vector<const AstNode*> refs_;
+  // Loops whose iteration space is split among parallel workers.
+  std::unordered_set<const AstNode*> pending_division_;
+};
+
+}  // namespace
+
+std::string_view representation_name(Representation representation) {
+  switch (representation) {
+    case Representation::kRawAst: return "Raw AST";
+    case Representation::kAugmentedAst: return "Augmented AST";
+    case Representation::kParaGraph: return "ParaGraph";
+  }
+  return "<invalid>";
+}
+
+ProgramGraph build_graph(const frontend::AstNode* root, const BuildOptions& options) {
+  Builder builder(options);
+  return builder.build(root);
+}
+
+}  // namespace pg::graph

@@ -1,0 +1,52 @@
+// AST -> ParaGraph construction (paper §III-A).
+//
+// Three representation levels implement the paper's ablation (Table IV):
+//   kRawAst       — Child edges only, every weight 1.
+//   kAugmentedAst — all 8 relations, Child weights still 1.
+//   kParaGraph    — all 8 relations + execution-count weights.
+//
+// Weighting rules (§III-A.3):
+//   * default Child-edge weight: 1;
+//   * inside a loop body: multiplied by the loop's trip count; when the loop
+//     is the associated loop of an OpenMP directive with static scheduling,
+//     the iteration space is divided by the number of parallel workers
+//     (paper: 100 iterations / 4 threads -> weight 25);
+//   * inside an if/else branch: multiplied by the branch probability 1/2;
+//   * the loop's cond/body/inc children execute once per iteration and get
+//     the multiplied weight; the init child executes once (Figure 2: for a
+//     50-trip loop the ForStmt child weights are 1, 50, 50, 50).
+#pragma once
+
+#include <cstdint>
+
+#include "frontend/ast.hpp"
+#include "graph/program_graph.hpp"
+
+namespace pg::graph {
+
+enum class Representation : std::uint8_t {
+  kRawAst,
+  kAugmentedAst,
+  kParaGraph,
+};
+
+std::string_view representation_name(Representation representation);
+
+struct BuildOptions {
+  Representation representation = Representation::kParaGraph;
+  /// Number of workers the statically scheduled parallel-loop iteration
+  /// space is divided among (threads on a CPU; teams x threads on a GPU).
+  std::int64_t parallel_workers = 1;
+  /// Trip count assumed for loops whose bounds do not fold statically.
+  std::int64_t unknown_trip_fallback = 100;
+  /// Probability assigned to each branch of an if statement.
+  double branch_probability = 0.5;
+  /// Weights are capped to keep float32 math well-behaved on deep nests.
+  double max_weight = 1e12;
+};
+
+/// Builds the graph for an AST subtree (typically one kernel function or a
+/// whole translation unit).
+ProgramGraph build_graph(const frontend::AstNode* root, const BuildOptions& options);
+
+}  // namespace pg::graph

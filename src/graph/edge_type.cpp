@@ -1,0 +1,20 @@
+#include "graph/edge_type.hpp"
+
+namespace pg::graph {
+
+std::string_view edge_type_name(EdgeType type) {
+  switch (type) {
+    case EdgeType::kChild: return "Child";
+    case EdgeType::kNextToken: return "NextToken";
+    case EdgeType::kNextSib: return "NextSib";
+    case EdgeType::kRef: return "Ref";
+    case EdgeType::kForExec: return "ForExec";
+    case EdgeType::kForNext: return "ForNext";
+    case EdgeType::kConTrue: return "ConTrue";
+    case EdgeType::kConFalse: return "ConFalse";
+    case EdgeType::kCount: break;
+  }
+  return "<invalid>";
+}
+
+}  // namespace pg::graph

@@ -1,0 +1,25 @@
+// The eight edge relations of ParaGraph (paper §III-A.2).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace pg::graph {
+
+enum class EdgeType : std::uint8_t {
+  kChild,      // plain AST parent-child edge (the only weighted relation)
+  kNextToken,  // left-to-right order over terminal "syntax tokens"
+  kNextSib,    // order among the children of one node
+  kRef,        // DeclRefExpr -> defining declaration
+  kForExec,    // loop init -> cond, cond -> body
+  kForNext,    // loop body -> inc, inc -> cond
+  kConTrue,    // if cond -> then-branch
+  kConFalse,   // if cond -> else-branch
+  kCount,
+};
+
+constexpr std::size_t kNumEdgeTypes = static_cast<std::size_t>(EdgeType::kCount);
+
+std::string_view edge_type_name(EdgeType type);
+
+}  // namespace pg::graph

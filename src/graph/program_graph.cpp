@@ -1,0 +1,125 @@
+#include "graph/program_graph.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace pg::graph {
+
+std::uint32_t ProgramGraph::add_node(frontend::NodeKind kind, std::string label) {
+  nodes_.push_back({kind, std::move(label)});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void ProgramGraph::add_edge(std::uint32_t src, std::uint32_t dst, EdgeType type,
+                            float weight) {
+  check(src < nodes_.size() && dst < nodes_.size(), "edge endpoint out of range");
+  check(weight >= 0.0f, "edge weight must be non-negative");
+  edges_.push_back({src, dst, type, weight});
+}
+
+const GraphNode& ProgramGraph::node(std::uint32_t id) const {
+  check(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+std::array<std::size_t, kNumEdgeTypes> ProgramGraph::edge_type_histogram() const {
+  std::array<std::size_t, kNumEdgeTypes> histogram{};
+  for (const GraphEdge& e : edges_) ++histogram[static_cast<std::size_t>(e.type)];
+  return histogram;
+}
+
+float ProgramGraph::max_child_weight() const {
+  float max_weight = 0.0f;
+  for (const GraphEdge& e : edges_)
+    if (e.type == EdgeType::kChild && e.weight > max_weight) max_weight = e.weight;
+  return max_weight;
+}
+
+std::vector<std::size_t> ProgramGraph::child_in_degree() const {
+  std::vector<std::size_t> degree(nodes_.size(), 0);
+  for (const GraphEdge& e : edges_)
+    if (e.type == EdgeType::kChild) ++degree[e.dst];
+  return degree;
+}
+
+void ProgramGraph::write_dot(std::ostream& os) const {
+  static constexpr std::array<const char*, kNumEdgeTypes> kColors = {
+      "black",      // Child
+      "orange",     // NextToken
+      "blue",       // NextSib
+      "deeppink",   // Ref
+      "darkgreen",  // ForExec
+      "purple",     // ForNext
+      "forestgreen",// ConTrue
+      "red",        // ConFalse
+  };
+  os << "digraph ParaGraph {\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    os << "  n" << i << " [label=\"" << node_kind_name(nodes_[i].kind);
+    if (!nodes_[i].label.empty()) os << "\\n" << nodes_[i].label;
+    os << "\"];\n";
+  }
+  for (const GraphEdge& e : edges_) {
+    os << "  n" << e.src << " -> n" << e.dst << " [color="
+       << kColors[static_cast<std::size_t>(e.type)];
+    if (e.type == EdgeType::kChild) os << ", label=\"" << e.weight << "\"";
+    else os << ", style=dashed";
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+void ProgramGraph::serialize(std::ostream& os) const {
+  os << "paragraph-v1 " << nodes_.size() << ' ' << edges_.size() << '\n';
+  for (const GraphNode& n : nodes_) {
+    os << static_cast<int>(n.kind);
+    // Labels are single-token identifiers/operators; escape spaces just in case.
+    std::string label = n.label;
+    for (char& c : label)
+      if (c == ' ' || c == '\n') c = '_';
+    os << ' ' << (label.empty() ? "-" : label) << '\n';
+  }
+  // max_digits10 keeps float weights bit-exact through the text round trip.
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
+  for (const GraphEdge& e : edges_) {
+    os << e.src << ' ' << e.dst << ' ' << static_cast<int>(e.type) << ' '
+       << e.weight << '\n';
+  }
+}
+
+ProgramGraph ProgramGraph::deserialize(std::istream& is) {
+  std::string magic;
+  std::size_t num_nodes = 0;
+  std::size_t num_edges = 0;
+  is >> magic >> num_nodes >> num_edges;
+  check(magic == "paragraph-v1", "bad graph serialisation header");
+  ProgramGraph graph;
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    int kind = 0;
+    std::string label;
+    is >> kind >> label;
+    check(kind >= 0 && kind < static_cast<int>(frontend::kNumNodeKinds),
+          "bad node kind in serialisation");
+    graph.add_node(static_cast<frontend::NodeKind>(kind),
+                   label == "-" ? std::string{} : label);
+  }
+  for (std::size_t i = 0; i < num_edges; ++i) {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    int type = 0;
+    float weight = 0.0f;
+    is >> src >> dst >> type >> weight;
+    check(type >= 0 && type < static_cast<int>(kNumEdgeTypes),
+          "bad edge type in serialisation");
+    graph.add_edge(src, dst, static_cast<EdgeType>(type), weight);
+  }
+  check(static_cast<bool>(is), "truncated graph serialisation");
+  return graph;
+}
+
+}  // namespace pg::graph

@@ -1,0 +1,65 @@
+// The ParaGraph data structure: a typed, weighted directed multigraph over
+// AST nodes — formally (V, E, T, W) per Eq. (2) of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "graph/edge_type.hpp"
+
+namespace pg::graph {
+
+struct GraphNode {
+  frontend::NodeKind kind = frontend::NodeKind::kTranslationUnit;
+  std::string label;  // identifier / operator / literal spelling, may be empty
+};
+
+struct GraphEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  EdgeType type = EdgeType::kChild;
+  // Weight in the paper's sense: execution-count multiplier for Child edges,
+  // 0 for every other relation (W is zero for non-Child edges in Eq. 2).
+  float weight = 0.0f;
+
+  friend bool operator==(const GraphEdge&, const GraphEdge&) = default;
+};
+
+class ProgramGraph {
+ public:
+  std::uint32_t add_node(frontend::NodeKind kind, std::string label = {});
+  void add_edge(std::uint32_t src, std::uint32_t dst, EdgeType type, float weight);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const std::vector<GraphNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const { return edges_; }
+  [[nodiscard]] const GraphNode& node(std::uint32_t id) const;
+
+  /// Number of edges of each relation.
+  [[nodiscard]] std::array<std::size_t, kNumEdgeTypes> edge_type_histogram() const;
+
+  /// Largest Child-edge weight (1.0 for unweighted graphs; 0 if no edges).
+  [[nodiscard]] float max_child_weight() const;
+
+  /// In-degree restricted to Child edges; the AST-tree invariant is that
+  /// every node except the root has exactly one.
+  [[nodiscard]] std::vector<std::size_t> child_in_degree() const;
+
+  /// Graphviz rendering (edge colors per relation, weights as labels).
+  void write_dot(std::ostream& os) const;
+
+  /// Line-oriented text serialisation (round-trips via `parse`).
+  void serialize(std::ostream& os) const;
+  static ProgramGraph deserialize(std::istream& is);
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace pg::graph

@@ -1,0 +1,109 @@
+#include "model/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "support/check.hpp"
+
+namespace pg::model {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  check(static_cast<bool>(is), "checkpoint truncated");
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  check(static_cast<bool>(is), "checkpoint truncated");
+  return v;
+}
+
+void write_scaler(std::ostream& os, const nn::MinMaxScaler& scaler) {
+  write_f64(os, scaler.min_value());
+  write_f64(os, scaler.max_value());
+}
+
+nn::MinMaxScaler read_scaler(std::istream& is) {
+  const double lo = read_f64(is);
+  const double hi = read_f64(is);
+  nn::MinMaxScaler scaler;
+  scaler.fit_bounds(lo, hi);
+  return scaler;
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& os, ParaGraphModel& model,
+                     const CheckpointScalers& scalers) {
+  os.write(kMagic, sizeof kMagic);
+  const auto params = model.parameters();
+  write_u64(os, params.size());
+  for (const tensor::Matrix* p : params) {
+    write_u64(os, p->rows());
+    write_u64(os, p->cols());
+    os.write(reinterpret_cast<const char*>(p->data().data()),
+             static_cast<std::streamsize>(p->size() * sizeof(float)));
+  }
+  write_scaler(os, scalers.target);
+  write_scaler(os, scalers.teams);
+  write_scaler(os, scalers.threads);
+  write_f64(os, scalers.child_weight_scale);
+  check(static_cast<bool>(os), "checkpoint write failed");
+}
+
+CheckpointScalers load_checkpoint(std::istream& is, ParaGraphModel& model) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  check(static_cast<bool>(is) && std::memcmp(magic, kMagic, sizeof kMagic) == 0,
+        "not a ParaGraph checkpoint");
+  const auto params = model.parameters();
+  const std::uint64_t count = read_u64(is);
+  check(count == params.size(), "checkpoint parameter count mismatch");
+  for (tensor::Matrix* p : params) {
+    const std::uint64_t rows = read_u64(is);
+    const std::uint64_t cols = read_u64(is);
+    check(rows == p->rows() && cols == p->cols(),
+          "checkpoint parameter shape mismatch (different model config?)");
+    is.read(reinterpret_cast<char*>(p->data().data()),
+            static_cast<std::streamsize>(p->size() * sizeof(float)));
+    check(static_cast<bool>(is), "checkpoint truncated");
+  }
+  CheckpointScalers scalers;
+  scalers.target = read_scaler(is);
+  scalers.teams = read_scaler(is);
+  scalers.threads = read_scaler(is);
+  scalers.child_weight_scale = read_f64(is);
+  return scalers;
+}
+
+void save_checkpoint_file(const std::string& path, ParaGraphModel& model,
+                          const CheckpointScalers& scalers) {
+  std::ofstream os(path, std::ios::binary);
+  check(static_cast<bool>(os), "cannot open checkpoint file for writing");
+  save_checkpoint(os, model, scalers);
+}
+
+CheckpointScalers load_checkpoint_file(const std::string& path,
+                                       ParaGraphModel& model) {
+  std::ifstream is(path, std::ios::binary);
+  check(static_cast<bool>(is), "cannot open checkpoint file");
+  return load_checkpoint(is, model);
+}
+
+}  // namespace pg::model

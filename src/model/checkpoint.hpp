@@ -1,0 +1,43 @@
+// Model checkpointing: save/restore all parameters plus the scalers a
+// deployment needs to reproduce predictions (an advisor tool trains once
+// and predicts many times).
+//
+// Format (binary, little-endian host order):
+//   magic "PGCKPT01", u64 param count, then per parameter u64 rows, u64
+//   cols, rows*cols f32; then the four scaler (min,max) f64 pairs and the
+//   f64 child-weight scale.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/paragraph_model.hpp"
+#include "model/sample.hpp"
+
+namespace pg::model {
+
+/// The scalers that must travel with the weights.
+struct CheckpointScalers {
+  nn::MinMaxScaler target;
+  nn::MinMaxScaler teams;
+  nn::MinMaxScaler threads;
+  double child_weight_scale = 1.0;
+
+  static CheckpointScalers from_sample_set(const SampleSet& set) {
+    return {set.target_scaler, set.teams_scaler, set.threads_scaler,
+            set.child_weight_scale};
+  }
+};
+
+void save_checkpoint(std::ostream& os, ParaGraphModel& model,
+                     const CheckpointScalers& scalers);
+void save_checkpoint_file(const std::string& path, ParaGraphModel& model,
+                          const CheckpointScalers& scalers);
+
+/// Restores into `model` (must have the same architecture/config as the one
+/// saved — parameter shapes are verified). Returns the scalers.
+CheckpointScalers load_checkpoint(std::istream& is, ParaGraphModel& model);
+CheckpointScalers load_checkpoint_file(const std::string& path,
+                                       ParaGraphModel& model);
+
+}  // namespace pg::model

@@ -1,0 +1,32 @@
+// ProgramGraph -> model tensors.
+//
+// Node features are a one-hot over the ~45 AST node kinds plus one extra
+// column carrying the log-magnitude of integer literals (Clang AST literal
+// nodes carry their values; without this column no unweighted
+// representation could see loop extents at all and the Raw-vs-Augmented
+// ablation would collapse). Loop extents still reach the model primarily
+// through ParaGraph's Child-edge weights — the literal column is a weak,
+// node-local signal the unweighted representations must *propagate* through
+// their edges, which is exactly the paper's Augmented-AST story.
+#pragma once
+
+#include "graph/program_graph.hpp"
+#include "nn/relational_graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::model {
+
+/// One-hot node kind + literal log-magnitude column.
+constexpr std::size_t kNodeFeatureDim = frontend::kNumNodeKinds + 1;
+
+struct EncodedGraph {
+  tensor::Matrix features;      // [N x kNodeFeatureDim]
+  nn::RelationalGraph relations;  // one RelationEdges per EdgeType
+};
+
+/// `child_weight_scale` is the dataset-global maximum Child-edge weight used
+/// for MinMax scaling (paper §IV-B); pass 1.0 for unweighted representations.
+EncodedGraph encode_graph(const graph::ProgramGraph& graph,
+                          double child_weight_scale);
+
+}  // namespace pg::model

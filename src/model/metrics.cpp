@@ -1,0 +1,75 @@
+#include "model/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/stats.hpp"
+
+namespace pg::model {
+namespace {
+
+double actual_range(const std::vector<TrainingSample>& samples) {
+  check(!samples.empty(), "metrics: empty sample list");
+  double lo = samples.front().runtime_us;
+  double hi = lo;
+  for (const auto& s : samples) {
+    lo = std::min(lo, s.runtime_us);
+    hi = std::max(hi, s.runtime_us);
+  }
+  return hi - lo;
+}
+
+}  // namespace
+
+std::vector<BinError> binned_relative_error(
+    const std::vector<TrainingSample>& samples,
+    const std::vector<double>& predictions_us, std::size_t num_bins) {
+  check(samples.size() == predictions_us.size(), "metrics: size mismatch");
+  const double range = actual_range(samples);
+  check(range > 0.0, "metrics: zero runtime range");
+
+  std::vector<double> error_sum(num_bins, 0.0);
+  std::vector<std::size_t> counts(num_bins, 0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const std::size_t bin = stats::ten_second_bin(samples[i].runtime_us, num_bins);
+    error_sum[bin] += std::abs(samples[i].runtime_us - predictions_us[i]);
+    ++counts[bin];
+  }
+
+  std::vector<BinError> out;
+  for (std::size_t bin = 0; bin < num_bins; ++bin) {
+    if (counts[bin] == 0) continue;
+    out.push_back({bin, counts[bin],
+                   error_sum[bin] / static_cast<double>(counts[bin]) / range});
+  }
+  return out;
+}
+
+std::vector<AppError> per_app_error(const std::vector<TrainingSample>& samples,
+                                    const std::vector<double>& predictions_us) {
+  check(samples.size() == predictions_us.size(), "metrics: size mismatch");
+  const double range = actual_range(samples);
+  check(range > 0.0, "metrics: zero runtime range");
+
+  std::map<std::string, std::pair<double, std::size_t>> acc;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    auto& [sum, count] = acc[samples[i].app_name];
+    sum += std::abs(samples[i].runtime_us - predictions_us[i]);
+    ++count;
+  }
+
+  std::vector<AppError> out;
+  out.reserve(acc.size());
+  for (const auto& [name, pair] : acc)
+    out.push_back({name, pair.second,
+                   pair.first / static_cast<double>(pair.second) / range});
+  return out;
+}
+
+std::string bin_label(std::size_t bin, std::size_t num_bins) {
+  if (bin + 1 >= num_bins) return "100 <";
+  return std::to_string(bin * 10) + "-" + std::to_string((bin + 1) * 10);
+}
+
+}  // namespace pg::model

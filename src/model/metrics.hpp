@@ -1,0 +1,38 @@
+// Evaluation slices used by the paper's figures: per-10-second-bin relative
+// error (Fig. 4) and per-application error rate (Fig. 6).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/sample.hpp"
+
+namespace pg::model {
+
+struct BinError {
+  std::size_t bin = 0;       // 0 => [0,10s), ..., 10 => [100s, inf)
+  std::size_t count = 0;
+  double relative_error = 0.0;  // mean |err| / range(actual over all samples)
+};
+
+struct AppError {
+  std::string app_name;
+  std::size_t count = 0;
+  double error_rate = 0.0;  // mean |err| / range(actual over all samples)
+};
+
+/// Groups validation samples into 10-second runtime bins and reports the
+/// mean relative error per bin (bins with no samples are omitted).
+std::vector<BinError> binned_relative_error(
+    const std::vector<TrainingSample>& samples,
+    const std::vector<double>& predictions_us, std::size_t num_bins = 11);
+
+/// Mean relative error per application.
+std::vector<AppError> per_app_error(const std::vector<TrainingSample>& samples,
+                                    const std::vector<double>& predictions_us);
+
+/// Human-readable bin label: "0-10", "10-20", ..., "100 <".
+std::string bin_label(std::size_t bin, std::size_t num_bins = 11);
+
+}  // namespace pg::model

@@ -1,0 +1,162 @@
+#include "model/paragraph_model.hpp"
+
+#include "nn/activation.hpp"
+#include "nn/loss.hpp"
+#include "support/check.hpp"
+
+namespace pg::model {
+
+struct ParaGraphModel::ForwardState {
+  nn::RgatConv::Cache c1, c2, c3;
+  tensor::Matrix h1, h2, h3;   // conv outputs (post-ReLU)
+  tensor::Matrix pooled;       // [1 x hidden]
+  tensor::Matrix f1_pre, f1;   // fc1 pre/post activation
+  tensor::Matrix f2_pre, f2;   // fc2 pre/post activation
+  tensor::Matrix aux_in;       // [1 x aux_dim]
+  tensor::Matrix aux_pre, aux; // aux_fc pre/post activation
+  tensor::Matrix concat;       // [1 x hidden + aux_embed]
+};
+
+ParaGraphModel::ParaGraphModel(const ModelConfig& config)
+    : config_(config),
+      conv1_([&] {
+        pg::Rng rng(config.seed);
+        return nn::RgatConv(config.node_feature_dim, config.hidden_dim,
+                            config.num_relations, rng);
+      }()),
+      conv2_([&] {
+        pg::Rng rng(config.seed + 1);
+        return nn::RgatConv(config.hidden_dim, config.hidden_dim,
+                            config.num_relations, rng);
+      }()),
+      conv3_([&] {
+        pg::Rng rng(config.seed + 2);
+        return nn::RgatConv(config.hidden_dim, config.hidden_dim,
+                            config.num_relations, rng);
+      }()),
+      fc1_([&] {
+        pg::Rng rng(config.seed + 3);
+        return nn::Linear(config.hidden_dim, config.hidden_dim, rng);
+      }()),
+      fc2_([&] {
+        pg::Rng rng(config.seed + 4);
+        return nn::Linear(config.hidden_dim, config.hidden_dim, rng);
+      }()),
+      aux_fc_([&] {
+        pg::Rng rng(config.seed + 5);
+        return nn::Linear(config.aux_dim, config.aux_embed_dim, rng);
+      }()),
+      out_fc_([&] {
+        pg::Rng rng(config.seed + 6);
+        return nn::Linear(config.hidden_dim + config.aux_embed_dim, 1, rng);
+      }()) {}
+
+double ParaGraphModel::run_forward(const EncodedGraph& graph,
+                                   std::span<const float> aux,
+                                   ForwardState* state) const {
+  check(aux.size() == config_.aux_dim, "aux feature size mismatch");
+  ForwardState local;
+  ForwardState& s = state != nullptr ? *state : local;
+
+  s.h1 = conv1_.forward(graph.features, graph.relations, s.c1);
+  s.h2 = conv2_.forward(s.h1, graph.relations, s.c2);
+  s.h3 = conv3_.forward(s.h2, graph.relations, s.c3);
+  s.pooled = tensor::row_mean(s.h3);
+
+  s.f1_pre = fc1_.forward(s.pooled);
+  s.f1 = nn::relu(s.f1_pre);
+  s.f2_pre = fc2_.forward(s.f1);
+  s.f2 = nn::relu(s.f2_pre);
+
+  s.aux_in = tensor::Matrix::row(aux);
+  s.aux_pre = aux_fc_.forward(s.aux_in);
+  s.aux = nn::relu(s.aux_pre);
+
+  s.concat = tensor::Matrix(1, config_.hidden_dim + config_.aux_embed_dim);
+  for (std::size_t j = 0; j < config_.hidden_dim; ++j) s.concat(0, j) = s.f2(0, j);
+  for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
+    s.concat(0, config_.hidden_dim + j) = s.aux(0, j);
+
+  return static_cast<double>(out_fc_.forward(s.concat)(0, 0));
+}
+
+double ParaGraphModel::predict(const EncodedGraph& graph,
+                               std::span<const float> aux) const {
+  return run_forward(graph, aux, nullptr);
+}
+
+double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
+                                            std::span<const float> aux,
+                                            double target, double grad_scale,
+                                            std::span<tensor::Matrix> grads) const {
+  check(grads.size() == num_params(), "gradient buffer size mismatch");
+  ForwardState s;
+  const double prediction = run_forward(graph, aux, &s);
+  const double dloss = nn::mse_grad(prediction, target) * grad_scale;
+
+  // Parameter layout: conv1, conv2, conv3, fc1, fc2, aux_fc, out_fc.
+  const std::size_t conv_params = conv1_.num_params();
+  std::size_t offset = 0;
+  auto conv1_grads = grads.subspan(offset, conv_params); offset += conv_params;
+  auto conv2_grads = grads.subspan(offset, conv_params); offset += conv_params;
+  auto conv3_grads = grads.subspan(offset, conv_params); offset += conv_params;
+  auto fc1_grads = grads.subspan(offset, 2); offset += 2;
+  auto fc2_grads = grads.subspan(offset, 2); offset += 2;
+  auto aux_grads = grads.subspan(offset, 2); offset += 2;
+  auto out_grads = grads.subspan(offset, 2); offset += 2;
+  check(offset == grads.size(), "parameter layout mismatch");
+
+  tensor::Matrix dout(1, 1);
+  dout(0, 0) = static_cast<float>(dloss);
+  tensor::Matrix dconcat = out_fc_.backward(s.concat, dout, out_grads);
+
+  tensor::Matrix df2(1, config_.hidden_dim);
+  tensor::Matrix daux(1, config_.aux_embed_dim);
+  for (std::size_t j = 0; j < config_.hidden_dim; ++j) df2(0, j) = dconcat(0, j);
+  for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
+    daux(0, j) = dconcat(0, config_.hidden_dim + j);
+
+  // Aux branch.
+  const tensor::Matrix daux_pre = nn::relu_backward(daux, s.aux_pre);
+  (void)aux_fc_.backward(s.aux_in, daux_pre, aux_grads);
+
+  // Graph head.
+  const tensor::Matrix df2_pre = nn::relu_backward(df2, s.f2_pre);
+  tensor::Matrix df1 = fc2_.backward(s.f1, df2_pre, fc2_grads);
+  const tensor::Matrix df1_pre = nn::relu_backward(df1, s.f1_pre);
+  tensor::Matrix dpooled = fc1_.backward(s.pooled, df1_pre, fc1_grads);
+
+  // Mean-pool backward: every node row receives dpooled / N.
+  const std::size_t n = s.h3.rows();
+  tensor::Matrix dh3(n, config_.hidden_dim);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = dh3.row_span(i);
+    auto src = dpooled.row_span(0);
+    for (std::size_t j = 0; j < config_.hidden_dim; ++j) row[j] = src[j] * inv_n;
+  }
+
+  tensor::Matrix dh2 = conv3_.backward(dh3, graph.relations, s.c3, conv3_grads);
+  tensor::Matrix dh1 = conv2_.backward(dh2, graph.relations, s.c2, conv2_grads);
+  (void)conv1_.backward(dh1, graph.relations, s.c1, conv1_grads);
+
+  return prediction;
+}
+
+std::vector<tensor::Matrix*> ParaGraphModel::parameters() {
+  std::vector<tensor::Matrix*> params;
+  for (auto* p : conv1_.parameters()) params.push_back(p);
+  for (auto* p : conv2_.parameters()) params.push_back(p);
+  for (auto* p : conv3_.parameters()) params.push_back(p);
+  for (auto* p : fc1_.parameters()) params.push_back(p);
+  for (auto* p : fc2_.parameters()) params.push_back(p);
+  for (auto* p : aux_fc_.parameters()) params.push_back(p);
+  for (auto* p : out_fc_.parameters()) params.push_back(p);
+  return params;
+}
+
+std::size_t ParaGraphModel::num_params() const {
+  return 3 * conv1_.num_params() + 4 * 2;
+}
+
+}  // namespace pg::model

@@ -1,0 +1,63 @@
+// The ParaGraph runtime-prediction model (paper §IV-B):
+//   three RGAT convolution layers -> mean-pool -> two FC layers (ReLU);
+//   the two auxiliary features (num_teams, num_threads) are embedded by a
+//   separate FC layer; both embeddings are concatenated and a final FC
+//   layer produces the (MinMax-scaled) runtime.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "model/encoding.hpp"
+#include "nn/linear.hpp"
+#include "nn/rgat.hpp"
+
+namespace pg::model {
+
+struct ModelConfig {
+  std::size_t node_feature_dim = kNodeFeatureDim;
+  std::size_t num_relations = graph::kNumEdgeTypes;
+  std::size_t hidden_dim = 24;
+  std::size_t aux_dim = 2;        // num_teams, num_threads
+  std::size_t aux_embed_dim = 8;
+  std::uint64_t seed = 42;
+};
+
+class ParaGraphModel {
+ public:
+  explicit ParaGraphModel(const ModelConfig& config);
+
+  /// Forward pass; aux must be MinMax-scaled, size == config().aux_dim.
+  [[nodiscard]] double predict(const EncodedGraph& graph,
+                               std::span<const float> aux) const;
+
+  /// Forward + backward for one sample under MSE against `target` (scaled).
+  /// Accumulates `grad_scale * dL/dtheta` into `grads` (one Matrix per
+  /// parameter, same order as parameters()). Returns the prediction.
+  /// Thread-safe: concurrent calls only read the model.
+  double accumulate_gradients(const EncodedGraph& graph,
+                              std::span<const float> aux, double target,
+                              double grad_scale,
+                              std::span<tensor::Matrix> grads) const;
+
+  [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::size_t num_params() const;
+  [[nodiscard]] const ModelConfig& config() const { return config_; }
+
+ private:
+  struct ForwardState;
+  double run_forward(const EncodedGraph& graph, std::span<const float> aux,
+                     ForwardState* state) const;
+
+  ModelConfig config_;
+  nn::RgatConv conv1_;
+  nn::RgatConv conv2_;
+  nn::RgatConv conv3_;
+  nn::Linear fc1_;      // pooled graph embedding -> hidden
+  nn::Linear fc2_;      // hidden -> hidden
+  nn::Linear aux_fc_;   // aux features -> aux embedding
+  nn::Linear out_fc_;   // [hidden + aux_embed] -> 1
+};
+
+}  // namespace pg::model

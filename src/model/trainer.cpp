@@ -1,0 +1,134 @@
+#include "model/trainer.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace pg::model {
+namespace {
+
+double evaluate_rmse_us(const ParaGraphModel& model,
+                        const std::vector<TrainingSample>& samples,
+                        const SampleSet& set,
+                        std::vector<double>* predictions_out) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> predictions(samples.size());
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double scaled = model.predict(samples[i].graph, samples[i].aux);
+    predictions[i] = set.from_target(scaled);
+  }
+  std::vector<double> actual(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) actual[i] = samples[i].runtime_us;
+  if (predictions_out != nullptr) *predictions_out = predictions;
+  return stats::rmse(actual, predictions);
+}
+
+}  // namespace
+
+std::vector<double> predict_all(const ParaGraphModel& model,
+                                const std::vector<TrainingSample>& samples,
+                                const SampleSet& set) {
+  std::vector<double> predictions;
+  evaluate_rmse_us(model, samples, set, &predictions);
+  return predictions;
+}
+
+TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
+                        const TrainConfig& config) {
+  check(!set.train.empty(), "train_model: empty training set");
+  check(config.batch_size > 0 && config.epochs > 0, "train_model: bad config");
+
+  nn::AdamConfig adam_config;
+  adam_config.learning_rate = config.learning_rate;
+  nn::Adam adam(model.parameters(), adam_config);
+
+  const int max_threads = omp_get_max_threads();
+  std::vector<std::vector<tensor::Matrix>> thread_grads;
+  thread_grads.reserve(max_threads);
+  for (int t = 0; t < max_threads; ++t)
+    thread_grads.push_back(adam.make_gradient_buffer());
+
+  std::vector<std::size_t> order(set.train.size());
+  std::iota(order.begin(), order.end(), 0);
+  pg::Rng shuffle_rng(config.shuffle_seed);
+
+  // Normalisation range over the *runtime* domain (the scaler may be in
+  // log space when set.log_target is on).
+  double min_runtime = set.train.front().runtime_us;
+  double max_runtime = min_runtime;
+  for (const auto& sample : set.train) {
+    min_runtime = std::min(min_runtime, sample.runtime_us);
+    max_runtime = std::max(max_runtime, sample.runtime_us);
+  }
+  const double actual_range = max_runtime - min_runtime;
+  TrainResult result;
+  result.history.reserve(config.epochs);
+
+  for (int epoch = 1; epoch <= config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
+      const double grad_scale = 1.0 / static_cast<double>(end - start);
+
+      double batch_loss = 0.0;
+      // Static schedule: each thread owns a fixed slice of the batch, so the
+      // per-thread accumulation (and the reduction order below) is identical
+      // across runs with the same thread count — bit-reproducible training.
+#pragma omp parallel reduction(+ : batch_loss)
+      {
+        auto& grads = thread_grads[omp_get_thread_num()];
+#pragma omp for schedule(static)
+        for (std::size_t i = start; i < end; ++i) {
+          const TrainingSample& sample = set.train[order[i]];
+          const double pred = model.accumulate_gradients(
+              sample.graph, sample.aux, sample.target_scaled, grad_scale, grads);
+          const double d = pred - sample.target_scaled;
+          batch_loss += d * d;
+        }
+      }
+      epoch_loss += batch_loss;
+
+      // Reduce the per-thread buffers into buffer 0 and take the Adam step.
+      auto& base = thread_grads[0];
+      for (int t = 1; t < max_threads; ++t) {
+        for (std::size_t p = 0; p < base.size(); ++p)
+          base[p].add_(thread_grads[t][p]);
+      }
+      adam.step(base);
+      for (auto& buffer : thread_grads)
+        for (auto& grad : buffer) grad.zero();
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_mse_scaled = epoch_loss / static_cast<double>(order.size());
+    const bool last_epoch = (epoch == config.epochs);
+    record.val_rmse_us = evaluate_rmse_us(
+        model, set.validation, set,
+        last_epoch ? &result.val_predictions_us : nullptr);
+    record.val_norm_rmse =
+        actual_range > 0.0 ? record.val_rmse_us / actual_range : 0.0;
+    result.history.push_back(record);
+    if (config.on_epoch) config.on_epoch(epoch, record.train_mse_scaled,
+                                         record.val_rmse_us);
+  }
+
+  if (!result.history.empty()) {
+    result.final_rmse_us = result.history.back().val_rmse_us;
+    result.final_norm_rmse = result.history.back().val_norm_rmse;
+  }
+  return result;
+}
+
+}  // namespace pg::model

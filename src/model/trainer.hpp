@@ -1,0 +1,48 @@
+// Mini-batch trainer: Adam + MSE, OpenMP data-parallel over the graphs of a
+// batch with per-thread gradient buffers (deterministic for a fixed thread
+// count).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "model/paragraph_model.hpp"
+#include "model/sample.hpp"
+#include "nn/adam.hpp"
+
+namespace pg::model {
+
+struct TrainConfig {
+  int epochs = 60;
+  int batch_size = 32;
+  double learning_rate = 1e-3;
+  std::uint64_t shuffle_seed = 7;
+  /// Called after every epoch when set (used by the Fig. 5/7 benches).
+  std::function<void(int epoch, double train_mse, double val_rmse_us)> on_epoch;
+};
+
+struct EpochRecord {
+  int epoch = 0;
+  double train_mse_scaled = 0.0;  // mean MSE on the scaled target
+  double val_rmse_us = 0.0;       // validation RMSE in microseconds
+  double val_norm_rmse = 0.0;     // RMSE / range(actual)
+};
+
+struct TrainResult {
+  std::vector<EpochRecord> history;
+  std::vector<double> val_predictions_us;  // final, aligned with set.validation
+  double final_rmse_us = 0.0;
+  double final_norm_rmse = 0.0;
+};
+
+/// Predictions (in microseconds) for a sample list; parallel, clamped at
+/// the physical floor (0), and honouring the set's target transform
+/// (linear or log).
+std::vector<double> predict_all(const ParaGraphModel& model,
+                                const std::vector<TrainingSample>& samples,
+                                const SampleSet& set);
+
+TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
+                        const TrainConfig& config);
+
+}  // namespace pg::model

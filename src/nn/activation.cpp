@@ -1,0 +1,28 @@
+#include "nn/activation.hpp"
+
+#include "support/check.hpp"
+
+namespace pg::nn {
+
+tensor::Matrix relu(const tensor::Matrix& x) {
+  tensor::Matrix y = x;
+  for (float& v : y.data())
+    if (v < 0.0f) v = 0.0f;
+  return y;
+}
+
+tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {
+  check(dy.same_shape(x), "relu_backward: shape mismatch");
+  tensor::Matrix dx = dy;
+  auto xs = x.data();
+  auto ds = dx.data();
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    if (xs[i] <= 0.0f) ds[i] = 0.0f;
+  return dx;
+}
+
+float leaky_relu(float x, float slope) { return x > 0.0f ? x : slope * x; }
+
+float leaky_relu_grad(float x, float slope) { return x > 0.0f ? 1.0f : slope; }
+
+}  // namespace pg::nn

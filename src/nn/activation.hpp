@@ -1,0 +1,17 @@
+// Elementwise activations (functional style: no hidden state, callers keep
+// whatever they need for the backward pass).
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace pg::nn {
+
+tensor::Matrix relu(const tensor::Matrix& x);
+
+/// dL/dx given dL/dy and the *pre-activation* input x.
+tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x);
+
+float leaky_relu(float x, float slope);
+float leaky_relu_grad(float x, float slope);
+
+}  // namespace pg::nn

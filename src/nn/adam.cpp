@@ -1,0 +1,51 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pg::nn {
+
+Adam::Adam(std::vector<tensor::Matrix*> parameters, AdamConfig config)
+    : params_(std::move(parameters)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const tensor::Matrix* p : params_) {
+    check(p != nullptr, "Adam: null parameter");
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void Adam::step(std::span<tensor::Matrix> grads) {
+  check(grads.size() == params_.size(), "Adam::step: gradient count mismatch");
+  ++step_count_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  for (std::size_t p = 0; p < params_.size(); ++p) {
+    check(grads[p].same_shape(*params_[p]), "Adam::step: gradient shape mismatch");
+    auto theta = params_[p]->data();
+    auto g = grads[p].data();
+    auto m = m_[p].data();
+    auto v = v_[p].data();
+    for (std::size_t i = 0; i < theta.size(); ++i) {
+      double grad = g[i];
+      if (config_.weight_decay != 0.0) grad += config_.weight_decay * theta[i];
+      m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * grad);
+      v[i] = static_cast<float>(config_.beta2 * v[i] + (1.0 - config_.beta2) * grad * grad);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      theta[i] -= static_cast<float>(config_.learning_rate * m_hat /
+                                     (std::sqrt(v_hat) + config_.epsilon));
+    }
+  }
+}
+
+std::vector<tensor::Matrix> Adam::make_gradient_buffer() const {
+  std::vector<tensor::Matrix> grads;
+  grads.reserve(params_.size());
+  for (const tensor::Matrix* p : params_) grads.emplace_back(p->rows(), p->cols());
+  return grads;
+}
+
+}  // namespace pg::nn

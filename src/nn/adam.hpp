@@ -1,0 +1,41 @@
+// Adam optimiser (Kingma & Ba) — the paper trains with Adam + MSE.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace pg::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+class Adam {
+ public:
+  Adam(std::vector<tensor::Matrix*> parameters, AdamConfig config = {});
+
+  /// Applies one update from `grads` (same order/shapes as the parameters);
+  /// does NOT zero the gradients.
+  void step(std::span<tensor::Matrix> grads);
+
+  /// Fresh, zeroed gradient buffer matching the parameter shapes.
+  [[nodiscard]] std::vector<tensor::Matrix> make_gradient_buffer() const;
+
+  [[nodiscard]] const AdamConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<tensor::Matrix*> params_;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+  AdamConfig config_;
+  std::size_t step_count_ = 0;
+};
+
+}  // namespace pg::nn

@@ -1,0 +1,35 @@
+#include "nn/linear.hpp"
+
+#include "support/check.hpp"
+
+namespace pg::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, pg::Rng& rng)
+    : w_(in_features, out_features), b_(1, out_features) {
+  tensor::glorot_uniform(w_, rng);
+}
+
+tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
+  check(x.cols() == w_.rows(), "Linear::forward: feature dim mismatch");
+  tensor::Matrix y = tensor::matmul(x, w_);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.row_span(i);
+    auto bias = b_.row_span(0);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+  }
+  return y;
+}
+
+tensor::Matrix Linear::backward(const tensor::Matrix& x, const tensor::Matrix& dy,
+                                std::span<tensor::Matrix> grads) const {
+  check(grads.size() == num_params(), "Linear::backward: bad grad span");
+  check(grads[0].same_shape(w_) && grads[1].same_shape(b_),
+        "Linear::backward: grad shapes mismatch");
+  grads[0].add_(tensor::matmul_transpose_a(x, dy));
+  grads[1].add_(tensor::column_sums(dy));
+  return tensor::matmul_transpose_b(dy, w_);
+}
+
+std::vector<tensor::Matrix*> Linear::parameters() { return {&w_, &b_}; }
+
+}  // namespace pg::nn

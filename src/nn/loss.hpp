@@ -1,0 +1,17 @@
+// Mean-squared-error loss utilities for scalar regression.
+#pragma once
+
+namespace pg::nn {
+
+/// Squared error of one prediction.
+inline double mse_loss(double prediction, double target) {
+  const double d = prediction - target;
+  return d * d;
+}
+
+/// d(loss)/d(prediction).
+inline double mse_grad(double prediction, double target) {
+  return 2.0 * (prediction - target);
+}
+
+}  // namespace pg::nn

@@ -1,0 +1,57 @@
+#include "nn/mlp.hpp"
+
+#include "nn/activation.hpp"
+#include "support/check.hpp"
+
+namespace pg::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& layer_sizes, pg::Rng& rng) {
+  check(layer_sizes.size() >= 2, "Mlp needs at least input and output sizes");
+  layers_.reserve(layer_sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i)
+    layers_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+}
+
+tensor::Matrix Mlp::forward(const tensor::Matrix& x, Cache& cache) const {
+  cache.inputs.clear();
+  cache.pre.clear();
+  tensor::Matrix h = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    cache.inputs.push_back(h);
+    tensor::Matrix pre = layers_[l].forward(h);
+    cache.pre.push_back(pre);
+    const bool last = (l + 1 == layers_.size());
+    h = last ? std::move(pre) : relu(pre);
+  }
+  return h;
+}
+
+tensor::Matrix Mlp::forward(const tensor::Matrix& x) const {
+  Cache cache;
+  return forward(x, cache);
+}
+
+tensor::Matrix Mlp::backward(const tensor::Matrix& dy, const Cache& cache,
+                             std::span<tensor::Matrix> grads) const {
+  check(grads.size() == num_params(), "Mlp::backward: bad grad span");
+  check(cache.inputs.size() == layers_.size(), "Mlp::backward: stale cache");
+  tensor::Matrix delta = dy;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const bool last = (l + 1 == layers_.size());
+    if (!last) delta = relu_backward(delta, cache.pre[l]);
+    delta = layers_[l].backward(cache.inputs[l], delta,
+                                grads.subspan(2 * l, 2));
+  }
+  return delta;
+}
+
+std::vector<tensor::Matrix*> Mlp::parameters() {
+  std::vector<tensor::Matrix*> params;
+  params.reserve(num_params());
+  for (Linear& layer : layers_) {
+    for (tensor::Matrix* p : layer.parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+}  // namespace pg::nn

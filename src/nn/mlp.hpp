@@ -1,0 +1,38 @@
+// Multi-layer perceptron: stacked Linear + ReLU (identity on the output
+// layer). Used for the COMPOFF baseline and anywhere a plain regressor is
+// needed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace pg::nn {
+
+class Mlp {
+ public:
+  /// `layer_sizes` = {in, hidden..., out}; at least {in, out}.
+  Mlp(const std::vector<std::size_t>& layer_sizes, pg::Rng& rng);
+
+  struct Cache {
+    std::vector<tensor::Matrix> inputs;  // input of each layer (pre-matmul)
+    std::vector<tensor::Matrix> pre;     // pre-activation output of each layer
+  };
+
+  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x, Cache& cache) const;
+  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x) const;
+
+  /// Accumulates into `grads` (layout = parameters()) and returns dL/dx.
+  tensor::Matrix backward(const tensor::Matrix& dy, const Cache& cache,
+                          std::span<tensor::Matrix> grads) const;
+
+  [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::size_t num_params() const { return 2 * layers_.size(); }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace pg::nn

@@ -1,0 +1,42 @@
+#include "nn/relational_graph.hpp"
+
+#include <algorithm>
+
+namespace pg::nn {
+
+RelationEdges RelationEdges::from_edges(std::vector<RelEdge> edges) {
+  RelationEdges out;
+
+  // Local numbering over incident nodes.
+  out.nodes.reserve(edges.size() * 2);
+  for (const RelEdge& e : edges) {
+    out.nodes.push_back(e.src);
+    out.nodes.push_back(e.dst);
+  }
+  std::sort(out.nodes.begin(), out.nodes.end());
+  out.nodes.erase(std::unique(out.nodes.begin(), out.nodes.end()), out.nodes.end());
+  auto local_of = [&out](std::uint32_t global) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(out.nodes.begin(), out.nodes.end(), global) -
+        out.nodes.begin());
+  };
+  for (RelEdge& e : edges) {
+    e.src_local = local_of(e.src);
+    e.dst_local = local_of(e.dst);
+  }
+
+  std::stable_sort(edges.begin(), edges.end(), [](const RelEdge& a, const RelEdge& b) {
+    return a.dst_local < b.dst_local;
+  });
+  out.edges = std::move(edges);
+  for (std::size_t i = 0; i < out.edges.size(); ++i) {
+    if (i == 0 || out.edges[i].dst_local != out.edges[i - 1].dst_local) {
+      out.group_offsets.push_back(static_cast<std::uint32_t>(i));
+      out.group_dst.push_back(out.edges[i].dst_local);
+    }
+  }
+  out.group_offsets.push_back(static_cast<std::uint32_t>(out.edges.size()));
+  return out;
+}
+
+}  // namespace pg::nn

@@ -1,0 +1,54 @@
+// Model-facing graph encoding: per-relation edge lists grouped by
+// destination, ready for attention softmax over incoming edges.
+//
+// Each relation keeps a compact *local* numbering of the nodes it touches
+// (`nodes`), and edges store local indices. The RGAT layer projects only
+// those rows through W_r — most relations (ForExec, ConTrue, Ref, ...) touch
+// a small fraction of the graph, so this cuts the per-layer matmul cost by
+// roughly the relation's sparsity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pg::nn {
+
+struct RelEdge {
+  std::uint32_t src = 0;  // global node id
+  std::uint32_t dst = 0;  // global node id
+  std::uint32_t src_local = 0;
+  std::uint32_t dst_local = 0;
+  /// Message multiplier. 1 for unweighted relations; for ParaGraph Child
+  /// edges this is the MinMax-scaled execution-count weight.
+  float gate = 1.0f;
+};
+
+/// Edges of one relation, sorted by destination, with group offsets:
+/// edges[group_offsets[g] .. group_offsets[g+1]) all target group_dst[g]
+/// (a *local* index; nodes[group_dst[g]] is the global id).
+struct RelationEdges {
+  std::vector<RelEdge> edges;
+  std::vector<std::uint32_t> nodes;          // sorted unique incident globals
+  std::vector<std::uint32_t> group_offsets;  // size = num_groups + 1
+  std::vector<std::uint32_t> group_dst;      // local dst per group
+
+  [[nodiscard]] std::size_t num_groups() const { return group_dst.size(); }
+  [[nodiscard]] std::size_t num_active_nodes() const { return nodes.size(); }
+  [[nodiscard]] bool empty() const { return edges.empty(); }
+
+  /// Builds the grouped/localised form from (src, dst, gate) triples.
+  static RelationEdges from_edges(std::vector<RelEdge> edges);
+};
+
+struct RelationalGraph {
+  std::size_t num_nodes = 0;
+  std::vector<RelationEdges> relations;
+
+  [[nodiscard]] std::size_t num_edges() const {
+    std::size_t total = 0;
+    for (const auto& rel : relations) total += rel.edges.size();
+    return total;
+  }
+};
+
+}  // namespace pg::nn

@@ -1,0 +1,235 @@
+#include "nn/rgat.hpp"
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "support/check.hpp"
+#include "tensor/init.hpp"
+
+namespace pg::nn {
+namespace {
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
+  return static_cast<float>(acc);
+}
+
+/// Gathers rows `ids` of `x` into a dense [|ids|, cols] matrix.
+tensor::Matrix gather_rows(const tensor::Matrix& x,
+                           const std::vector<std::uint32_t>& ids) {
+  tensor::Matrix out(ids.size(), x.cols());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto src = x.row_span(ids[i]);
+    auto dst = out.row_span(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+}  // namespace
+
+RgatConv::RgatConv(std::size_t in_features, std::size_t out_features,
+                   std::size_t num_relations, pg::Rng& rng, bool apply_relu,
+                   float leaky_slope)
+    : in_(in_features),
+      out_(out_features),
+      num_relations_(num_relations),
+      apply_relu_(apply_relu),
+      leaky_slope_(leaky_slope),
+      w_self_(in_features, out_features),
+      b_(1, out_features) {
+  check(num_relations >= 1, "RgatConv needs at least one relation");
+  w_rel_.reserve(num_relations);
+  a_src_.reserve(num_relations);
+  a_dst_.reserve(num_relations);
+  for (std::size_t r = 0; r < num_relations; ++r) {
+    w_rel_.emplace_back(in_features, out_features);
+    tensor::glorot_uniform(w_rel_.back(), rng);
+    a_src_.emplace_back(1, out_features);
+    tensor::glorot_uniform(a_src_.back(), rng);
+    a_dst_.emplace_back(1, out_features);
+    tensor::glorot_uniform(a_dst_.back(), rng);
+  }
+  tensor::glorot_uniform(w_self_, rng);
+}
+
+tensor::Matrix RgatConv::forward(const tensor::Matrix& x,
+                                 const RelationalGraph& graph,
+                                 Cache& cache) const {
+  check(x.cols() == in_, "RgatConv::forward: feature dim mismatch");
+  check(x.rows() == graph.num_nodes, "RgatConv::forward: node count mismatch");
+  check(graph.relations.size() == num_relations_,
+        "RgatConv::forward: relation count mismatch");
+
+  cache.x = x;
+  cache.g.assign(num_relations_, tensor::Matrix{});
+  cache.raw.assign(num_relations_, {});
+  cache.alpha.assign(num_relations_, {});
+
+  tensor::Matrix pre = tensor::matmul(x, w_self_);
+  for (std::size_t i = 0; i < pre.rows(); ++i) {
+    auto row = pre.row_span(i);
+    auto bias = b_.row_span(0);
+    for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
+  }
+
+  for (std::size_t r = 0; r < num_relations_; ++r) {
+    const RelationEdges& rel = graph.relations[r];
+    if (rel.empty()) continue;
+    const std::size_t na = rel.num_active_nodes();
+
+    // Project only the rows this relation touches.
+    tensor::Matrix g = tensor::matmul(gather_rows(x, rel.nodes), w_rel_[r]);
+
+    std::vector<float> s_src(na);
+    std::vector<float> s_dst(na);
+    for (std::size_t i = 0; i < na; ++i) {
+      s_src[i] = dot(g.row_span(i), a_src_[r].row_span(0));
+      s_dst[i] = dot(g.row_span(i), a_dst_[r].row_span(0));
+    }
+
+    std::vector<float>& raw = cache.raw[r];
+    std::vector<float>& alpha = cache.alpha[r];
+    raw.resize(rel.edges.size());
+    alpha.resize(rel.edges.size());
+
+    for (std::size_t group = 0; group < rel.num_groups(); ++group) {
+      const std::size_t lo = rel.group_offsets[group];
+      const std::size_t hi = rel.group_offsets[group + 1];
+      const std::uint32_t v_local = rel.group_dst[group];
+      const std::uint32_t v_global = rel.nodes[v_local];
+
+      float max_logit = -1e30f;
+      for (std::size_t e = lo; e < hi; ++e) {
+        raw[e] = s_src[rel.edges[e].src_local] + s_dst[v_local];
+        const float logit = leaky_relu(raw[e], leaky_slope_);
+        if (logit > max_logit) max_logit = logit;
+      }
+      double denom = 0.0;
+      for (std::size_t e = lo; e < hi; ++e) {
+        alpha[e] = std::exp(leaky_relu(raw[e], leaky_slope_) - max_logit);
+        denom += alpha[e];
+      }
+      auto out_row = pre.row_span(v_global);
+      for (std::size_t e = lo; e < hi; ++e) {
+        alpha[e] = static_cast<float>(alpha[e] / denom);
+        const float scale = alpha[e] * rel.edges[e].gate;
+        auto g_row = g.row_span(rel.edges[e].src_local);
+        for (std::size_t j = 0; j < out_; ++j) out_row[j] += scale * g_row[j];
+      }
+    }
+    cache.g[r] = std::move(g);
+  }
+
+  cache.pre = pre;
+  return apply_relu_ ? relu(pre) : pre;
+}
+
+tensor::Matrix RgatConv::backward(const tensor::Matrix& dy,
+                                  const RelationalGraph& graph,
+                                  const Cache& cache,
+                                  std::span<tensor::Matrix> grads) const {
+  check(grads.size() == num_params(), "RgatConv::backward: bad grad span");
+  const std::size_t n = cache.x.rows();
+  check(dy.rows() == n && dy.cols() == out_, "RgatConv::backward: dy shape");
+
+  const tensor::Matrix dpre = apply_relu_ ? relu_backward(dy, cache.pre) : dy;
+
+  // Self-connection + bias.
+  tensor::Matrix dx = tensor::matmul_transpose_b(dpre, w_self_);
+  grads[3 * num_relations_].add_(tensor::matmul_transpose_a(cache.x, dpre));
+  grads[3 * num_relations_ + 1].add_(tensor::column_sums(dpre));
+
+  for (std::size_t r = 0; r < num_relations_; ++r) {
+    const RelationEdges& rel = graph.relations[r];
+    if (rel.empty()) continue;
+    const std::size_t na = rel.num_active_nodes();
+    const tensor::Matrix& g = cache.g[r];
+    const std::vector<float>& raw = cache.raw[r];
+    const std::vector<float>& alpha = cache.alpha[r];
+
+    tensor::Matrix dg(na, out_);
+    std::vector<float> ds_src(na, 0.0f);
+    std::vector<float> ds_dst(na, 0.0f);
+
+    for (std::size_t group = 0; group < rel.num_groups(); ++group) {
+      const std::size_t lo = rel.group_offsets[group];
+      const std::size_t hi = rel.group_offsets[group + 1];
+      const std::uint32_t v_local = rel.group_dst[group];
+      const std::uint32_t v_global = rel.nodes[v_local];
+      auto dpre_row = dpre.row_span(v_global);
+
+      // dscore_e = d(out_v) . (gate_e * g_src); softmax backward within the
+      // group; message-path gradient back to g_src.
+      double weighted_sum = 0.0;  // sum_e alpha_e * dscore_e
+      std::vector<float> dscore(hi - lo);
+      for (std::size_t e = lo; e < hi; ++e) {
+        const RelEdge& edge = rel.edges[e];
+        dscore[e - lo] = edge.gate * dot(dpre_row, g.row_span(edge.src_local));
+        weighted_sum += static_cast<double>(alpha[e]) * dscore[e - lo];
+        const float scale = alpha[e] * edge.gate;
+        auto dg_row = dg.row_span(edge.src_local);
+        for (std::size_t j = 0; j < out_; ++j) dg_row[j] += scale * dpre_row[j];
+      }
+      for (std::size_t e = lo; e < hi; ++e) {
+        const RelEdge& edge = rel.edges[e];
+        const float dlogit =
+            alpha[e] * (dscore[e - lo] - static_cast<float>(weighted_sum));
+        const float draw = dlogit * leaky_relu_grad(raw[e], leaky_slope_);
+        ds_src[edge.src_local] += draw;
+        ds_dst[v_local] += draw;
+      }
+    }
+
+    // s = g . a  =>  dg += ds outer a; da += sum_i ds[i] * g_i.
+    auto a_src_row = a_src_[r].row_span(0);
+    auto a_dst_row = a_dst_[r].row_span(0);
+    auto da_src = grads[3 * r + 1].row_span(0);
+    auto da_dst = grads[3 * r + 2].row_span(0);
+    for (std::size_t i = 0; i < na; ++i) {
+      if (ds_src[i] != 0.0f) {
+        auto dg_row = dg.row_span(i);
+        auto g_row = g.row_span(i);
+        for (std::size_t j = 0; j < out_; ++j) {
+          dg_row[j] += ds_src[i] * a_src_row[j];
+          da_src[j] += ds_src[i] * g_row[j];
+        }
+      }
+      if (ds_dst[i] != 0.0f) {
+        auto dg_row = dg.row_span(i);
+        auto g_row = g.row_span(i);
+        for (std::size_t j = 0; j < out_; ++j) {
+          dg_row[j] += ds_dst[i] * a_dst_row[j];
+          da_dst[j] += ds_dst[i] * g_row[j];
+        }
+      }
+    }
+
+    // g = gather(x) W_r  =>  dW_r += gather(x)^T dg; dx[global] += (dg W_r^T)[local].
+    const tensor::Matrix x_local = gather_rows(cache.x, rel.nodes);
+    grads[3 * r].add_(tensor::matmul_transpose_a(x_local, dg));
+    const tensor::Matrix dx_local = tensor::matmul_transpose_b(dg, w_rel_[r]);
+    for (std::size_t i = 0; i < na; ++i) {
+      auto dst = dx.row_span(rel.nodes[i]);
+      auto src = dx_local.row_span(i);
+      for (std::size_t j = 0; j < in_; ++j) dst[j] += src[j];
+    }
+  }
+  return dx;
+}
+
+std::vector<tensor::Matrix*> RgatConv::parameters() {
+  std::vector<tensor::Matrix*> params;
+  params.reserve(num_params());
+  for (std::size_t r = 0; r < num_relations_; ++r) {
+    params.push_back(&w_rel_[r]);
+    params.push_back(&a_src_[r]);
+    params.push_back(&a_dst_[r]);
+  }
+  params.push_back(&w_self_);
+  params.push_back(&b_);
+  return params;
+}
+
+}  // namespace pg::nn

@@ -1,0 +1,73 @@
+// Relational Graph Attention convolution (Busbridge et al. 2019, the
+// within-relation "WIRGAT" variant the paper adapts: attention logits are
+// computed per edge type and normalised over the incoming edges of the same
+// type).
+//
+// For relation r with projection W_r and attention vectors a_src/a_dst:
+//   g_i   = W_r h_i
+//   e_uv  = LeakyReLU(a_src . g_u + a_dst . g_v)           (per edge u->v)
+//   alpha = softmax over {e_uv : u in N_r(v)}
+//   m_v  += sum_u alpha_uv * gate_uv * g_u
+// Output: ReLU(sum_r m_v + W_self h_v + b).
+//
+// `gate` carries the ParaGraph edge weight (MinMax-scaled) for Child edges
+// and is 1 elsewhere — the graph-side realisation of W in Eq. (2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nn/relational_graph.hpp"
+#include "support/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::nn {
+
+class RgatConv {
+ public:
+  RgatConv(std::size_t in_features, std::size_t out_features,
+           std::size_t num_relations, pg::Rng& rng, bool apply_relu = true,
+           float leaky_slope = 0.2f);
+
+  /// Everything the backward pass needs from one forward call. Owned by the
+  /// caller so concurrent forward/backward passes don't share state.
+  struct Cache {
+    tensor::Matrix x;                          // input [N x in]
+    std::vector<tensor::Matrix> g;             // per relation [N x out]
+    std::vector<std::vector<float>> raw;       // per relation, per edge (pre-LeakyReLU)
+    std::vector<std::vector<float>> alpha;     // per relation, per edge
+    tensor::Matrix pre;                        // pre-activation output [N x out]
+  };
+
+  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x,
+                                       const RelationalGraph& graph,
+                                       Cache& cache) const;
+
+  /// Accumulates parameter gradients into `grads` (layout = parameters())
+  /// and returns dL/dx.
+  tensor::Matrix backward(const tensor::Matrix& dy, const RelationalGraph& graph,
+                          const Cache& cache, std::span<tensor::Matrix> grads) const;
+
+  /// Parameter layout: for each relation [W_r, a_src_r, a_dst_r], then
+  /// W_self, b.
+  [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::size_t num_params() const { return 3 * num_relations_ + 2; }
+
+  [[nodiscard]] std::size_t in_features() const { return in_; }
+  [[nodiscard]] std::size_t out_features() const { return out_; }
+  [[nodiscard]] std::size_t num_relations() const { return num_relations_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::size_t num_relations_;
+  bool apply_relu_;
+  float leaky_slope_;
+  std::vector<tensor::Matrix> w_rel_;   // [in x out] each
+  std::vector<tensor::Matrix> a_src_;   // [1 x out] each
+  std::vector<tensor::Matrix> a_dst_;   // [1 x out] each
+  tensor::Matrix w_self_;               // [in x out]
+  tensor::Matrix b_;                    // [1 x out]
+};
+
+}  // namespace pg::nn

@@ -1,0 +1,33 @@
+#include "nn/scaler.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace pg::nn {
+
+void MinMaxScaler::fit(std::span<const double> values) {
+  check(!values.empty(), "MinMaxScaler::fit on empty data");
+  const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+  fit_bounds(*lo, *hi);
+}
+
+void MinMaxScaler::fit_bounds(double min_value, double max_value) {
+  check(min_value <= max_value, "MinMaxScaler: min > max");
+  min_ = min_value;
+  max_ = max_value;
+  fitted_ = true;
+}
+
+double MinMaxScaler::transform(double v) const {
+  check(fitted_, "MinMaxScaler used before fit");
+  const double r = range();
+  return r == 0.0 ? 0.0 : (v - min_) / r;
+}
+
+double MinMaxScaler::inverse(double scaled) const {
+  check(fitted_, "MinMaxScaler used before fit");
+  return min_ + scaled * range();
+}
+
+}  // namespace pg::nn

@@ -1,0 +1,31 @@
+// MinMaxScaler — the paper normalises edge weights, the two auxiliary
+// features, and (here) the regression target with it (§IV-B).
+#pragma once
+
+#include <span>
+
+namespace pg::nn {
+
+class MinMaxScaler {
+ public:
+  /// Fits to the [min, max] of `values`.
+  void fit(std::span<const double> values);
+
+  /// Explicit bounds (e.g. when the bounds come from a different pass).
+  void fit_bounds(double min_value, double max_value);
+
+  [[nodiscard]] double transform(double v) const;
+  [[nodiscard]] double inverse(double scaled) const;
+
+  [[nodiscard]] bool fitted() const { return fitted_; }
+  [[nodiscard]] double min_value() const { return min_; }
+  [[nodiscard]] double max_value() const { return max_; }
+  [[nodiscard]] double range() const { return max_ - min_; }
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace pg::nn

@@ -1,0 +1,59 @@
+// Static kernel characterisation: walks the AST of an instantiated kernel
+// and extracts the quantities the runtime simulator prices (operation mix,
+// dynamic memory traffic, access contiguity, branching, parallel structure,
+// mapped transfer volume).
+//
+// The same walk also powers the COMPOFF baseline's feature vector — COMPOFF
+// is exactly "operation counts -> MLP".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace pg::sim {
+
+struct KernelProfile {
+  // Dynamic operation counts (execution-count weighted, whole kernel).
+  double flops = 0.0;
+  double int_ops = 0.0;
+  double transcendental = 0.0;  // sqrt/exp/log/pow/sin/cos calls
+  double loads = 0.0;           // array-element reads
+  double stores = 0.0;          // array-element writes
+  double bytes_accessed = 0.0;  // (loads + stores) x element size
+
+  // Data footprint: total declared bytes of every array the kernel touches.
+  double footprint_bytes = 0.0;
+
+  // Host <-> device traffic from map clauses (0 without map clauses).
+  double transfer_to_bytes = 0.0;
+  double transfer_from_bytes = 0.0;
+
+  /// Fraction of dynamic accesses whose fastest-varying index is the
+  /// innermost loop variable (unit stride).
+  double contiguous_fraction = 1.0;
+  /// Fraction of dynamic work under if/else branches.
+  double branch_fraction = 0.0;
+
+  // Parallel structure.
+  bool offload = false;          // target teams ... vs plain parallel for
+  bool has_directive = false;
+  int collapse_depth = 1;        // 1 = no collapse clause
+  std::int64_t parallel_iterations = 1;  // distributed iteration space
+  std::int64_t num_teams = 1;
+  std::int64_t num_threads = 1;
+  int loop_depth = 0;            // max loop nest depth in the kernel
+
+  [[nodiscard]] double total_ops() const { return flops + int_ops + transcendental; }
+  [[nodiscard]] double transfer_bytes() const {
+    return transfer_to_bytes + transfer_from_bytes;
+  }
+};
+
+/// Profiles the (single) kernel in a translation unit. `fallback_trip` is
+/// used for loops whose bounds don't fold.
+KernelProfile profile_kernel(const frontend::AstNode* translation_unit,
+                             std::int64_t fallback_trip = 100);
+
+}  // namespace pg::sim

@@ -1,0 +1,73 @@
+#include "sim/platform.hpp"
+
+namespace pg::sim {
+
+Platform summit_power9() {
+  Platform p;
+  p.name = "IBM POWER9 (CPU)";
+  p.cluster = "Summit";
+  p.kind = DeviceKind::kCpu;
+  p.cores = 22;
+  p.clock_ghz = 3.45;
+  p.flops_per_cycle_per_core = 2.2;  // scalar/partially vectorised loops
+  p.dram_bandwidth_gbs = 110.0;
+  p.cache_mb = 110.0;
+  p.fork_join_us = 9.0;
+  p.single_core_bw_fraction = 0.22;
+  return p;
+}
+
+Platform summit_v100() {
+  Platform p;
+  p.name = "NVIDIA V100 (GPU)";
+  p.cluster = "Summit";
+  p.kind = DeviceKind::kGpu;
+  p.cores = 80;  // SMs
+  p.clock_ghz = 1.53;
+  p.flops_per_cycle_per_core = 28.0;  // sustained DP for OpenMP offload
+  p.dram_bandwidth_gbs = 780.0;
+  p.cache_mb = 6.0;
+  p.transfer_bandwidth_gbs = 42.0;  // NVLink2, sustained
+  p.transfer_latency_us = 9.0;
+  p.kernel_launch_us = 26.0;        // libomptarget + CUDA launch
+  p.lanes_per_core = 128;
+  return p;
+}
+
+Platform corona_epyc7401() {
+  Platform p;
+  p.name = "AMD EPYC7401 (CPU)";
+  p.cluster = "Corona";
+  p.kind = DeviceKind::kCpu;
+  p.cores = 24;
+  p.clock_ghz = 2.8;
+  p.flops_per_cycle_per_core = 2.0;
+  p.dram_bandwidth_gbs = 120.0;
+  p.cache_mb = 64.0;
+  p.fork_join_us = 7.0;
+  p.single_core_bw_fraction = 0.20;
+  return p;
+}
+
+Platform corona_mi50() {
+  Platform p;
+  p.name = "AMD MI50 (GPU)";
+  p.cluster = "Corona";
+  p.kind = DeviceKind::kGpu;
+  p.cores = 60;  // CUs
+  p.clock_ghz = 1.725;
+  p.flops_per_cycle_per_core = 24.0;
+  p.dram_bandwidth_gbs = 850.0;
+  p.cache_mb = 4.0;
+  p.transfer_bandwidth_gbs = 11.0;  // PCIe gen3 x16, sustained
+  p.transfer_latency_us = 14.0;
+  p.kernel_launch_us = 34.0;        // ROCm offload overhead
+  p.lanes_per_core = 128;
+  return p;
+}
+
+std::vector<Platform> all_platforms() {
+  return {summit_power9(), summit_v100(), corona_epyc7401(), corona_mi50()};
+}
+
+}  // namespace pg::sim

@@ -1,0 +1,59 @@
+// Machine descriptors for the four accelerators of the paper's evaluation
+// (Summit: IBM POWER9 + NVIDIA V100; Corona: AMD EPYC 7401 + AMD MI50).
+//
+// The numbers are public spec-sheet values derated to sustained-throughput
+// estimates for compiler-generated OpenMP code; the simulator consumes them
+// through a roofline-style cost model (runtime_simulator.hpp). Absolute
+// accuracy is not the goal — the paper's evaluation only needs runtimes
+// that scale correctly with work, parallel configuration, memory traffic,
+// and host-device transfers, and that differ across the four devices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pg::sim {
+
+enum class DeviceKind : std::uint8_t { kCpu, kGpu };
+
+struct Platform {
+  std::string name;          // e.g. "NVIDIA V100 (GPU)"
+  std::string cluster;       // "Summit" / "Corona"
+  DeviceKind kind = DeviceKind::kCpu;
+
+  int cores = 1;             // CPU cores, or GPU SMs/CUs
+  double clock_ghz = 1.0;
+  /// Sustained useful FP operations per cycle per core (CPU) or per SM/CU
+  /// (GPU) for compiler-generated loops — far below peak on purpose.
+  double flops_per_cycle_per_core = 2.0;
+  double dram_bandwidth_gbs = 100.0;
+  double cache_mb = 32.0;    // last-level cache (CPU) / L2 (GPU)
+
+  // GPU-only knobs (0 / unused for CPUs).
+  double transfer_bandwidth_gbs = 0.0;  // host <-> device
+  double transfer_latency_us = 0.0;
+  double kernel_launch_us = 0.0;        // offload launch / fork overhead
+  int lanes_per_core = 1;    // concurrent lanes per SM/CU the model assumes
+
+  // CPU-only knobs.
+  double fork_join_us = 0.0; // parallel-region fork/join cost per region
+  double single_core_bw_fraction = 0.25;  // 1 core can't saturate DRAM
+
+  [[nodiscard]] double peak_flops() const {
+    return static_cast<double>(cores) * clock_ghz * 1e9 * flops_per_cycle_per_core;
+  }
+  [[nodiscard]] double total_lanes() const {
+    return static_cast<double>(cores) * lanes_per_core;
+  }
+};
+
+Platform summit_power9();
+Platform summit_v100();
+Platform corona_epyc7401();
+Platform corona_mi50();
+
+/// The four platforms in the paper's table order (POWER9, V100, EPYC, MI50).
+std::vector<Platform> all_platforms();
+
+}  // namespace pg::sim

@@ -1,0 +1,127 @@
+#include "sim/runtime_simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pg::sim {
+namespace {
+
+/// CPU parallel efficiency: mild synchronisation/NUMA degradation per core.
+double cpu_efficiency(int workers) {
+  return 1.0 / (1.0 + 0.015 * static_cast<double>(workers - 1));
+}
+
+/// CPU memory bandwidth saturation: a few cores saturate the controllers.
+double cpu_bw_fraction(int workers, double single_core_fraction) {
+  const double w = static_cast<double>(workers);
+  const double saturating = w / (w + 3.0) / (1.0 / (1.0 + 3.0));  // =1 at w=1
+  return std::min(1.0, single_core_fraction * saturating * 4.0);
+}
+
+/// CPU cache effect: footprints inside the LLC skip most DRAM traffic.
+double cache_traffic_factor(double footprint_bytes, double cache_mb) {
+  const double cache_bytes = cache_mb * 1024.0 * 1024.0;
+  if (footprint_bytes <= 0.0) return 1.0;
+  if (footprint_bytes <= cache_bytes) return 0.15;
+  if (footprint_bytes >= 8.0 * cache_bytes) return 1.0;
+  // Smooth ramp between 1x and 8x the cache size.
+  const double t = (footprint_bytes - cache_bytes) / (7.0 * cache_bytes);
+  return 0.15 + 0.85 * t;
+}
+
+double cpu_runtime_us(const KernelProfile& p, const Platform& m,
+                      const SimOptions& opt) {
+  const int requested = static_cast<int>(std::max<std::int64_t>(1, p.num_threads));
+  const int workers = std::min(requested, m.cores);
+
+  const double effective_flops =
+      p.flops + 0.5 * p.int_ops + opt.transcendental_flops_cpu * p.transcendental;
+  const double per_core = m.clock_ghz * 1e9 * m.flops_per_cycle_per_core;
+  const double compute_s = effective_flops /
+                           (per_core * workers * cpu_efficiency(workers));
+
+  const double traffic =
+      p.bytes_accessed * cache_traffic_factor(p.footprint_bytes, m.cache_mb);
+  const double stride_derate = 1.0 + 2.5 * (1.0 - p.contiguous_fraction);
+  const double bw = m.dram_bandwidth_gbs * 1e9 *
+                    cpu_bw_fraction(workers, m.single_core_bw_fraction) /
+                    stride_derate;
+  const double memory_s = traffic / bw;
+
+  // Load imbalance of the statically scheduled distributed loop.
+  double imbalance = 1.0;
+  if (p.has_directive && p.parallel_iterations > 0) {
+    const double chunks = std::ceil(static_cast<double>(p.parallel_iterations) /
+                                    static_cast<double>(workers));
+    imbalance = chunks * workers / static_cast<double>(p.parallel_iterations);
+    imbalance = std::min(imbalance, static_cast<double>(workers));
+  }
+
+  const double branch_derate = 1.0 + 0.12 * p.branch_fraction;
+  double time_s = std::max(compute_s, memory_s) * imbalance * branch_derate;
+  if (p.has_directive && workers > 1)
+    time_s += m.fork_join_us * 1e-6 * std::log2(static_cast<double>(workers) + 1.0);
+  return time_s * 1e6;
+}
+
+double gpu_runtime_us(const KernelProfile& p, const Platform& m,
+                      const SimOptions& opt) {
+  const double teams = static_cast<double>(std::max<std::int64_t>(1, p.num_teams));
+  const double threads =
+      static_cast<double>(std::max<std::int64_t>(1, p.num_threads));
+
+  // Concurrency: how many lanes the launch + iteration space can fill.
+  const double iterations =
+      static_cast<double>(std::max<std::int64_t>(1, p.parallel_iterations));
+  const double launch_lanes = teams * std::min(threads, 1024.0);
+  const double concurrency = std::min(iterations, launch_lanes);
+
+  // SM/CU-level utilisation: few teams leave whole SMs idle.
+  const double sm_util = std::min(1.0, teams / static_cast<double>(m.cores));
+  const double lane_util = std::min(1.0, concurrency / m.total_lanes());
+  const double occupancy = std::max(0.25 * lane_util + 0.75 * lane_util * sm_util,
+                                    1.0 / m.total_lanes());
+
+  const double effective_flops =
+      p.flops + 0.6 * p.int_ops + opt.transcendental_flops_gpu * p.transcendental;
+  const double branch_derate = 1.0 + 0.9 * p.branch_fraction;  // warp divergence
+  const double compute_s =
+      effective_flops * branch_derate / (m.peak_flops() * occupancy);
+
+  const double stride_derate = 1.0 + 6.0 * (1.0 - p.contiguous_fraction);
+  const double bw_util = std::min(1.0, concurrency / (0.5 * m.total_lanes()));
+  const double bw = m.dram_bandwidth_gbs * 1e9 * std::max(bw_util, 0.02) /
+                    stride_derate;
+  const double memory_s = p.bytes_accessed / bw;
+
+  double time_s = std::max(compute_s, memory_s);
+  time_s += m.kernel_launch_us * 1e-6;
+
+  if (p.transfer_bytes() > 0.0) {
+    const double xfer_bw = m.transfer_bandwidth_gbs * 1e9;
+    time_s += p.transfer_bytes() / xfer_bw + 2.0 * m.transfer_latency_us * 1e-6;
+  }
+  return time_s * 1e6;
+}
+
+}  // namespace
+
+double simulate_runtime_us(const KernelProfile& profile, const Platform& platform,
+                           const SimOptions& options) {
+  const double time_us = platform.kind == DeviceKind::kCpu
+                             ? cpu_runtime_us(profile, platform, options)
+                             : gpu_runtime_us(profile, platform, options);
+  return std::max(time_us, options.timer_floor_us);
+}
+
+double measure_runtime_us(const KernelProfile& profile, const Platform& platform,
+                          pg::Rng& rng, const SimOptions& options) {
+  const double base = simulate_runtime_us(profile, platform, options);
+  const double jitter =
+      options.noise_sigma > 0.0 ? rng.lognormal_jitter(options.noise_sigma) : 1.0;
+  return std::max(base * jitter, options.timer_floor_us);
+}
+
+}  // namespace pg::sim

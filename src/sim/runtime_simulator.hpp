@@ -1,0 +1,41 @@
+// Analytical runtime model — the stand-in for running kernels on Summit and
+// Corona (paper §IV-A.3, "Runtime Collection").
+//
+// Roofline core: time = max(compute_time, memory_time) + overheads, where
+//  * compute throughput scales with the configured parallelism, derated by
+//    parallel efficiency (CPU) or occupancy (GPU) and branch divergence;
+//  * memory time uses the DRAM bandwidth, derated for strided access and —
+//    on CPUs — boosted when the footprint fits in cache;
+//  * GPUs pay a kernel-launch overhead per offload and, for the *_mem
+//    variants, host<->device transfer time from the map clauses;
+//  * CPUs pay a fork/join overhead and a load-imbalance factor when the
+//    distributed iteration count does not divide evenly.
+// A lognormal multiplicative jitter models measurement noise (the paper
+// measured with gettimeofday around the kernel).
+#pragma once
+
+#include "sim/kernel_profile.hpp"
+#include "sim/platform.hpp"
+#include "support/rng.hpp"
+
+namespace pg::sim {
+
+struct SimOptions {
+  /// Log-stddev of the multiplicative measurement jitter; 0 disables noise.
+  double noise_sigma = 0.035;
+  /// Timer quantisation floor (gettimeofday has ~ microsecond resolution).
+  double timer_floor_us = 1.0;
+  /// Cost (in equivalent flops) of one transcendental call.
+  double transcendental_flops_cpu = 35.0;
+  double transcendental_flops_gpu = 12.0;
+};
+
+/// Deterministic (noise-free) runtime in microseconds.
+double simulate_runtime_us(const KernelProfile& profile, const Platform& platform,
+                           const SimOptions& options = {});
+
+/// Runtime with measurement jitter drawn from `rng`.
+double measure_runtime_us(const KernelProfile& profile, const Platform& platform,
+                          pg::Rng& rng, const SimOptions& options = {});
+
+}  // namespace pg::sim

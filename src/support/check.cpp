@@ -1,0 +1,14 @@
+#include "support/check.hpp"
+
+#include <sstream>
+
+namespace pg {
+
+void fatal(std::string_view message, std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " [" << loc.function_name()
+     << "] invariant violated: " << message;
+  throw InternalError(os.str());
+}
+
+}  // namespace pg

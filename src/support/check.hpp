@@ -1,0 +1,32 @@
+// Lightweight invariant checking for library internals.
+//
+// Failed checks throw `pg::InternalError`; they indicate a bug in the
+// library (or a violated precondition), never a user-input problem —
+// user-facing input errors are reported through `pg::frontend::Diagnostics`.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pg {
+
+/// Thrown when an internal invariant is violated.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Aborts the current operation with an InternalError carrying the source
+/// position of the failed check.
+[[noreturn]] void fatal(std::string_view message,
+                        std::source_location loc = std::source_location::current());
+
+/// Verifies an invariant. No-op when `condition` holds.
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (!condition) fatal(message, loc);
+}
+
+}  // namespace pg

@@ -1,0 +1,43 @@
+#include "support/csv.hpp"
+
+#include "support/check.hpp"
+
+namespace pg {
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoted(const std::string& cell) {
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  check(arity_ > 0, "csv needs at least one column");
+  emit(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  check(row.size() == arity_, "csv row arity must match header");
+  emit(row);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(cells[i]) ? quoted(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace pg

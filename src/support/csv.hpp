@@ -1,0 +1,29 @@
+// Minimal CSV writer; each bench binary records its series next to the
+// human-readable table so results can be re-plotted.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pg {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity. Cells containing commas,
+  /// quotes, or newlines are quoted per RFC 4180.
+  void add_row(const std::vector<std::string>& row);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace pg

@@ -1,0 +1,36 @@
+#include "support/env.hpp"
+
+#include <cstdlib>
+
+namespace pg {
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return (value == nullptr || *value == '\0') ? fallback : std::string(value);
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const std::string raw = env_string(name, "");
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : parsed;
+}
+
+RunScale run_scale_from_env() {
+  const std::string raw = env_string("PARAGRAPH_SCALE", "default");
+  if (raw == "smoke") return RunScale::kSmoke;
+  if (raw == "full") return RunScale::kFull;
+  return RunScale::kDefault;
+}
+
+const char* to_string(RunScale scale) {
+  switch (scale) {
+    case RunScale::kSmoke: return "smoke";
+    case RunScale::kFull: return "full";
+    case RunScale::kDefault: break;
+  }
+  return "default";
+}
+
+}  // namespace pg

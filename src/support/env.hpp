@@ -1,0 +1,25 @@
+// Environment-variable knobs shared by benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pg {
+
+/// Reads an environment variable, returning `fallback` when unset/empty.
+std::string env_string(const char* name, const std::string& fallback);
+
+/// Reads an integer environment variable (fallback on unset or parse error).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Dataset scale selector: `PARAGRAPH_SCALE` = "smoke" | "default" | "full".
+/// Controls how many sweep points the dataset generator emits; see
+/// `dataset::SweepScale`.
+enum class RunScale { kSmoke, kDefault, kFull };
+
+RunScale run_scale_from_env();
+
+/// Human-readable name of a scale value ("smoke"/"default"/"full").
+const char* to_string(RunScale scale);
+
+}  // namespace pg

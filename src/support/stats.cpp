@@ -1,0 +1,85 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace pg::stats {
+
+double mean(std::span<const double> xs) {
+  check(!xs.empty(), "mean of empty span");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  check(!xs.empty(), "stddev of empty span");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+double min(std::span<const double> xs) {
+  check(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  check(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double rmse(std::span<const double> actual, std::span<const double> predicted) {
+  check(actual.size() == predicted.size(), "rmse: size mismatch");
+  check(!actual.empty(), "rmse of empty span");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = actual[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double normalized_rmse(std::span<const double> actual,
+                       std::span<const double> predicted) {
+  const double range = max(actual) - min(actual);
+  check(range > 0.0, "normalized_rmse: zero range");
+  return rmse(actual, predicted) / range;
+}
+
+double relative_error(std::span<const double> actual,
+                      std::span<const double> predicted) {
+  check(actual.size() == predicted.size(), "relative_error: size mismatch");
+  const double range = max(actual) - min(actual);
+  check(range > 0.0, "relative_error: zero range");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i)
+    acc += std::abs(actual[i] - predicted[i]);
+  return acc / static_cast<double>(actual.size()) / range;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  check(xs.size() == ys.size() && xs.size() >= 2, "pearson: need >= 2 pairs");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  const double denom = std::sqrt(sxx * syy);
+  return denom == 0.0 ? 0.0 : sxy / denom;
+}
+
+std::size_t ten_second_bin(double runtime_us, std::size_t num_bins) {
+  check(num_bins >= 1, "ten_second_bin: need at least one bin");
+  constexpr double kTenSecondsUs = 10.0 * 1e6;
+  const auto bin = static_cast<std::size_t>(std::max(0.0, runtime_us) / kTenSecondsUs);
+  return std::min(bin, num_bins - 1);
+}
+
+}  // namespace pg::stats

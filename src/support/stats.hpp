@@ -1,0 +1,34 @@
+// Statistics used by the evaluation harness (paper §V-A).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pg::stats {
+
+double mean(std::span<const double> xs);
+double stddev(std::span<const double> xs);  // population stddev
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Root mean square error between actual and predicted (Eq. 3).
+double rmse(std::span<const double> actual, std::span<const double> predicted);
+
+/// RMSE divided by the range (max - min) of `actual`.
+double normalized_rmse(std::span<const double> actual,
+                       std::span<const double> predicted);
+
+/// Mean of |actual - predicted| / range(actual) — the paper's "relative
+/// error" used in Fig. 4 / Fig. 6.
+double relative_error(std::span<const double> actual,
+                      std::span<const double> predicted);
+
+/// Pearson correlation coefficient (Fig. 9's "strong correlation").
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Histogram helper: index of the 10-second bin a runtime (in microseconds)
+/// falls into; bins are [0,10s), [10s,20s) ... [90s,100s), [100s, inf).
+std::size_t ten_second_bin(double runtime_us, std::size_t num_bins = 11);
+
+}  // namespace pg::stats

@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness output.
+//
+// Every bench binary prints its results in the same row/column layout as the
+// corresponding table or figure in the paper; this helper keeps the
+// formatting consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pg {
+
+/// A fixed-column text table. Columns are sized to the widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with box-drawing rules, e.g.
+  ///   Platform | RMSE (ms) | Norm-RMSE
+  ///   ---------+-----------+----------
+  ///   V100     |     280.0 |   9.0e-03
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (for table cells).
+std::string format_double(double v, int digits = 4);
+
+/// Formats in scientific style matching the paper, e.g. "9 x 10^-3".
+std::string format_sci(double v, int digits = 1);
+
+}  // namespace pg

@@ -1,0 +1,18 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace pg::tensor {
+
+void glorot_uniform(Matrix& m, pg::Rng& rng) {
+  const double fan_in = static_cast<double>(m.rows());
+  const double fan_out = static_cast<double>(m.cols());
+  const double a = std::sqrt(6.0 / (fan_in + fan_out));
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(-a, a));
+}
+
+void uniform_init(Matrix& m, pg::Rng& rng, float lo, float hi) {
+  for (float& v : m.data()) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+}  // namespace pg::tensor

@@ -1,0 +1,15 @@
+// Weight initialisation schemes.
+#pragma once
+
+#include "support/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::tensor {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+void glorot_uniform(Matrix& m, pg::Rng& rng);
+
+/// Uniform in [lo, hi].
+void uniform_init(Matrix& m, pg::Rng& rng, float lo, float hi);
+
+}  // namespace pg::tensor

@@ -1,0 +1,188 @@
+#include "tensor/matrix.hpp"
+
+#include "support/check.hpp"
+
+namespace pg::tensor {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::row(std::span<const float> values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+float& Matrix::operator()(std::size_t r, std::size_t c) {
+  check(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+const float& Matrix::operator()(std::size_t r, std::size_t c) const {
+  check(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<float> Matrix::row_span(std::size_t r) {
+  check(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const float> Matrix::row_span(std::size_t r) const {
+  check(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::add_(const Matrix& other) {
+  check(same_shape(other), "add_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::sub_(const Matrix& other) {
+  check(same_shape(other), "sub_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::mul_(const Matrix& other) {
+  check(same_shape(other), "mul_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::scale_(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+Matrix& Matrix::axpy_(float s, const Matrix& other) {
+  check(same_shape(other), "axpy_: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+  return *this;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Matrix::squared_norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return acc;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+
+  // i-k-j: the inner loop is a contiguous saxpy over C's row.
+  const bool parallel = m * k * n > (1u << 20);
+#pragma omp parallel for if (parallel) schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* crow = pc + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aval = pa[i * k + kk];
+      if (aval == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_transpose_a: row counts differ");
+  Matrix c(a.cols(), b.cols());
+  const std::size_t m = a.cols();
+  const std::size_t k = a.rows();
+  const std::size_t n = b.cols();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // C[i,j] = sum_kk A[kk,i] * B[kk,j]; iterate kk outer for contiguity.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.cols(), "matmul_transpose_b: col counts differ");
+  Matrix c(a.rows(), b.rows());
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
+      crow[j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.add_(b);
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.sub_(b);
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.mul_(b);
+  return c;
+}
+
+Matrix column_sums(const Matrix& a) {
+  Matrix out(1, a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  return out;
+}
+
+Matrix row_mean(const Matrix& a) {
+  check(a.rows() > 0, "row_mean of empty matrix");
+  Matrix out = column_sums(a);
+  out.scale_(1.0f / static_cast<float>(a.rows()));
+  return out;
+}
+
+}  // namespace pg::tensor

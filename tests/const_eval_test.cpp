@@ -1,0 +1,233 @@
+// Tests for constant folding and loop trip-count analysis.
+#include <gtest/gtest.h>
+
+#include "frontend/const_eval.hpp"
+#include "frontend/loop_analysis.hpp"
+#include "frontend/parser.hpp"
+
+namespace pg::frontend {
+namespace {
+
+/// Parses `int g(void) { return <expr>; }` and folds the expression.
+std::optional<std::int64_t> fold(const std::string& expr) {
+  auto r = parse_source("int g(void) { return " + expr + "; }");
+  EXPECT_TRUE(r.ok()) << r.diagnostics.summary();
+  const AstNode* ret = r.root()->child(0)->child(0)->child(0);
+  EXPECT_EQ(ret->kind(), NodeKind::kReturnStmt);
+  return evaluate_integer_constant(ret->child(0));
+}
+
+/// Parses a function whose single statement is a for loop; analyses it.
+std::optional<LoopInfo> analyze(const std::string& loop,
+                                const std::string& prelude = "") {
+  auto r = parse_source("void f(void) { " + prelude + loop + " }");
+  EXPECT_TRUE(r.ok()) << r.diagnostics.summary();
+  const AstNode* found = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (found == nullptr && n->is(NodeKind::kForStmt)) found = n;
+    return found == nullptr;
+  });
+  EXPECT_NE(found, nullptr);
+  return analyze_for_loop(found);
+}
+
+TEST(ConstEval, Literals) {
+  EXPECT_EQ(fold("42"), 42);
+  EXPECT_EQ(fold("0"), 0);
+}
+
+TEST(ConstEval, Arithmetic) {
+  EXPECT_EQ(fold("2 + 3 * 4"), 14);
+  EXPECT_EQ(fold("(2 + 3) * 4"), 20);
+  EXPECT_EQ(fold("10 / 3"), 3);
+  EXPECT_EQ(fold("10 % 3"), 1);
+  EXPECT_EQ(fold("1 << 10"), 1024);
+  EXPECT_EQ(fold("1024 >> 2"), 256);
+}
+
+TEST(ConstEval, UnaryOperators) {
+  EXPECT_EQ(fold("-5"), -5);
+  EXPECT_EQ(fold("+5"), 5);
+  EXPECT_EQ(fold("!0"), 1);
+  EXPECT_EQ(fold("!7"), 0);
+  EXPECT_EQ(fold("~0"), -1);
+}
+
+TEST(ConstEval, Comparisons) {
+  EXPECT_EQ(fold("3 < 4"), 1);
+  EXPECT_EQ(fold("4 <= 3"), 0);
+  EXPECT_EQ(fold("5 == 5"), 1);
+  EXPECT_EQ(fold("5 != 5"), 0);
+}
+
+TEST(ConstEval, Conditional) {
+  EXPECT_EQ(fold("1 ? 10 : 20"), 10);
+  EXPECT_EQ(fold("0 ? 10 : 20"), 20);
+}
+
+TEST(ConstEval, DivisionByZeroDoesNotFold) {
+  EXPECT_EQ(fold("1 / 0"), std::nullopt);
+  EXPECT_EQ(fold("1 % 0"), std::nullopt);
+}
+
+TEST(ConstEval, FloatingDoesNotFold) {
+  EXPECT_EQ(fold("1 + 2.5"), std::nullopt);
+}
+
+TEST(ConstEval, VariableWithLiteralInitFolds) {
+  auto r = parse_source("int g(void) { int n = 128; return n * 2; }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* body = r.root()->child(0)->child(0);
+  const AstNode* ret = body->child(1);
+  EXPECT_EQ(evaluate_integer_constant(ret->child(0)), 256);
+}
+
+TEST(ConstEval, ChainedVariableInitsFold) {
+  auto r = parse_source(
+      "int g(void) { int n = 64; int m = n * 2; return m + n; }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* body = r.root()->child(0)->child(0);
+  const AstNode* ret = body->child(2);
+  EXPECT_EQ(evaluate_integer_constant(ret->child(0)), 192);
+}
+
+TEST(ConstEval, UninitializedVariableDoesNotFold) {
+  auto r = parse_source("int g(int n) { return n + 1; }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* ret = r.root()->child(0)->child(1)->child(0);
+  EXPECT_EQ(evaluate_integer_constant(ret->child(0)), std::nullopt);
+}
+
+TEST(ConstEval, NullExprDoesNotFold) {
+  EXPECT_EQ(evaluate_integer_constant(nullptr), std::nullopt);
+}
+
+// ------------------------------------------------------------ loops -----
+
+TEST(LoopAnalysis, CanonicalUpcountingLoop) {
+  auto info = analyze("for (int i = 0; i < 50; i++) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 50);
+  EXPECT_EQ(info->begin, 0);
+  EXPECT_EQ(info->bound, 50);
+  EXPECT_EQ(info->step, 1);
+  EXPECT_EQ(info->relation, "<");
+}
+
+TEST(LoopAnalysis, InclusiveBound) {
+  auto info = analyze("for (int i = 0; i <= 50; i++) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 51);
+}
+
+TEST(LoopAnalysis, NonUnitStride) {
+  auto info = analyze("for (int i = 0; i < 100; i += 3) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 34);  // ceil(100/3)
+}
+
+TEST(LoopAnalysis, DowncountingLoop) {
+  auto info = analyze("for (int i = 99; i >= 0; i--) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 100);
+  EXPECT_EQ(info->step, -1);
+}
+
+TEST(LoopAnalysis, DowncountingExclusive) {
+  auto info = analyze("for (int i = 100; i > 0; i -= 10) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 10);
+}
+
+TEST(LoopAnalysis, AssignmentInitWithoutDecl) {
+  auto info = analyze("for (i = 5; i < 15; i++) {}", "int i;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 10);
+}
+
+TEST(LoopAnalysis, IEqualsIPlusConstantStep) {
+  auto info = analyze("for (int i = 0; i < 10; i = i + 2) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 5);
+}
+
+TEST(LoopAnalysis, ReversedConditionNormalised) {
+  auto info = analyze("for (int i = 0; 10 > i; i++) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 10);
+}
+
+TEST(LoopAnalysis, BoundFromFoldableVariable) {
+  auto info = analyze("for (int i = 0; i < n; i++) {}", "int n = 256;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 256);
+}
+
+TEST(LoopAnalysis, BoundExpressionFolds) {
+  auto info = analyze("for (int i = 1; i < 100 - 1; i++) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 98);
+}
+
+TEST(LoopAnalysis, ZeroTripLoop) {
+  auto info = analyze("for (int i = 10; i < 5; i++) {}");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->trip_count, 0);
+}
+
+TEST(LoopAnalysis, WrongDirectionDoesNotAnalyze) {
+  // i < bound with negative step never terminates: refuse to analyse.
+  auto info = analyze("for (int i = 0; i < 10; i--) {}");
+  EXPECT_FALSE(info.has_value());
+}
+
+TEST(LoopAnalysis, NonConstantBoundDoesNotAnalyze) {
+  auto info = analyze("for (int i = 0; i < n; i++) {}", "");
+  // n is a function parameter here -> parse fails; use a param version:
+  auto r = parse_source("void f(int n) { for (int i = 0; i < n; i++) {} }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* loop = nullptr;
+  walk(r.root(), [&](const AstNode* x, int) {
+    if (loop == nullptr && x->is(NodeKind::kForStmt)) loop = x;
+    return loop == nullptr;
+  });
+  EXPECT_FALSE(analyze_for_loop(loop).has_value());
+  (void)info;
+}
+
+TEST(LoopAnalysis, NonCanonicalConditionDoesNotAnalyze) {
+  auto info = analyze("for (int i = 0; i != 10; i++) {}");
+  EXPECT_FALSE(info.has_value());
+}
+
+TEST(LoopAnalysis, TripCountOrFallback) {
+  auto r = parse_source("void f(int n) { for (int i = 0; i < n; i++) {} }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* loop = nullptr;
+  walk(r.root(), [&](const AstNode* x, int) {
+    if (loop == nullptr && x->is(NodeKind::kForStmt)) loop = x;
+    return loop == nullptr;
+  });
+  EXPECT_EQ(trip_count_or(loop, 123), 123);
+}
+
+TEST(LoopAnalysis, TripCountOrUsesAnalysis) {
+  auto r = parse_source("void f(void) { for (int i = 0; i < 7; i++) {} }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* loop = nullptr;
+  walk(r.root(), [&](const AstNode* x, int) {
+    if (loop == nullptr && x->is(NodeKind::kForStmt)) loop = x;
+    return loop == nullptr;
+  });
+  EXPECT_EQ(trip_count_or(loop, 999), 7);
+}
+
+TEST(LoopAnalysis, InductionVarIdentified) {
+  auto info = analyze("for (int k = 0; k < 3; k++) {}");
+  ASSERT_TRUE(info.has_value());
+  ASSERT_NE(info->induction_var, nullptr);
+  EXPECT_EQ(info->induction_var->text(), "k");
+}
+
+}  // namespace
+}  // namespace pg::frontend

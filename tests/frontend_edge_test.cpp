@@ -1,0 +1,191 @@
+// Frontend edge cases: C constructs at the boundary of the supported
+// subset, error recovery, and the exact tree shapes downstream passes
+// depend on.
+#include <gtest/gtest.h>
+
+#include "frontend/ast_dump.hpp"
+#include "frontend/const_eval.hpp"
+#include "frontend/parser.hpp"
+
+namespace pg::frontend {
+namespace {
+
+ParseResult ok(std::string_view source) {
+  auto r = parse_source(source);
+  EXPECT_TRUE(r.ok()) << r.diagnostics.summary();
+  return r;
+}
+
+std::size_t count_kind(const AstNode* root, NodeKind kind) {
+  std::size_t n = 0;
+  walk(root, [&](const AstNode* node, int) {
+    n += node->is(kind);
+    return true;
+  });
+  return n;
+}
+
+TEST(FrontendEdge, CastExpression) {
+  auto r = ok("double g(int a) { return (double)a / 2; }");
+  EXPECT_GE(count_kind(r.root(), NodeKind::kImplicitCastExpr), 1u);
+}
+
+TEST(FrontendEdge, SizeofType) {
+  auto r = ok("int g(void) { return sizeof(double); }");
+  const AstNode* ret = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (ret == nullptr && n->is(NodeKind::kReturnStmt)) ret = n;
+    return ret == nullptr;
+  });
+  ASSERT_NE(ret, nullptr);
+  EXPECT_EQ(evaluate_integer_constant(ret->child(0)), 8);
+}
+
+TEST(FrontendEdge, SizeofExpression) {
+  auto r = ok("int g(void) { int x; return sizeof(x); }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kUnaryOperator), 1u);
+}
+
+TEST(FrontendEdge, CommaExpression) {
+  auto r = ok("void f(void) { int a; int b; a = 1, b = 2; }");
+  bool found_comma = false;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (n->is(NodeKind::kBinaryOperator) && n->text() == ",") found_comma = true;
+    return true;
+  });
+  EXPECT_TRUE(found_comma);
+}
+
+TEST(FrontendEdge, NestedConditional) {
+  auto r = ok("int g(int x) { return x > 2 ? 1 : x > 1 ? 2 : 3; }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kConditionalOperator), 2u);
+}
+
+TEST(FrontendEdge, InitListInitializer) {
+  auto r = ok("void f(void) { double v[3] = {1.0, 2.0, 3.0}; }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kInitListExpr), 1u);
+}
+
+TEST(FrontendEdge, ForWithCommaIncrement) {
+  auto r = ok("void f(void) { int j; for (int i = 0; i < 4; i++, j++) {} }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kForStmt), 1u);
+}
+
+TEST(FrontendEdge, DanglingElseBindsToInnerIf) {
+  auto r = ok("void f(int a, int b) { if (a > 0) if (b > 0) b = 1; else b = 2; }");
+  const AstNode* outer = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (outer == nullptr && n->is(NodeKind::kIfStmt)) outer = n;
+    return outer == nullptr;
+  });
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->num_children(), 2u);  // outer if has NO else
+  EXPECT_EQ(outer->if_then()->num_children(), 3u);  // inner if owns the else
+}
+
+TEST(FrontendEdge, UnaryMinusPrecedence) {
+  auto r = ok("int g(void) { return -2 * 3; }");
+  const AstNode* ret = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (ret == nullptr && n->is(NodeKind::kReturnStmt)) ret = n;
+    return ret == nullptr;
+  });
+  EXPECT_EQ(ret->child(0)->text(), "*");
+  EXPECT_EQ(evaluate_integer_constant(ret->child(0)), -6);
+}
+
+TEST(FrontendEdge, LogicalOperatorsShortCircuitShape) {
+  auto r = ok("int g(int a, int b) { return a > 0 && b > 0 || a < -1; }");
+  const AstNode* ret = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (ret == nullptr && n->is(NodeKind::kReturnStmt)) ret = n;
+    return ret == nullptr;
+  });
+  EXPECT_EQ(ret->child(0)->text(), "||");  // || binds looser than &&
+}
+
+TEST(FrontendEdge, GlobalArrayExtentFromExpression) {
+  auto r = ok("double grid[1 << 4];");
+  const AstNode* var = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (var == nullptr && n->is(NodeKind::kVarDecl)) var = n;
+    return var == nullptr;
+  });
+  ASSERT_NE(var, nullptr);
+  // Non-literal extents fold to kUnknownExtent at parse time (documented);
+  // the dataset generator always substitutes plain literals.
+  ASSERT_EQ(var->type().array_extents.size(), 1u);
+}
+
+TEST(FrontendEdge, ForwardDeclarationThenCall) {
+  auto r = ok(R"(
+    double helper(double x);
+    double g(double y) { return helper(y); }
+  )");
+  const AstNode* call = nullptr;
+  walk(r.root(), [&](const AstNode* n, int) {
+    if (call == nullptr && n->is(NodeKind::kCallExpr)) call = n;
+    return call == nullptr;
+  });
+  ASSERT_NE(call, nullptr);
+  EXPECT_NE(call->child(0)->referenced_decl(), nullptr);
+}
+
+TEST(FrontendEdge, WhileConditionWithSideEffect) {
+  auto r = ok("void f(int n) { while (n-- > 0) {} }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kWhileStmt), 1u);
+}
+
+TEST(FrontendEdge, DeeplyNestedParens) {
+  auto r = ok("int g(void) { return ((((1)))); }");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kParenExpr), 4u);
+}
+
+TEST(FrontendEdge, LongLongAndUnsignedTypes) {
+  auto r = ok("void f(void) { unsigned long a = 1; long long b = 2; unsigned c = 3; }");
+  std::size_t decls = count_kind(r.root(), NodeKind::kVarDecl);
+  EXPECT_EQ(decls, 3u);
+}
+
+TEST(FrontendEdge, ErrorRecoveryReportsFirstProblem) {
+  auto r = parse_source("void f(void) { int x = (; }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.diagnostics.entries().empty());
+}
+
+TEST(FrontendEdge, EmptyTranslationUnitIsValid) {
+  auto r = ok("");
+  EXPECT_EQ(r.root()->num_children(), 0u);
+}
+
+TEST(FrontendEdge, PragmaInsideNestedBlock) {
+  auto r = ok(R"(
+    double v[64];
+    void f(void) {
+      {
+        #pragma omp parallel for num_threads(4)
+        for (int i = 0; i < 64; i++) v[i] = 0.0;
+      }
+    }
+  )");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kOmpParallelForDirective), 1u);
+}
+
+TEST(FrontendEdge, TwoKernelsInOneUnit) {
+  auto r = ok(R"(
+    double a[32];
+    void k1(void) {
+      #pragma omp parallel for num_threads(2)
+      for (int i = 0; i < 32; i++) a[i] = 0.0;
+    }
+    void k2(void) {
+      #pragma omp parallel for num_threads(4)
+      for (int i = 0; i < 32; i++) a[i] = 1.0;
+    }
+  )");
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kOmpParallelForDirective), 2u);
+  EXPECT_EQ(count_kind(r.root(), NodeKind::kFunctionDecl), 2u);
+}
+
+}  // namespace
+}  // namespace pg::frontend

@@ -1,0 +1,171 @@
+// Tests for the C-subset lexer.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace pg::frontend {
+namespace {
+
+std::vector<Token> lex(std::string_view source) {
+  Diagnostics diags;
+  Lexer lexer(source, diags);
+  auto tokens = lexer.tokenize_all();
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return tokens;
+}
+
+std::vector<TokenKind> kinds(std::string_view source) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(source)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  const auto tokens = lex("int foo while whiley _bar x2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].text, "foo");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKwWhile);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdentifier);  // prefix is not keyword
+  EXPECT_EQ(tokens[4].text, "_bar");
+  EXPECT_EQ(tokens[5].text, "x2");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  const auto tokens = lex("0 42 0x1F 100u 7L");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIntegerLiteral) << i;
+  EXPECT_EQ(tokens[2].text, "0x1F");
+}
+
+TEST(Lexer, FloatingLiterals) {
+  const auto tokens = lex("1.5 0.25 1e10 2.5e-3 3.f");
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(tokens[i].kind, TokenKind::kFloatingLiteral) << i;
+}
+
+TEST(Lexer, FloatSuffixForcesFloating) {
+  const auto tokens = lex("1f");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloatingLiteral);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto ks = kinds("<= >= == != && || << >> += -= *= /= %= ++ -- ->");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kLessEqual,    TokenKind::kGreaterEqual,
+      TokenKind::kEqualEqual,   TokenKind::kExclaimEqual,
+      TokenKind::kAmpAmp,       TokenKind::kPipePipe,
+      TokenKind::kLessLess,     TokenKind::kGreaterGreater,
+      TokenKind::kPlusEqual,    TokenKind::kMinusEqual,
+      TokenKind::kStarEqual,    TokenKind::kSlashEqual,
+      TokenKind::kPercentEqual, TokenKind::kPlusPlus,
+      TokenKind::kMinusMinus,   TokenKind::kArrow,
+      TokenKind::kEof};
+  EXPECT_EQ(ks, expected);
+}
+
+TEST(Lexer, MaximalMunchPlusPlusPlus) {
+  // "+++" lexes as "++" "+".
+  const auto ks = kinds("x+++y");
+  const std::vector<TokenKind> expected = {
+      TokenKind::kIdentifier, TokenKind::kPlusPlus, TokenKind::kPlus,
+      TokenKind::kIdentifier, TokenKind::kEof};
+  EXPECT_EQ(ks, expected);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto tokens = lex("a // this is a comment\nb");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  const auto tokens = lex("a /* multi\nline */ b");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, UnterminatedBlockCommentReportsError) {
+  Diagnostics diags;
+  Lexer lexer("a /* never closed", diags);
+  (void)lexer.tokenize_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, PragmaBecomesSingleToken) {
+  const auto tokens = lex("#pragma omp parallel for num_threads(4)\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
+  EXPECT_EQ(tokens[0].text, "omp parallel for num_threads(4)");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kKwInt);
+}
+
+TEST(Lexer, PragmaLineContinuation) {
+  const auto tokens = lex("#pragma omp parallel for \\\n  collapse(2)\nx");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
+  EXPECT_NE(tokens[0].text.find("collapse(2)"), std::string::npos);
+}
+
+TEST(Lexer, IncludeAndDefineLinesSkipped) {
+  const auto tokens = lex("#include <math.h>\n#define FOO 1\nint x;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKwInt);
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  const auto tokens = lex(R"("hello \"world\"" 'a')");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kCharLiteral);
+}
+
+TEST(Lexer, UnterminatedStringReportsError) {
+  Diagnostics diags;
+  Lexer lexer("\"abc", diags);
+  (void)lexer.tokenize_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, LocationsTrackLinesAndColumns) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(Lexer, OffsetsAreByteOffsets) {
+  const auto tokens = lex("ab cd");
+  EXPECT_EQ(tokens[0].location.offset, 0u);
+  EXPECT_EQ(tokens[1].location.offset, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterReportsErrorAndContinues) {
+  Diagnostics diags;
+  Lexer lexer("a @ b", diags);
+  const auto tokens = lexer.tokenize_all();
+  EXPECT_TRUE(diags.has_errors());
+  // 'a' and 'b' still lexed.
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, KeywordsCarrySpelling) {
+  const auto tokens = lex("for static");
+  EXPECT_EQ(tokens[0].text, "for");
+  EXPECT_EQ(tokens[1].text, "static");
+}
+
+TEST(Lexer, TokenKindNamesAreStable) {
+  EXPECT_EQ(token_kind_name(TokenKind::kLBrace), "'{'");
+  EXPECT_EQ(token_kind_name(TokenKind::kIdentifier), "identifier");
+  EXPECT_EQ(token_kind_name(TokenKind::kEof), "end of input");
+}
+
+}  // namespace
+}  // namespace pg::frontend

@@ -1,0 +1,324 @@
+// Tests for the model module: graph encoding, the assembled ParaGraphModel,
+// the trainer, and evaluation metrics.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "model/encoding.hpp"
+#include "model/metrics.hpp"
+#include "model/paragraph_model.hpp"
+#include "model/trainer.hpp"
+#include "support/check.hpp"
+
+namespace pg::model {
+namespace {
+
+graph::ProgramGraph small_graph(graph::Representation representation =
+                                    graph::Representation::kParaGraph) {
+  auto r = frontend::parse_source(R"(
+    void f(void) {
+      for (int i = 0; i < 40; i++) {
+        double x = 1.0;
+      }
+    }
+  )");
+  EXPECT_TRUE(r.ok());
+  graph::BuildOptions options;
+  options.representation = representation;
+  return graph::build_graph(r.root(), options);
+}
+
+// -------------------------------------------------------------- encoding ---
+
+TEST(Encoding, OneHotFeatures) {
+  const auto g = small_graph();
+  const EncodedGraph enc = encode_graph(g, 40.0);
+  ASSERT_EQ(enc.features.rows(), g.num_nodes());
+  ASSERT_EQ(enc.features.cols(), kNodeFeatureDim);
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    // The kind block is one-hot; the extra column carries literal magnitude.
+    float row_sum = 0.0f;
+    for (std::size_t j = 0; j < frontend::kNumNodeKinds; ++j)
+      row_sum += enc.features(i, j);
+    EXPECT_FLOAT_EQ(row_sum, 1.0f) << "node " << i;
+    EXPECT_FLOAT_EQ(
+        enc.features(i, static_cast<std::size_t>(g.nodes()[i].kind)), 1.0f);
+  }
+}
+
+TEST(Encoding, LiteralMagnitudeColumn) {
+  const auto g = small_graph();  // loop bound literal 40
+  const EncodedGraph enc = encode_graph(g, 40.0);
+  const std::size_t col = frontend::kNumNodeKinds;
+  float bound_feature = 0.0f;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    if (g.nodes()[i].kind == frontend::NodeKind::kIntegerLiteral &&
+        g.nodes()[i].label == "40")
+      bound_feature = enc.features(i, col);
+    if (g.nodes()[i].kind != frontend::NodeKind::kIntegerLiteral) {
+      EXPECT_FLOAT_EQ(enc.features(i, col), 0.0f);
+    }
+  }
+  EXPECT_NEAR(bound_feature, std::log2(41.0) / 16.0, 1e-6);
+}
+
+TEST(Encoding, OneRelationPerEdgeType) {
+  const auto enc = encode_graph(small_graph(), 40.0);
+  EXPECT_EQ(enc.relations.relations.size(), graph::kNumEdgeTypes);
+  EXPECT_EQ(enc.relations.num_nodes, small_graph().num_nodes());
+}
+
+TEST(Encoding, ChildGatesAreScaledWeights) {
+  const auto g = small_graph();
+  const auto enc = encode_graph(g, 40.0);  // max weight is 40
+  const auto& child = enc.relations.relations[0];
+  float max_gate = 0.0f;
+  float min_gate = 2.0f;
+  for (const auto& e : child.edges) {
+    max_gate = std::max(max_gate, e.gate);
+    min_gate = std::min(min_gate, e.gate);
+  }
+  EXPECT_FLOAT_EQ(max_gate, 1.0f);           // the loop-body edges
+  EXPECT_NEAR(min_gate, 1.0f / 40.0f, 1e-6); // weight-1 edges
+}
+
+TEST(Encoding, NonChildGatesAreOne) {
+  const auto enc = encode_graph(small_graph(), 40.0);
+  for (std::size_t r = 1; r < enc.relations.relations.size(); ++r)
+    for (const auto& e : enc.relations.relations[r].edges)
+      EXPECT_FLOAT_EQ(e.gate, 1.0f);
+}
+
+TEST(Encoding, GatesClampToOne) {
+  // Scale smaller than the max weight: gates clamp at 1.
+  const auto enc = encode_graph(small_graph(), 10.0);
+  for (const auto& e : enc.relations.relations[0].edges)
+    EXPECT_LE(e.gate, 1.0f);
+}
+
+TEST(Encoding, RawAstEncodingHasUnitGates) {
+  const auto enc =
+      encode_graph(small_graph(graph::Representation::kRawAst), 1.0);
+  for (const auto& e : enc.relations.relations[0].edges)
+    EXPECT_FLOAT_EQ(e.gate, 1.0f);
+  // No other relations.
+  for (std::size_t r = 1; r < enc.relations.relations.size(); ++r)
+    EXPECT_TRUE(enc.relations.relations[r].empty());
+}
+
+TEST(Encoding, BadScaleThrows) {
+  EXPECT_THROW(encode_graph(small_graph(), 0.0), InternalError);
+}
+
+// ----------------------------------------------------------------- model ---
+
+EncodedGraph encoded_small() { return encode_graph(small_graph(), 40.0); }
+
+TEST(ParaGraphModel, PredictIsDeterministic) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 3});
+  const auto enc = encoded_small();
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  EXPECT_EQ(m.predict(enc, aux), m.predict(enc, aux));
+}
+
+TEST(ParaGraphModel, SameSeedSameModel) {
+  ParaGraphModel a(ModelConfig{.hidden_dim = 8, .seed = 5});
+  ParaGraphModel b(ModelConfig{.hidden_dim = 8, .seed = 5});
+  const auto enc = encoded_small();
+  const std::array<float, 2> aux = {0.1f, 0.9f};
+  EXPECT_EQ(a.predict(enc, aux), b.predict(enc, aux));
+}
+
+TEST(ParaGraphModel, DifferentSeedDifferentModel) {
+  ParaGraphModel a(ModelConfig{.hidden_dim = 8, .seed = 5});
+  ParaGraphModel b(ModelConfig{.hidden_dim = 8, .seed = 6});
+  const auto enc = encoded_small();
+  const std::array<float, 2> aux = {0.1f, 0.9f};
+  EXPECT_NE(a.predict(enc, aux), b.predict(enc, aux));
+}
+
+TEST(ParaGraphModel, AuxFeaturesInfluencePrediction) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 7});
+  const auto enc = encoded_small();
+  const double p1 = m.predict(enc, std::array<float, 2>{0.0f, 0.0f});
+  const double p2 = m.predict(enc, std::array<float, 2>{1.0f, 1.0f});
+  EXPECT_NE(p1, p2);
+}
+
+TEST(ParaGraphModel, EdgeWeightsInfluencePrediction) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 7});
+  const auto g = small_graph();
+  const auto enc_a = encode_graph(g, 40.0);
+  const auto enc_b = encode_graph(g, 4000.0);  // much smaller gates
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  EXPECT_NE(m.predict(enc_a, aux), m.predict(enc_b, aux));
+}
+
+TEST(ParaGraphModel, WrongAuxSizeThrows) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8});
+  const auto enc = encoded_small();
+  const std::array<float, 3> bad = {0.0f, 0.0f, 0.0f};
+  EXPECT_THROW((void)m.predict(enc, bad), InternalError);
+}
+
+TEST(ParaGraphModel, ParameterCountMatchesLayout) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8});
+  // 3 convs x (3 per relation x 8 relations + self + bias) + 4 linears x 2.
+  EXPECT_EQ(m.parameters().size(), 3u * (3u * 8u + 2u) + 8u);
+  EXPECT_EQ(m.parameters().size(), m.num_params());
+}
+
+TEST(ParaGraphModel, GradientAccumulationScales) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 1});
+  const auto enc = encoded_small();
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  std::vector<tensor::Matrix> g1, g2;
+  for (auto* p : m.parameters()) {
+    g1.emplace_back(p->rows(), p->cols());
+    g2.emplace_back(p->rows(), p->cols());
+  }
+  (void)m.accumulate_gradients(enc, aux, 0.7, 1.0, g1);
+  (void)m.accumulate_gradients(enc, aux, 0.7, 2.0, g2);
+  for (std::size_t p = 0; p < g1.size(); ++p)
+    for (std::size_t i = 0; i < g1[p].size(); ++i)
+      EXPECT_NEAR(g2[p].data()[i], 2.0f * g1[p].data()[i],
+                  1e-5f + 1e-3f * std::abs(g1[p].data()[i]));
+}
+
+// --------------------------------------------------------------- trainer ---
+
+SampleSet synthetic_sample_set(std::size_t train_n, std::size_t val_n) {
+  // Targets correlate with the aux features and weight scale so the signal
+  // is learnable.
+  SampleSet set;
+  set.target_scaler.fit_bounds(0.0, 1000.0);
+  set.teams_scaler.fit_bounds(1.0, 2.0);
+  set.threads_scaler.fit_bounds(1.0, 2.0);
+  const auto g = small_graph();
+  auto make = [&](std::size_t i, std::size_t n) {
+    TrainingSample s;
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    s.graph = encode_graph(g, 40.0 + 400.0 * t);
+    s.aux = {static_cast<float>(t), static_cast<float>(1.0 - t)};
+    s.runtime_us = 100.0 + 800.0 * t;
+    s.target_scaled = set.target_scaler.transform(s.runtime_us);
+    s.app_id = static_cast<std::int32_t>(i % 3);
+    s.app_name = "app" + std::to_string(i % 3);
+    return s;
+  };
+  for (std::size_t i = 0; i < train_n; ++i) set.train.push_back(make(i, train_n));
+  for (std::size_t i = 0; i < val_n; ++i)
+    set.validation.push_back(make(i + 1, val_n + 2));
+  return set;
+}
+
+TEST(Trainer, LossDecreasesOnLearnableSignal) {
+  auto set = synthetic_sample_set(64, 16);
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  TrainConfig config;
+  config.epochs = 25;
+  config.batch_size = 16;
+  const TrainResult result = train_model(m, set, config);
+  ASSERT_EQ(result.history.size(), 25u);
+  EXPECT_LT(result.history.back().train_mse_scaled,
+            result.history.front().train_mse_scaled * 0.5);
+}
+
+TEST(Trainer, ValidationPredictionsAligned) {
+  auto set = synthetic_sample_set(32, 8);
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  TrainConfig config;
+  config.epochs = 3;
+  const TrainResult result = train_model(m, set, config);
+  EXPECT_EQ(result.val_predictions_us.size(), set.validation.size());
+  for (double p : result.val_predictions_us) EXPECT_GE(p, 0.0);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  auto set = synthetic_sample_set(16, 4);
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  TrainConfig config;
+  config.epochs = 5;
+  int calls = 0;
+  config.on_epoch = [&](int, double, double) { ++calls; };
+  (void)train_model(m, set, config);
+  EXPECT_EQ(calls, 5);
+}
+
+TEST(Trainer, PredictAllClampsAtZero) {
+  auto set = synthetic_sample_set(8, 4);
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  const auto preds = predict_all(m, set.validation, set);
+  for (double p : preds) EXPECT_GE(p, 0.0);  // no negative runtimes
+}
+
+TEST(Trainer, EmptyTrainSetThrows) {
+  SampleSet set;
+  set.target_scaler.fit_bounds(0, 1);
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8});
+  EXPECT_THROW(train_model(m, set, {}), InternalError);
+}
+
+// --------------------------------------------------------------- metrics ---
+
+std::vector<TrainingSample> metric_samples() {
+  std::vector<TrainingSample> samples;
+  auto add = [&](double runtime_us, const std::string& app) {
+    TrainingSample s;
+    s.runtime_us = runtime_us;
+    s.app_name = app;
+    samples.push_back(std::move(s));
+  };
+  add(1e6, "A");    // bin 0
+  add(5e6, "A");    // bin 0
+  add(15e6, "B");   // bin 1
+  add(150e6, "B");  // bin 10
+  return samples;
+}
+
+TEST(Metrics, BinnedRelativeErrorGroupsCorrectly) {
+  const auto samples = metric_samples();
+  const std::vector<double> preds = {1e6, 5e6, 15e6, 150e6};  // perfect
+  const auto bins = binned_relative_error(samples, preds);
+  ASSERT_EQ(bins.size(), 3u);  // bins 0, 1, 10 populated
+  EXPECT_EQ(bins[0].bin, 0u);
+  EXPECT_EQ(bins[0].count, 2u);
+  EXPECT_EQ(bins[1].bin, 1u);
+  EXPECT_EQ(bins[2].bin, 10u);
+  for (const auto& b : bins) EXPECT_DOUBLE_EQ(b.relative_error, 0.0);
+}
+
+TEST(Metrics, BinnedErrorNormalisesByRange) {
+  const auto samples = metric_samples();
+  // Error of 14.9e6 on the first sample; range = 149e6.
+  const std::vector<double> preds = {15.9e6, 5e6, 15e6, 150e6};
+  const auto bins = binned_relative_error(samples, preds);
+  EXPECT_NEAR(bins[0].relative_error, (14.9e6 / 2.0) / 149e6, 1e-9);
+}
+
+TEST(Metrics, PerAppErrorSplitsByApp) {
+  const auto samples = metric_samples();
+  const std::vector<double> preds = {1e6, 5e6, 15e6, 1e6};  // app B off
+  const auto apps = per_app_error(samples, preds);
+  ASSERT_EQ(apps.size(), 2u);
+  EXPECT_EQ(apps[0].app_name, "A");
+  EXPECT_DOUBLE_EQ(apps[0].error_rate, 0.0);
+  EXPECT_EQ(apps[1].app_name, "B");
+  EXPECT_GT(apps[1].error_rate, 0.0);
+}
+
+TEST(Metrics, BinLabels) {
+  EXPECT_EQ(bin_label(0), "0-10");
+  EXPECT_EQ(bin_label(9), "90-100");
+  EXPECT_EQ(bin_label(10), "100 <");
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const auto samples = metric_samples();
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(binned_relative_error(samples, bad), InternalError);
+  EXPECT_THROW(per_app_error(samples, bad), InternalError);
+}
+
+}  // namespace
+}  // namespace pg::model

@@ -1,0 +1,391 @@
+// Tests for the NN layers: shapes, forward semantics, Adam behaviour,
+// scaler round-trips, and small end-to-end optimisation problems.
+// (Gradient correctness is covered separately in gradcheck_test.cpp.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/adam.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/mlp.hpp"
+#include "nn/relational_graph.hpp"
+#include "nn/rgat.hpp"
+#include "nn/scaler.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/init.hpp"
+
+namespace pg::nn {
+namespace {
+
+// ----------------------------------------------------------- activation ---
+
+TEST(Activation, ReluClampsNegatives) {
+  tensor::Matrix x(1, 4);
+  x(0, 0) = -1.0f; x(0, 1) = 0.0f; x(0, 2) = 2.0f; x(0, 3) = -0.5f;
+  const tensor::Matrix y = relu(x);
+  EXPECT_EQ(y(0, 0), 0.0f);
+  EXPECT_EQ(y(0, 1), 0.0f);
+  EXPECT_EQ(y(0, 2), 2.0f);
+  EXPECT_EQ(y(0, 3), 0.0f);
+}
+
+TEST(Activation, ReluBackwardMasksByInput) {
+  tensor::Matrix x(1, 3);
+  x(0, 0) = -1.0f; x(0, 1) = 1.0f; x(0, 2) = 0.0f;
+  tensor::Matrix dy(1, 3, 5.0f);
+  const tensor::Matrix dx = relu_backward(dy, x);
+  EXPECT_EQ(dx(0, 0), 0.0f);
+  EXPECT_EQ(dx(0, 1), 5.0f);
+  EXPECT_EQ(dx(0, 2), 0.0f);  // non-differentiable point: subgradient 0
+}
+
+TEST(Activation, LeakyRelu) {
+  EXPECT_FLOAT_EQ(leaky_relu(2.0f, 0.2f), 2.0f);
+  EXPECT_FLOAT_EQ(leaky_relu(-2.0f, 0.2f), -0.4f);
+  EXPECT_FLOAT_EQ(leaky_relu_grad(2.0f, 0.2f), 1.0f);
+  EXPECT_FLOAT_EQ(leaky_relu_grad(-2.0f, 0.2f), 0.2f);
+}
+
+// ---------------------------------------------------------------- linear ---
+
+TEST(Linear, ForwardComputesAffineMap) {
+  pg::Rng rng(1);
+  Linear layer(2, 3, rng);
+  tensor::Matrix x(1, 2);
+  x(0, 0) = 1.0f; x(0, 1) = 2.0f;
+  const tensor::Matrix y = layer.forward(x);
+  ASSERT_EQ(y.rows(), 1u);
+  ASSERT_EQ(y.cols(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    const float expected = layer.weight()(0, j) + 2.0f * layer.weight()(1, j) +
+                           layer.bias()(0, j);
+    EXPECT_NEAR(y(0, j), expected, 1e-6f);
+  }
+}
+
+TEST(Linear, BatchedForward) {
+  pg::Rng rng(2);
+  Linear layer(4, 2, rng);
+  tensor::Matrix x(8, 4, 0.5f);
+  const tensor::Matrix y = layer.forward(x);
+  EXPECT_EQ(y.rows(), 8u);
+  // Rows of a constant input are identical.
+  for (std::size_t i = 1; i < 8; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_FLOAT_EQ(y(i, j), y(0, j));
+}
+
+TEST(Linear, FeatureDimMismatchThrows) {
+  pg::Rng rng(3);
+  Linear layer(4, 2, rng);
+  tensor::Matrix x(1, 3);
+  EXPECT_THROW(layer.forward(x), InternalError);
+}
+
+TEST(Linear, BackwardAccumulatesIntoGrads) {
+  pg::Rng rng(4);
+  Linear layer(2, 2, rng);
+  tensor::Matrix x(1, 2, 1.0f);
+  std::vector<tensor::Matrix> grads;
+  grads.emplace_back(2, 2);
+  grads.emplace_back(1, 2);
+  tensor::Matrix dy(1, 2, 1.0f);
+  (void)layer.backward(x, dy, grads);
+  (void)layer.backward(x, dy, grads);  // accumulates, does not overwrite
+  EXPECT_FLOAT_EQ(grads[0](0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(grads[1](0, 1), 2.0f);
+}
+
+// ------------------------------------------------------------------ mlp ---
+
+TEST(Mlp, RequiresAtLeastTwoSizes) {
+  pg::Rng rng(5);
+  EXPECT_THROW(Mlp({4}, rng), InternalError);
+}
+
+TEST(Mlp, OutputShapeAndDeterminism) {
+  pg::Rng rng(6);
+  Mlp mlp({3, 8, 1}, rng);
+  tensor::Matrix x(5, 3, 0.1f);
+  const tensor::Matrix y1 = mlp.forward(x);
+  const tensor::Matrix y2 = mlp.forward(x);
+  ASSERT_EQ(y1.rows(), 5u);
+  ASSERT_EQ(y1.cols(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y1(i, 0), y2(i, 0));
+}
+
+TEST(Mlp, ParameterCountMatchesLayers) {
+  pg::Rng rng(7);
+  Mlp mlp({3, 8, 4, 1}, rng);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.parameters().size(), 6u);
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  // y = 2 x0 - x1 should be learnable to near-zero loss.
+  pg::Rng rng(8);
+  Mlp mlp({2, 16, 1}, rng);
+  Adam adam(mlp.parameters(), {.learning_rate = 0.01});
+  auto grads = adam.make_gradient_buffer();
+  pg::Rng data_rng(9);
+
+  double final_loss = 1e9;
+  for (int step = 0; step < 500; ++step) {
+    tensor::Matrix x(16, 2);
+    std::vector<double> targets(16);
+    for (int i = 0; i < 16; ++i) {
+      x(i, 0) = static_cast<float>(data_rng.uniform(-1, 1));
+      x(i, 1) = static_cast<float>(data_rng.uniform(-1, 1));
+      targets[i] = 2.0 * x(i, 0) - x(i, 1);
+    }
+    Mlp::Cache cache;
+    tensor::Matrix pred = mlp.forward(x, cache);
+    tensor::Matrix dpred(16, 1);
+    double loss = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      loss += mse_loss(pred(i, 0), targets[i]);
+      dpred(i, 0) = static_cast<float>(mse_grad(pred(i, 0), targets[i]) / 16.0);
+    }
+    final_loss = loss / 16.0;
+    (void)mlp.backward(dpred, cache, grads);
+    adam.step(grads);
+    for (auto& g : grads) g.zero();
+  }
+  EXPECT_LT(final_loss, 1e-3);
+}
+
+// ----------------------------------------------------------------- adam ---
+
+TEST(Adam, MinimisesQuadratic) {
+  // min (w - 3)^2 from w = 0.
+  tensor::Matrix w(1, 1, 0.0f);
+  Adam adam({&w}, {.learning_rate = 0.1});
+  auto grads = adam.make_gradient_buffer();
+  for (int i = 0; i < 200; ++i) {
+    grads[0](0, 0) = 2.0f * (w(0, 0) - 3.0f);
+    adam.step(grads);
+    grads[0].zero();
+  }
+  EXPECT_NEAR(w(0, 0), 3.0f, 1e-2f);
+}
+
+TEST(Adam, StepCountIncrements) {
+  tensor::Matrix w(1, 1);
+  Adam adam({&w});
+  auto grads = adam.make_gradient_buffer();
+  adam.step(grads);
+  adam.step(grads);
+  EXPECT_EQ(adam.step_count(), 2u);
+}
+
+TEST(Adam, GradientShapeMismatchThrows) {
+  tensor::Matrix w(2, 2);
+  Adam adam({&w});
+  std::vector<tensor::Matrix> bad;
+  bad.emplace_back(1, 1);
+  EXPECT_THROW(adam.step(bad), InternalError);
+}
+
+TEST(Adam, WeightDecayShrinksWeights) {
+  tensor::Matrix w(1, 1, 10.0f);
+  AdamConfig config;
+  config.weight_decay = 0.1;
+  Adam adam({&w}, config);
+  auto grads = adam.make_gradient_buffer();
+  for (int i = 0; i < 50; ++i) {
+    adam.step(grads);  // zero task gradient: only decay acts
+    grads[0].zero();
+  }
+  EXPECT_LT(w(0, 0), 10.0f);
+}
+
+// --------------------------------------------------------------- scaler ---
+
+TEST(MinMaxScaler, TransformsToUnitInterval) {
+  MinMaxScaler scaler;
+  const std::vector<double> values = {10.0, 20.0, 15.0};
+  scaler.fit(values);
+  EXPECT_DOUBLE_EQ(scaler.transform(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(15.0), 0.5);
+}
+
+TEST(MinMaxScaler, InverseRoundTrips) {
+  MinMaxScaler scaler;
+  scaler.fit_bounds(-5.0, 37.0);
+  for (double v : {-5.0, 0.0, 17.3, 37.0})
+    EXPECT_NEAR(scaler.inverse(scaler.transform(v)), v, 1e-12);
+}
+
+TEST(MinMaxScaler, ZeroRangeMapsToZero) {
+  MinMaxScaler scaler;
+  scaler.fit_bounds(4.0, 4.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(4.0), 0.0);
+}
+
+TEST(MinMaxScaler, UseBeforeFitThrows) {
+  MinMaxScaler scaler;
+  EXPECT_THROW((void)scaler.transform(1.0), InternalError);
+  EXPECT_THROW((void)scaler.inverse(0.5), InternalError);
+}
+
+TEST(MinMaxScaler, OutOfRangeValuesExtrapolate) {
+  MinMaxScaler scaler;
+  scaler.fit_bounds(0.0, 10.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(20.0), 2.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(-10.0), -1.0);
+}
+
+// ------------------------------------------------------------------ mse ---
+
+TEST(MseLoss, ValueAndGradient) {
+  EXPECT_DOUBLE_EQ(mse_loss(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(mse_grad(3.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(mse_grad(1.0, 3.0), -4.0);
+}
+
+// ---------------------------------------------------- relational graph ---
+
+TEST(RelationEdges, GroupsByDestination) {
+  std::vector<RelEdge> edges = {{0, 2, 0, 0, 1.0f},
+                                {1, 2, 0, 0, 1.0f},
+                                {0, 1, 0, 0, 1.0f}};
+  const RelationEdges rel = RelationEdges::from_edges(edges);
+  ASSERT_EQ(rel.num_groups(), 2u);
+  EXPECT_EQ(rel.edges.size(), 3u);
+  // Groups sorted by local dst; nodes = {0,1,2}.
+  ASSERT_EQ(rel.nodes.size(), 3u);
+  EXPECT_EQ(rel.group_offsets.front(), 0u);
+  EXPECT_EQ(rel.group_offsets.back(), 3u);
+}
+
+TEST(RelationEdges, LocalIndicesMapBackToGlobals) {
+  std::vector<RelEdge> edges = {{10, 20, 0, 0, 1.0f}, {30, 20, 0, 0, 1.0f}};
+  const RelationEdges rel = RelationEdges::from_edges(edges);
+  ASSERT_EQ(rel.nodes.size(), 3u);
+  for (const RelEdge& e : rel.edges) {
+    EXPECT_EQ(rel.nodes[e.src_local], e.src);
+    EXPECT_EQ(rel.nodes[e.dst_local], e.dst);
+  }
+}
+
+TEST(RelationEdges, EmptyRelation) {
+  const RelationEdges rel = RelationEdges::from_edges({});
+  EXPECT_TRUE(rel.empty());
+  EXPECT_EQ(rel.num_groups(), 0u);
+}
+
+// ----------------------------------------------------------------- rgat ---
+
+RelationalGraph line_graph(std::size_t n, std::size_t relations) {
+  RelationalGraph g;
+  g.num_nodes = n;
+  std::vector<RelEdge> edges;
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    edges.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<std::uint32_t>(i + 1), 0, 0, 1.0f});
+  g.relations.push_back(RelationEdges::from_edges(edges));
+  for (std::size_t r = 1; r < relations; ++r)
+    g.relations.push_back(RelationEdges::from_edges({}));
+  return g;
+}
+
+TEST(RgatConv, OutputShape) {
+  pg::Rng rng(1);
+  RgatConv conv(4, 6, 2, rng);
+  const RelationalGraph g = line_graph(5, 2);
+  tensor::Matrix x(5, 4, 0.3f);
+  RgatConv::Cache cache;
+  const tensor::Matrix y = conv.forward(x, g, cache);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 6u);
+}
+
+TEST(RgatConv, ReluOutputIsNonNegative) {
+  pg::Rng rng(2);
+  RgatConv conv(4, 4, 1, rng);
+  const RelationalGraph g = line_graph(6, 1);
+  tensor::Matrix x(6, 4);
+  pg::Rng xr(3);
+  tensor::uniform_init(x, xr, -2.0f, 2.0f);
+  RgatConv::Cache cache;
+  const tensor::Matrix y = conv.forward(x, g, cache);
+  for (float v : y.data()) EXPECT_GE(v, 0.0f);
+}
+
+TEST(RgatConv, IsolatedNodesStillGetSelfTransform) {
+  pg::Rng rng(4);
+  RgatConv conv(3, 3, 1, rng, /*apply_relu=*/false);
+  RelationalGraph g;
+  g.num_nodes = 2;
+  g.relations.push_back(RelationEdges::from_edges({}));  // no edges at all
+  tensor::Matrix x(2, 3, 1.0f);
+  RgatConv::Cache cache;
+  const tensor::Matrix y = conv.forward(x, g, cache);
+  // With no edges the output is exactly x W_self + b, not zero.
+  EXPECT_NE(y.squared_norm(), 0.0);
+}
+
+TEST(RgatConv, AttentionIsNormalisedPerDestination) {
+  pg::Rng rng(5);
+  RgatConv conv(3, 3, 1, rng);
+  // Two edges into node 2.
+  RelationalGraph g;
+  g.num_nodes = 3;
+  g.relations.push_back(
+      RelationEdges::from_edges({{0, 2, 0, 0, 1.0f}, {1, 2, 0, 0, 1.0f}}));
+  tensor::Matrix x(3, 3, 0.5f);
+  RgatConv::Cache cache;
+  (void)conv.forward(x, g, cache);
+  const auto& alpha = cache.alpha[0];
+  ASSERT_EQ(alpha.size(), 2u);
+  EXPECT_NEAR(alpha[0] + alpha[1], 1.0f, 1e-5f);
+}
+
+TEST(RgatConv, GateScalesMessages) {
+  pg::Rng rng(6);
+  RgatConv conv(2, 2, 1, rng, /*apply_relu=*/false);
+  tensor::Matrix x(2, 2, 1.0f);
+
+  auto out_with_gate = [&](float gate) {
+    RelationalGraph g;
+    g.num_nodes = 2;
+    g.relations.push_back(RelationEdges::from_edges({{0, 1, 0, 0, gate}}));
+    RgatConv::Cache cache;
+    return conv.forward(x, g, cache);
+  };
+  const tensor::Matrix y0 = out_with_gate(0.0f);
+  const tensor::Matrix y1 = out_with_gate(1.0f);
+  // Node 0 (no incoming edge) identical; node 1 differs with the gate.
+  EXPECT_FLOAT_EQ(y0(0, 0), y1(0, 0));
+  EXPECT_NE(y0(1, 0), y1(1, 0));
+}
+
+TEST(RgatConv, RelationCountMismatchThrows) {
+  pg::Rng rng(7);
+  RgatConv conv(2, 2, 3, rng);
+  const RelationalGraph g = line_graph(3, 2);  // only 2 relations
+  tensor::Matrix x(3, 2);
+  RgatConv::Cache cache;
+  EXPECT_THROW(conv.forward(x, g, cache), InternalError);
+}
+
+TEST(RgatConv, ParameterLayout) {
+  pg::Rng rng(8);
+  RgatConv conv(3, 5, 4, rng);
+  const auto params = conv.parameters();
+  ASSERT_EQ(params.size(), conv.num_params());
+  ASSERT_EQ(params.size(), 3u * 4u + 2u);
+  // Per relation: W [3x5], a_src [1x5], a_dst [1x5].
+  EXPECT_EQ(params[0]->rows(), 3u);
+  EXPECT_EQ(params[1]->rows(), 1u);
+  EXPECT_EQ(params[2]->cols(), 5u);
+  // Tail: W_self, bias.
+  EXPECT_EQ(params[12]->rows(), 3u);
+  EXPECT_EQ(params[13]->rows(), 1u);
+}
+
+}  // namespace
+}  // namespace pg::nn

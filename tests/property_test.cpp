@@ -1,0 +1,149 @@
+// Property tests spanning the whole benchmark suite: for every Table-I
+// kernel, physical-consistency invariants of the profile -> simulator
+// pipeline and monotonicity of the graph weights. These are the guards
+// that keep the simulated ground truth *learnable for the right reasons*:
+// a model that predicts runtime from ParaGraph weights only works if
+// runtime and weights move together.
+#include <gtest/gtest.h>
+
+#include "dataset/generator.hpp"
+#include "dataset/sample_builder.hpp"
+#include "frontend/parser.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/runtime_simulator.hpp"
+
+namespace pg {
+namespace {
+
+using dataset::KernelSpec;
+using dataset::SizePoint;
+using dataset::Variant;
+
+const KernelSpec& kernel_at(std::size_t index) {
+  return dataset::benchmark_suite()[index];
+}
+
+sim::KernelProfile profile_of(const KernelSpec& spec, Variant variant,
+                              const SizePoint& size, std::int64_t teams,
+                              std::int64_t threads) {
+  const std::string source =
+      dataset::instantiate_source(spec, variant, size, teams, threads);
+  const auto parsed = frontend::parse_source(source);
+  EXPECT_TRUE(parsed.ok()) << spec.kernel;
+  return sim::profile_kernel(parsed.root());
+}
+
+double clean_runtime(const KernelSpec& spec, Variant variant,
+                     const SizePoint& size, const sim::Platform& platform,
+                     std::int64_t teams, std::int64_t threads) {
+  sim::SimOptions noise_free;
+  noise_free.noise_sigma = 0.0;
+  return sim::simulate_runtime_us(profile_of(spec, variant, size, teams, threads),
+                                  platform, noise_free);
+}
+
+class SuiteProperties : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteProperties, RuntimeMonotonicInProblemSize) {
+  // Bigger problem => never faster, on a CPU and a GPU.
+  const KernelSpec& spec = kernel_at(GetParam());
+  for (const auto& platform : {sim::corona_epyc7401(), sim::summit_v100()}) {
+    const bool gpu = platform.kind == sim::DeviceKind::kGpu;
+    const Variant variant = gpu ? Variant::kGpu : Variant::kCpu;
+    double previous = 0.0;
+    for (const SizePoint& size : spec.default_sizes) {
+      const double t = clean_runtime(spec, variant, size, platform, 256, 64);
+      EXPECT_GE(t, previous * 0.999) << spec.kernel << " on " << platform.name;
+      previous = t;
+    }
+  }
+}
+
+TEST_P(SuiteProperties, TransferVariantNeverFaster) {
+  // gpu_mem = gpu + host<->device copies: strictly more work.
+  const KernelSpec& spec = kernel_at(GetParam());
+  const auto gpu = sim::summit_v100();
+  for (const SizePoint& size : spec.default_sizes) {
+    const double plain = clean_runtime(spec, Variant::kGpu, size, gpu, 256, 256);
+    const double mem = clean_runtime(spec, Variant::kGpuMem, size, gpu, 256, 256);
+    EXPECT_GE(mem, plain) << spec.kernel;
+  }
+}
+
+TEST_P(SuiteProperties, CollapseHelpsOrMatchesOnGpuForLargestSize) {
+  // Collapsing flattens the iteration space => occupancy can only improve
+  // in the simulator's model.
+  const KernelSpec& spec = kernel_at(GetParam());
+  if (!spec.collapsible) GTEST_SKIP() << "kernel not collapsible";
+  const auto gpu = sim::corona_mi50();
+  const SizePoint& size = spec.default_sizes.back();
+  const double flat = clean_runtime(spec, Variant::kGpuCollapse, size, gpu, 256, 256);
+  const double nested = clean_runtime(spec, Variant::kGpu, size, gpu, 256, 256);
+  EXPECT_LE(flat, nested * 1.001) << spec.kernel;
+}
+
+TEST_P(SuiteProperties, MoreCpuThreadsNeverMuchSlowerOnLargestSize) {
+  const KernelSpec& spec = kernel_at(GetParam());
+  const auto cpu = sim::summit_power9();
+  const SizePoint& size = spec.default_sizes.back();
+  const double one = clean_runtime(spec, Variant::kCpu, size, cpu, 1, 1);
+  const double many = clean_runtime(spec, Variant::kCpu, size, cpu, 1, cpu.cores);
+  // Large kernels must benefit; allow a generous fudge for fork overhead.
+  EXPECT_LE(many, one * 1.05) << spec.kernel;
+}
+
+TEST_P(SuiteProperties, GraphWeightMonotonicInProblemSize) {
+  // ParaGraph's max Child weight must grow with the iteration space — this
+  // is the channel through which the model sees problem size.
+  const KernelSpec& spec = kernel_at(GetParam());
+  float previous = 0.0f;
+  for (const SizePoint& size : spec.default_sizes) {
+    dataset::RawDataPoint point;
+    point.variant = "cpu";
+    point.num_teams = 1;
+    point.num_threads = 4;
+    point.source = dataset::instantiate_source(spec, Variant::kCpu, size, 1, 4);
+    const auto g =
+        dataset::build_point_graph(point, graph::Representation::kParaGraph);
+    EXPECT_GE(g.max_child_weight(), previous) << spec.kernel;
+    previous = g.max_child_weight();
+  }
+}
+
+TEST_P(SuiteProperties, ProfileScalesWithIterationSpace) {
+  // Dynamic op counts must scale (at least linearly) from the smallest to
+  // the largest sweep size.
+  const KernelSpec& spec = kernel_at(GetParam());
+  const auto small = profile_of(spec, Variant::kCpu, spec.default_sizes.front(),
+                                1, 4);
+  const auto large = profile_of(spec, Variant::kCpu, spec.default_sizes.back(),
+                                1, 4);
+  EXPECT_GT(large.total_ops() + large.loads + large.stores,
+            2.0 * (small.total_ops() + small.loads + small.stores))
+      << spec.kernel;
+}
+
+TEST_P(SuiteProperties, RuntimeNoiseIsBounded) {
+  // Measurement jitter stays within a plausible envelope (+-25%).
+  const KernelSpec& spec = kernel_at(GetParam());
+  const auto gpu = sim::summit_v100();
+  const auto profile =
+      profile_of(spec, Variant::kGpu, spec.default_sizes.back(), 256, 256);
+  sim::SimOptions options;
+  const double clean = sim::simulate_runtime_us(profile, gpu, options);
+  pg::Rng rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const double measured = sim::measure_runtime_us(profile, gpu, rng, options);
+    EXPECT_GT(measured, clean * 0.75) << spec.kernel;
+    EXPECT_LT(measured, clean * 1.35) << spec.kernel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SuiteProperties,
+                         ::testing::Range<std::size_t>(0, 17),
+                         [](const auto& info) {
+                           return dataset::benchmark_suite()[info.param].kernel;
+                         });
+
+}  // namespace
+}  // namespace pg

@@ -1,0 +1,386 @@
+// Tests for the machine simulator: kernel profiling (operation counting,
+// transfer volumes, parallel structure) and runtime-model properties
+// (monotonicity, overheads, device asymmetries).
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/platform.hpp"
+#include "sim/runtime_simulator.hpp"
+#include "support/rng.hpp"
+
+namespace pg::sim {
+namespace {
+
+KernelProfile profile(const std::string& source) {
+  auto r = frontend::parse_source(source);
+  EXPECT_TRUE(r.ok()) << r.diagnostics.summary();
+  return profile_kernel(r.root());
+}
+
+// ------------------------------------------------------------- profiling ---
+
+TEST(KernelProfile, CountsFlopsPerIteration) {
+  const auto p = profile(R"(
+    double a[100];
+    void f(void) {
+      for (int i = 0; i < 100; i++) {
+        a[i] = a[i] * 2.0 + 1.0;
+      }
+    }
+  )");
+  // Two float ops per iteration.
+  EXPECT_NEAR(p.flops, 200.0, 1e-9);
+  EXPECT_NEAR(p.loads, 100.0, 1e-9);
+  EXPECT_NEAR(p.stores, 100.0, 1e-9);
+}
+
+TEST(KernelProfile, NestedLoopsMultiplyCounts) {
+  const auto p = profile(R"(
+    double a[10][20];
+    void f(void) {
+      for (int i = 0; i < 10; i++)
+        for (int j = 0; j < 20; j++)
+          a[i][j] = a[i][j] + 1.0;
+    }
+  )");
+  EXPECT_NEAR(p.flops, 200.0, 1e-9);
+  EXPECT_EQ(p.loop_depth, 2);
+}
+
+TEST(KernelProfile, IfBranchesCountHalf) {
+  const auto p = profile(R"(
+    double a[100];
+    void f(int c) {
+      for (int i = 0; i < 100; i++) {
+        if (c > 0) {
+          a[i] = a[i] + 1.0;
+        }
+      }
+    }
+  )");
+  EXPECT_NEAR(p.flops, 50.0, 1e-9);  // branch probability 1/2
+  EXPECT_GT(p.branch_fraction, 0.3);
+}
+
+TEST(KernelProfile, TranscendentalCalls) {
+  const auto p = profile(R"(
+    double a[64];
+    void f(void) {
+      for (int i = 0; i < 64; i++) {
+        a[i] = sqrt(a[i]) + exp(a[i]);
+      }
+    }
+  )");
+  EXPECT_NEAR(p.transcendental, 128.0, 1e-9);
+}
+
+TEST(KernelProfile, BytesUseElementSize) {
+  const auto p = profile(R"(
+    float a[10];
+    void f(void) {
+      for (int i = 0; i < 10; i++) a[i] = a[i] + 1.0;
+    }
+  )");
+  // 10 loads + 10 stores of 4-byte floats.
+  EXPECT_NEAR(p.bytes_accessed, 80.0, 1e-9);
+}
+
+TEST(KernelProfile, FootprintSumsDistinctArrays) {
+  const auto p = profile(R"(
+    double a[100];
+    double b[100];
+    void f(void) {
+      for (int i = 0; i < 100; i++) a[i] = a[i] + b[i] + b[i];
+    }
+  )");
+  EXPECT_NEAR(p.footprint_bytes, 1600.0, 1e-9);  // counted once each
+}
+
+TEST(KernelProfile, ContiguityDetectsUnitStride) {
+  const auto contiguous = profile(R"(
+    double a[64][64];
+    void f(void) {
+      for (int i = 0; i < 64; i++)
+        for (int j = 0; j < 64; j++)
+          a[i][j] = a[i][j] + 1.0;
+    }
+  )");
+  EXPECT_NEAR(contiguous.contiguous_fraction, 1.0, 1e-9);
+
+  const auto strided = profile(R"(
+    double a[64][64];
+    void f(void) {
+      for (int i = 0; i < 64; i++)
+        for (int j = 0; j < 64; j++)
+          a[j][i] = a[j][i] + 1.0;
+    }
+  )");
+  EXPECT_LT(strided.contiguous_fraction, 0.1);
+}
+
+TEST(KernelProfile, DirectiveConfigExtracted) {
+  const auto p = profile(R"(
+    double a[128][64];
+    void f(void) {
+      #pragma omp target teams distribute parallel for num_teams(32) thread_limit(256) collapse(2)
+      for (int i = 0; i < 128; i++)
+        for (int j = 0; j < 64; j++)
+          a[i][j] = 0.0;
+    }
+  )");
+  EXPECT_TRUE(p.offload);
+  EXPECT_TRUE(p.has_directive);
+  EXPECT_EQ(p.num_teams, 32);
+  EXPECT_EQ(p.num_threads, 256);
+  EXPECT_EQ(p.collapse_depth, 2);
+  EXPECT_EQ(p.parallel_iterations, 128 * 64);
+}
+
+TEST(KernelProfile, NoCollapseParallelIterationsOuterOnly) {
+  const auto p = profile(R"(
+    double a[128][64];
+    void f(void) {
+      #pragma omp parallel for num_threads(8)
+      for (int i = 0; i < 128; i++)
+        for (int j = 0; j < 64; j++)
+          a[i][j] = 0.0;
+    }
+  )");
+  EXPECT_FALSE(p.offload);
+  EXPECT_EQ(p.parallel_iterations, 128);
+  EXPECT_EQ(p.num_threads, 8);
+}
+
+TEST(KernelProfile, MapClausesSumTransferBytes) {
+  const auto p = profile(R"(
+    double a[100];
+    double b[100];
+    void f(void) {
+      #pragma omp target teams distribute parallel for num_teams(4) thread_limit(64) map(to: a[0:100]) map(tofrom: b[0:100])
+      for (int i = 0; i < 100; i++) b[i] = a[i];
+    }
+  )");
+  EXPECT_NEAR(p.transfer_to_bytes, 1600.0, 1e-9);   // a + b
+  EXPECT_NEAR(p.transfer_from_bytes, 800.0, 1e-9);  // b
+}
+
+TEST(KernelProfile, NoMapClausesNoTransfer) {
+  const auto p = profile(R"(
+    double a[100];
+    void f(void) {
+      #pragma omp target teams distribute parallel for num_teams(4) thread_limit(64)
+      for (int i = 0; i < 100; i++) a[i] = 0.0;
+    }
+  )");
+  EXPECT_EQ(p.transfer_bytes(), 0.0);
+}
+
+// ---------------------------------------------------------------- runtime ---
+
+KernelProfile base_profile() {
+  KernelProfile p;
+  p.flops = 1e9;
+  p.loads = 2e8;
+  p.stores = 1e8;
+  p.bytes_accessed = 2.4e9;
+  p.footprint_bytes = 1e9;
+  p.has_directive = true;
+  p.parallel_iterations = 1 << 20;
+  p.num_threads = 8;
+  return p;
+}
+
+TEST(RuntimeSim, MoreWorkTakesLonger) {
+  const auto cpu = summit_power9();
+  auto small = base_profile();
+  auto big = base_profile();
+  big.flops *= 10;
+  big.bytes_accessed *= 10;
+  EXPECT_GT(simulate_runtime_us(big, cpu), simulate_runtime_us(small, cpu));
+}
+
+TEST(RuntimeSim, MoreCpuThreadsFasterForLargeKernels) {
+  const auto cpu = corona_epyc7401();
+  auto p1 = base_profile();
+  p1.num_threads = 1;
+  auto p16 = base_profile();
+  p16.num_threads = 16;
+  EXPECT_GT(simulate_runtime_us(p1, cpu), 2.0 * simulate_runtime_us(p16, cpu));
+}
+
+TEST(RuntimeSim, ThreadsBeyondCoresDontHelp) {
+  const auto cpu = summit_power9();  // 22 cores
+  auto p22 = base_profile();
+  p22.num_threads = 22;
+  auto p88 = base_profile();
+  p88.num_threads = 88;
+  EXPECT_NEAR(simulate_runtime_us(p22, cpu), simulate_runtime_us(p88, cpu),
+              simulate_runtime_us(p22, cpu) * 1e-6);
+}
+
+TEST(RuntimeSim, GpuTransfersAddTime) {
+  const auto gpu = summit_v100();
+  auto with = base_profile();
+  with.offload = true;
+  with.num_teams = 256;
+  with.num_threads = 256;
+  auto without = with;
+  with.transfer_to_bytes = 1e9;
+  with.transfer_from_bytes = 1e9;
+  const double t_with = simulate_runtime_us(with, gpu);
+  const double t_without = simulate_runtime_us(without, gpu);
+  // 2 GB over ~42 GB/s is ~48 ms.
+  EXPECT_GT(t_with - t_without, 40000.0);
+}
+
+TEST(RuntimeSim, GpuLaunchOverheadFloorsSmallKernels) {
+  const auto gpu = corona_mi50();
+  KernelProfile tiny;
+  tiny.flops = 10.0;
+  tiny.offload = true;
+  tiny.has_directive = true;
+  tiny.num_teams = 1;
+  tiny.num_threads = 64;
+  tiny.parallel_iterations = 8;
+  EXPECT_GE(simulate_runtime_us(tiny, gpu), gpu.kernel_launch_us);
+}
+
+TEST(RuntimeSim, LowConcurrencyHurtsGpu) {
+  const auto gpu = summit_v100();
+  auto narrow = base_profile();
+  narrow.offload = true;
+  narrow.num_teams = 256;
+  narrow.num_threads = 256;
+  auto wide = narrow;
+  narrow.parallel_iterations = 128;      // only 128 parallel iterations
+  wide.parallel_iterations = 1 << 20;
+  EXPECT_GT(simulate_runtime_us(narrow, gpu),
+            4.0 * simulate_runtime_us(wide, gpu));
+}
+
+TEST(RuntimeSim, StridedAccessSlowerOnBothDevices) {
+  for (const auto& platform : all_platforms()) {
+    auto unit = base_profile();
+    unit.contiguous_fraction = 1.0;
+    // Make it clearly memory-bound so stride dominates.
+    unit.flops = 1e6;
+    auto strided = unit;
+    strided.contiguous_fraction = 0.0;
+    if (platform.kind == DeviceKind::kGpu) {
+      unit.offload = strided.offload = true;
+      unit.num_teams = strided.num_teams = 512;
+      unit.num_threads = strided.num_threads = 256;
+    }
+    EXPECT_GT(simulate_runtime_us(strided, platform),
+              1.5 * simulate_runtime_us(unit, platform))
+        << platform.name;
+  }
+}
+
+TEST(RuntimeSim, CacheResidentFootprintFaster) {
+  const auto cpu = corona_epyc7401();
+  auto in_cache = base_profile();
+  in_cache.flops = 1e6;                   // memory-bound
+  in_cache.footprint_bytes = 16e6;        // < 64 MB LLC
+  auto out_of_cache = in_cache;
+  out_of_cache.footprint_bytes = 4e9;
+  EXPECT_GT(simulate_runtime_us(out_of_cache, cpu),
+            2.0 * simulate_runtime_us(in_cache, cpu));
+}
+
+TEST(RuntimeSim, BranchDivergenceCostsMoreOnGpu) {
+  // Divergence derates *compute* throughput, so use a compute-bound profile
+  // (negligible memory traffic) to observe it.
+  const auto gpu = summit_v100();
+  const auto cpu = summit_power9();
+  auto smooth = base_profile();
+  smooth.bytes_accessed = 1e3;
+  smooth.offload = true;
+  smooth.num_teams = 512;
+  smooth.num_threads = 256;
+  auto branchy = smooth;
+  branchy.branch_fraction = 1.0;
+  const double gpu_ratio =
+      simulate_runtime_us(branchy, gpu) / simulate_runtime_us(smooth, gpu);
+
+  auto cpu_smooth = base_profile();
+  cpu_smooth.bytes_accessed = 1e3;
+  auto cpu_branchy = cpu_smooth;
+  cpu_branchy.branch_fraction = 1.0;
+  const double cpu_ratio = simulate_runtime_us(cpu_branchy, cpu) /
+                           simulate_runtime_us(cpu_smooth, cpu);
+  EXPECT_GT(gpu_ratio, cpu_ratio);
+  EXPECT_GT(gpu_ratio, 1.5);  // warp divergence is a first-order GPU effect
+}
+
+TEST(RuntimeSim, TimerFloorApplies) {
+  KernelProfile empty;
+  const auto cpu = summit_power9();
+  SimOptions options;
+  options.timer_floor_us = 5.0;
+  EXPECT_GE(simulate_runtime_us(empty, cpu, options), 5.0);
+}
+
+TEST(RuntimeSim, NoiseIsMultiplicativeAndSeeded) {
+  const auto gpu = summit_v100();
+  const auto p = [] {
+    auto b = base_profile();
+    b.offload = true;
+    b.num_teams = 128;
+    b.num_threads = 128;
+    return b;
+  }();
+  pg::Rng r1(5), r2(5), r3(6);
+  SimOptions options;
+  const double a = measure_runtime_us(p, gpu, r1, options);
+  const double b = measure_runtime_us(p, gpu, r2, options);
+  const double c = measure_runtime_us(p, gpu, r3, options);
+  EXPECT_EQ(a, b);  // same seed
+  EXPECT_NE(a, c);  // different seed
+  const double clean = simulate_runtime_us(p, gpu, options);
+  EXPECT_NEAR(a / clean, 1.0, 0.25);  // jitter is a few percent
+}
+
+TEST(RuntimeSim, ZeroNoiseMatchesDeterministic) {
+  const auto cpu = summit_power9();
+  const auto p = base_profile();
+  pg::Rng rng(1);
+  SimOptions options;
+  options.noise_sigma = 0.0;
+  EXPECT_EQ(measure_runtime_us(p, cpu, rng, options),
+            simulate_runtime_us(p, cpu, options));
+}
+
+// --------------------------------------------------------------- platforms ---
+
+TEST(Platforms, FourPlatformsInPaperOrder) {
+  const auto platforms = all_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].name, "IBM POWER9 (CPU)");
+  EXPECT_EQ(platforms[1].name, "NVIDIA V100 (GPU)");
+  EXPECT_EQ(platforms[2].name, "AMD EPYC7401 (CPU)");
+  EXPECT_EQ(platforms[3].name, "AMD MI50 (GPU)");
+}
+
+TEST(Platforms, CoreCountsMatchPaper) {
+  EXPECT_EQ(summit_power9().cores, 22);   // "POWER9 with 22 cores"
+  EXPECT_EQ(corona_epyc7401().cores, 24); // "EPYC 7401 with 24 cores"
+}
+
+TEST(Platforms, GpusHaveTransferAndLaunchCosts) {
+  for (const auto& p : {summit_v100(), corona_mi50()}) {
+    EXPECT_GT(p.transfer_bandwidth_gbs, 0.0);
+    EXPECT_GT(p.kernel_launch_us, 0.0);
+    EXPECT_EQ(p.kind, DeviceKind::kGpu);
+  }
+}
+
+TEST(Platforms, PeakFlopsOrdering) {
+  // GPUs are far faster than CPUs in peak throughput.
+  EXPECT_GT(summit_v100().peak_flops(), 3.0 * summit_power9().peak_flops());
+  EXPECT_GT(corona_mi50().peak_flops(), 3.0 * corona_epyc7401().peak_flops());
+}
+
+}  // namespace
+}  // namespace pg::sim

@@ -1,0 +1,205 @@
+// Tests for the dense matrix substrate: shapes, ops vs. naive references,
+// algebraic identities (parameterised over sizes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "tensor/init.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::tensor {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  pg::Rng rng(seed);
+  uniform_init(m, rng, -1.0f, 1.0f);
+  return m;
+}
+
+Matrix naive_matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        acc += static_cast<double>(a(i, k)) * b(k, j);
+      c(i, j) = static_cast<float>(acc);
+    }
+  return c;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      ASSERT_NEAR(a(i, j), b(i, j), tol) << "at (" << i << "," << j << ")";
+}
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(3, 4, 2.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_EQ(m(2, 3), 2.5f);
+  m.zero();
+  EXPECT_EQ(m(0, 0), 0.0f);
+}
+
+TEST(Matrix, RowFactoryAndSpans) {
+  const std::vector<float> vals = {1.0f, 2.0f, 3.0f};
+  Matrix m = Matrix::row(vals);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.row_span(0)[1], 2.0f);
+}
+
+TEST(Matrix, OutOfRangeIndexThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), InternalError);
+  EXPECT_THROW((void)m(0, 2), InternalError);
+  EXPECT_THROW((void)m.row_span(5), InternalError);
+}
+
+TEST(Matrix, ElementwiseOps) {
+  Matrix a(2, 2, 3.0f);
+  Matrix b(2, 2, 2.0f);
+  a.add_(b);
+  EXPECT_EQ(a(0, 0), 5.0f);
+  a.sub_(b);
+  EXPECT_EQ(a(1, 1), 3.0f);
+  a.mul_(b);
+  EXPECT_EQ(a(0, 1), 6.0f);
+  a.scale_(0.5f);
+  EXPECT_EQ(a(1, 0), 3.0f);
+  a.axpy_(2.0f, b);
+  EXPECT_EQ(a(0, 0), 7.0f);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.add_(b), InternalError);
+  EXPECT_THROW(a.axpy_(1.0f, b), InternalError);
+}
+
+TEST(Matrix, SumAndSquaredNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0f; m(0, 1) = 2.0f; m(1, 0) = 3.0f; m(1, 1) = 4.0f;
+  EXPECT_DOUBLE_EQ(m.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(m.squared_norm(), 30.0);
+}
+
+TEST(Matmul, InnerDimensionMismatchThrows) {
+  Matrix a(2, 3), b(4, 2);
+  EXPECT_THROW(matmul(a, b), InternalError);
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  Matrix a = random_matrix(5, 5, 1);
+  Matrix eye(5, 5);
+  for (int i = 0; i < 5; ++i) eye(i, i) = 1.0f;
+  expect_near(matmul(a, eye), a);
+  expect_near(matmul(eye, a), a);
+}
+
+class MatmulSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulSizes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 11);
+  const Matrix b = random_matrix(k, n, 22);
+  expect_near(matmul(a, b), naive_matmul(a, b), 1e-3f * static_cast<float>(k));
+}
+
+TEST_P(MatmulSizes, TransposeAIdentity) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(k, m, 33);  // note: transposed shape
+  const Matrix b = random_matrix(k, n, 44);
+  expect_near(matmul_transpose_a(a, b), matmul(transpose(a), b),
+              1e-3f * static_cast<float>(k));
+}
+
+TEST_P(MatmulSizes, TransposeBIdentity) {
+  const auto [m, k, n] = GetParam();
+  const Matrix a = random_matrix(m, k, 55);
+  const Matrix b = random_matrix(n, k, 66);
+  expect_near(matmul_transpose_b(a, b), matmul(a, transpose(b)),
+              1e-3f * static_cast<float>(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatmulSizes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{2, 3, 4},
+                      std::tuple{7, 5, 3}, std::tuple{16, 16, 16},
+                      std::tuple{33, 17, 9}, std::tuple{64, 45, 24},
+                      std::tuple{128, 64, 32}, std::tuple{200, 100, 50}));
+
+TEST(Matmul, LargeTriggersParallelPathAndMatches) {
+  const Matrix a = random_matrix(160, 120, 7);
+  const Matrix b = random_matrix(120, 90, 8);
+  expect_near(matmul(a, b), naive_matmul(a, b), 0.15f);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  const Matrix a = random_matrix(7, 13, 3);
+  expect_near(transpose(transpose(a)), a, 0.0f);
+}
+
+TEST(ColumnSums, MatchesManualSum) {
+  Matrix a(3, 2);
+  a(0, 0) = 1; a(1, 0) = 2; a(2, 0) = 3;
+  a(0, 1) = 4; a(1, 1) = 5; a(2, 1) = 6;
+  const Matrix s = column_sums(a);
+  EXPECT_EQ(s.rows(), 1u);
+  EXPECT_FLOAT_EQ(s(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(s(0, 1), 15.0f);
+}
+
+TEST(RowMean, AveragesRows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 3;
+  a(1, 0) = 3; a(1, 1) = 5;
+  const Matrix m = row_mean(a);
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 4.0f);
+}
+
+TEST(RowMean, EmptyThrows) {
+  Matrix a;
+  EXPECT_THROW(row_mean(a), InternalError);
+}
+
+TEST(AddSubHadamard, FreeFunctions) {
+  const Matrix a = random_matrix(4, 4, 1);
+  const Matrix b = random_matrix(4, 4, 2);
+  const Matrix s = add(a, b);
+  const Matrix d = sub(s, b);
+  expect_near(d, a, 1e-6f);
+  const Matrix h = hadamard(a, b);
+  EXPECT_FLOAT_EQ(h(1, 1), a(1, 1) * b(1, 1));
+}
+
+TEST(Init, GlorotBoundsRespectFanInOut) {
+  Matrix m(100, 50);
+  pg::Rng rng(9);
+  glorot_uniform(m, rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  float max_abs = 0.0f;
+  for (float v : m.data()) max_abs = std::max(max_abs, std::abs(v));
+  EXPECT_LE(max_abs, bound + 1e-6f);
+  EXPECT_GT(max_abs, bound * 0.5f);  // actually spreads out
+}
+
+TEST(Init, DeterministicForSeed) {
+  Matrix a(10, 10), b(10, 10);
+  pg::Rng r1(5), r2(5);
+  glorot_uniform(a, r1);
+  glorot_uniform(b, r2);
+  expect_near(a, b, 0.0f);
+}
+
+}  // namespace
+}  // namespace pg::tensor
