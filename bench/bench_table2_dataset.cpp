@@ -43,9 +43,14 @@ int main() {
     const double min_ms = stats.min_runtime_us / 1e3;
     const double max_ms = stats.max_runtime_us / 1e3;
     const double stddev_ms = stats.stddev_us / 1e3;
-    table.add_row({platform.name, std::to_string(stats.num_points),
-                   "[" + format_double(min_ms, 3) + " - " +
-                       format_double(max_ms, 6) + "]",
+    // Appends rather than operator+ chains: GCC 12 at -O3 emits a bogus
+    // -Wrestrict for operator+(const char*, std::string&&) (GCC PR105329).
+    std::string range = "[";
+    range += format_double(min_ms, 3);
+    range += " - ";
+    range += format_double(max_ms, 6);
+    range += "]";
+    table.add_row({platform.name, std::to_string(stats.num_points), range,
                    format_double(stddev_ms, 5), paper[row].points,
                    paper[row].range, paper[row].stddev});
     csv.add_row({platform.name, std::to_string(stats.num_points),

@@ -15,6 +15,7 @@
 #include "graph/builder.hpp"
 #include "model/trainer.hpp"
 #include "sim/platform.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -69,9 +70,13 @@ int main() {
   std::printf("max Child-edge weight: %.0f (= 2048 x 2048 / 8 workers)\n\n",
               pgraph.max_child_weight());
 
-  // 3. Simulated dataset for the V100 (smoke scale keeps this fast).
+  // 3. Simulated dataset for the V100 (PARAGRAPH_SCALE; unlike the benches
+  //    the demo falls back to smoke so it stays fast out of the box).
   dataset::GenerationConfig gen;
-  gen.scale = RunScale::kSmoke;
+  const std::string scale = env_string("PARAGRAPH_SCALE", "smoke");
+  gen.scale = scale == "full"      ? RunScale::kFull
+              : scale == "default" ? RunScale::kDefault
+                                   : RunScale::kSmoke;
   const sim::Platform v100 = sim::summit_v100();
   const auto points = dataset::generate_dataset(v100, gen);
   const auto stats = dataset::dataset_stats(points);
@@ -86,7 +91,7 @@ int main() {
   model::ModelConfig model_config;
   model::ParaGraphModel gnn(model_config);
   model::TrainConfig train_config;
-  train_config.epochs = 30;
+  train_config.epochs = static_cast<int>(env_int("PARAGRAPH_EPOCHS", 30));
   train_config.on_epoch = [](int epoch, double train_mse, double val_rmse_us) {
     if (epoch % 10 == 0)
       std::printf("  epoch %3d  train-mse %.2e  val-rmse %.1f ms\n", epoch,

@@ -1,3 +1,5 @@
+// COMPOFF implementation: hand-picked static kernel features and the small
+// per-device regression fitted on them (the paper's non-GNN baseline).
 #include "compoff/compoff.hpp"
 
 #include <algorithm>

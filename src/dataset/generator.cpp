@@ -1,3 +1,6 @@
+// The (kernel x variant x size x launch-config) sweep. Each point is
+// instantiated to real source, parsed, and priced by the simulator;
+// OpenMP-parallel over sweep points.
 #include "dataset/generator.hpp"
 
 #include <omp.h>

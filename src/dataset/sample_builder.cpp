@@ -1,3 +1,5 @@
+// RawDataPoint -> model::Sample: re-parse each point's source, build its
+// graph at the requested representation, encode, and split train/validation.
 #include "dataset/sample_builder.hpp"
 
 #include <omp.h>

@@ -1,3 +1,5 @@
+// Instantiation of the six OpenMP transformations: directive text assembly
+// and placeholder substitution into the kernel templates.
 #include "dataset/variants.hpp"
 
 #include "support/check.hpp"

@@ -1,3 +1,4 @@
+// AST node storage and traversal helpers (kind names, child iteration).
 #include "frontend/ast.hpp"
 
 #include <algorithm>

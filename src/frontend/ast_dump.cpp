@@ -1,3 +1,4 @@
+// Indented clang-style AST printer used by graph_to_dot and the tests.
 #include "frontend/ast_dump.hpp"
 
 #include <sstream>

@@ -1,3 +1,4 @@
+// Depth-bounded constant folder over integer expressions and decl inits.
 #include "frontend/const_eval.hpp"
 
 namespace pg::frontend {

@@ -1,3 +1,4 @@
+// Hand-rolled lexer: keywords, literals, operators, and pragma lines.
 #include "frontend/lexer.hpp"
 
 #include <cctype>

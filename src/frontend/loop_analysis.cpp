@@ -1,3 +1,5 @@
+// Trip-count and induction-variable extraction from canonical for-loops,
+// folding bounds with the constant evaluator.
 #include "frontend/loop_analysis.hpp"
 
 #include "frontend/const_eval.hpp"

@@ -1,3 +1,5 @@
+// Recursive-descent parser producing the AST; precedence-climbing
+// expressions plus the OpenMP pragma grammar.
 #include "frontend/parser.hpp"
 
 #include <array>

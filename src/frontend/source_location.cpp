@@ -1,3 +1,4 @@
+// line:column formatting for diagnostics.
 #include "frontend/source_location.hpp"
 
 namespace pg::frontend {

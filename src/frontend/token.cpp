@@ -1,3 +1,4 @@
+// Token-kind spellings for diagnostics and the lexer tests.
 #include "frontend/token.hpp"
 
 namespace pg::frontend {

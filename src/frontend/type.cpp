@@ -1,3 +1,4 @@
+// Type sizing/printing: element sizes drive simulated transfer volumes.
 #include "frontend/type.hpp"
 
 namespace pg::frontend {

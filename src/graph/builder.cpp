@@ -1,3 +1,5 @@
+// The AST -> ParaGraph pass: node creation per representation level, the
+// eight edge relations, and the paper's edge-weighting rules.
 #include "graph/builder.hpp"
 
 #include <algorithm>

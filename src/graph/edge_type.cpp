@@ -1,3 +1,4 @@
+// Edge-relation spellings (DOT rendering and debug output).
 #include "graph/edge_type.hpp"
 
 namespace pg::graph {

@@ -1,3 +1,4 @@
+// Graph storage, edge-type histograms, and text/DOT serialisation.
 #include "graph/program_graph.hpp"
 
 #include <iomanip>

@@ -1,3 +1,5 @@
+// Binary checkpoint format: tagged sections of u64/f64 for every parameter
+// matrix plus the fitted scalers.
 #include "model/checkpoint.hpp"
 
 #include <cstring>

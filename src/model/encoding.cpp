@@ -1,3 +1,5 @@
+// ProgramGraph -> EncodedGraph: node-feature assembly, per-relation edge
+// lists, and weight normalisation.
 #include "model/encoding.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// RMSE / relative-error slices (per runtime bin, per application) used by
+// the figure benches.
 #include "model/metrics.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// Wires encoding -> RGAT stack -> readout MLP; forward, backward, and
+// parameter registration for Adam and checkpointing.
 #include "model/paragraph_model.hpp"
 
 #include "nn/activation.hpp"

@@ -1,3 +1,5 @@
+// Mini-batch Adam/MSE training loop, OpenMP-parallel across the graphs of
+// a batch with per-thread gradient accumulation.
 #include "model/trainer.hpp"
 
 #include <omp.h>

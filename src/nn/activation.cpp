@@ -1,3 +1,4 @@
+// ReLU / LeakyReLU / softmax forward and backward kernels.
 #include "nn/activation.hpp"
 
 #include "support/check.hpp"

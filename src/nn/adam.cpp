@@ -1,3 +1,4 @@
+// Bias-corrected Adam update over registered parameter matrices.
 #include "nn/adam.hpp"
 
 #include <cmath>

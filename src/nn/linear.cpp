@@ -1,3 +1,5 @@
+// Dense layer forward/backward; backward is re-entrant so trainer threads
+// can share one layer with private gradient buffers.
 #include "nn/linear.hpp"
 
 #include "support/check.hpp"

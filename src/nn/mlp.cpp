@@ -1,3 +1,4 @@
+// Stacked Linear+ReLU forward/backward (identity on the output layer).
 #include "nn/mlp.hpp"
 
 #include "nn/activation.hpp"

@@ -1,3 +1,5 @@
+// Per-relation edge-list grouping and degree normalisation consumed by the
+// RGCN/RGAT convolutions.
 #include "nn/relational_graph.hpp"
 
 #include <algorithm>

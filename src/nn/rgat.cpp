@@ -1,3 +1,5 @@
+// RGAT convolution: per-relation projections, additive attention with
+// LeakyReLU + softmax over incoming edges, and the matching backward.
 #include "nn/rgat.hpp"
 
 #include <cmath>

@@ -1,3 +1,4 @@
+// MinMaxScaler fit/transform/inverse for edge weights and targets.
 #include "nn/scaler.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// AST walk that counts flops/loads/stores, measures footprints, and
+// extracts parallel structure for the runtime model.
 #include "sim/kernel_profile.hpp"
 
 #include <algorithm>

@@ -1,3 +1,5 @@
+// The four accelerator descriptors (POWER9, V100, EPYC7401, MI50) with
+// peak-rate/bandwidth/latency numbers from public spec sheets.
 #include "sim/platform.hpp"
 
 namespace pg::sim {

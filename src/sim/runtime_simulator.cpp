@@ -1,3 +1,5 @@
+// Roofline-flavoured analytical runtime: compute vs bandwidth bound with
+// cache, launch-overhead, and scaling-efficiency corrections.
 #include "sim/runtime_simulator.hpp"
 
 #include <algorithm>

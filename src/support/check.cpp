@@ -1,3 +1,4 @@
+// Assertion-failure formatting and abort.
 #include "support/check.hpp"
 
 #include <sstream>

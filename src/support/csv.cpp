@@ -1,3 +1,4 @@
+// CSV quoting/escaping and file writing.
 #include "support/csv.hpp"
 
 #include "support/check.hpp"

@@ -1,3 +1,4 @@
+// getenv parsing for the PARAGRAPH_* knobs.
 #include "support/env.hpp"
 
 #include <cstdlib>

@@ -1,3 +1,4 @@
+// SplitMix64-seeded deterministic RNG streams.
 #include "support/rng.hpp"
 
 namespace pg {

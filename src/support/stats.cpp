@@ -1,3 +1,4 @@
+// Mean/stddev/RMSE/correlation over double spans.
 #include "support/stats.hpp"
 
 #include <algorithm>

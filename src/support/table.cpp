@@ -1,3 +1,4 @@
+// Column sizing and ASCII rendering for the bench tables.
 #include "support/table.hpp"
 
 #include <cmath>

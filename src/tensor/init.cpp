@@ -1,3 +1,4 @@
+// Glorot/Xavier and plain-uniform weight-initialisation fills.
 #include "tensor/init.hpp"
 
 #include <cmath>

@@ -1,3 +1,5 @@
+// Row-major float32 matrix ops; matmul is OpenMP-parallel above a size
+// threshold.
 #include "tensor/matrix.hpp"
 
 #include "support/check.hpp"
