@@ -6,15 +6,23 @@
 //   * trains whatever models the experiment needs (epochs overridable via
 //     PARAGRAPH_EPOCHS),
 //   * prints the paper-shaped table with the paper's published values
-//     alongside, and writes a CSV next to the binary.
+//     alongside, and writes a CSV next to the binary,
+//   * optionally emits a machine-readable summary via `--json <path>`
+//     (JsonReport + json_path_from_args below).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "compoff/compoff.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
+#include "model/engine.hpp"
 #include "model/metrics.hpp"
 #include "model/trainer.hpp"
 #include "sim/platform.hpp"
@@ -40,16 +48,109 @@ inline void print_header(const std::string& title, const BenchConfig& config) {
               static_cast<unsigned long long>(config.seed));
 }
 
-/// Everything one (platform, representation) training run produces.
+/// Returns the path following a `--json` flag in argv, or "" when absent.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int a = 1; a + 1 < argc; ++a)
+    if (std::strcmp(argv[a], "--json") == 0) return argv[a + 1];
+  return {};
+}
+
+/// Flat machine-readable bench summary: string and numeric key/value pairs
+/// serialised as one JSON object, insertion-ordered. Numbers are printed
+/// with enough digits to round-trip a double.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) {
+    add("bench", std::move(bench_name));
+  }
+
+  void add(const std::string& key, const std::string& value) {
+    // Appends rather than operator+ chains: GCC 12 at -O3 emits a bogus
+    // -Wrestrict for operator+(const char*, std::string&&) (GCC PR105329).
+    std::string quoted = "\"";
+    quoted += escaped(value);
+    quoted += '"';
+    entries_.push_back({key, std::move(quoted)});
+  }
+  void add(const std::string& key, const char* value) {
+    add(key, std::string(value));
+  }
+  void add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {
+      // Bare nan/inf is not valid JSON; a diverged run should still parse.
+      entries_.push_back({key, "null"});
+      return;
+    }
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    entries_.push_back({key, buffer});
+  }
+  void add(const std::string& key, std::size_t value) {
+    entries_.push_back({key, std::to_string(value)});
+  }
+  void add(const std::string& key, int value) {
+    entries_.push_back({key, std::to_string(value)});
+  }
+
+  [[nodiscard]] std::string render() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"";
+      out += entries_[i].key;
+      out += "\": ";
+      out += entries_[i].value;
+      out += i + 1 < entries_.size() ? ",\n" : "\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  /// Writes the report; returns false (with a stderr note) on I/O failure.
+  bool write(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+      return false;
+    }
+    file << render();
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static std::string escaped(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  struct Entry {
+    std::string key;
+    std::string value;  // pre-serialised
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Everything one (platform, representation) training run produces. The
+/// trained model is kept so benches can serve further predictions through
+/// an InferenceEngine.
 struct PlatformRun {
   sim::Platform platform;
   std::vector<dataset::RawDataPoint> points;
   model::SampleSet set;
   model::TrainResult result;
+  std::shared_ptr<model::ParaGraphModel> model;
 };
 
 /// Generates the platform's dataset, builds samples at `representation`,
-/// trains a fresh ParaGraph model, and returns everything.
+/// trains a fresh ParaGraph model, and returns everything. The final
+/// validation predictions come from the trainer's own InferenceEngine pass;
+/// the fallback below serves them through a fresh engine when training was
+/// configured not to produce them.
 inline PlatformRun train_platform(
     const sim::Platform& platform, const BenchConfig& config,
     graph::Representation representation = graph::Representation::kParaGraph,
@@ -68,12 +169,18 @@ inline PlatformRun train_platform(
 
   model::ModelConfig model_config;
   model_config.hidden_dim = config.hidden_dim;
-  model::ParaGraphModel model(model_config);
+  run.model = std::make_shared<model::ParaGraphModel>(model_config);
 
   model::TrainConfig train;
   if (train_override != nullptr) train = *train_override;
   train.epochs = train_override != nullptr ? train_override->epochs : config.epochs;
-  run.result = model::train_model(model, run.set, train);
+  run.result = model::train_model(*run.model, run.set, train);
+
+  if (run.result.val_predictions_us.size() != run.set.validation.size()) {
+    model::InferenceEngine engine(*run.model);
+    run.result.val_predictions_us =
+        engine.predict_samples_us(run.set.validation, run.set);
+  }
   return run;
 }
 

@@ -5,7 +5,7 @@
 // and convergence within ~100 epochs on every platform.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   bench::BenchConfig config;
   config.epochs = static_cast<int>(env_int("PARAGRAPH_EPOCHS", 80));
@@ -49,5 +49,22 @@ int main() {
   }
   std::printf("\npaper: all four curves converge by ~epoch 100\n");
   std::printf("wrote fig5_training.csv\n");
+
+  if (const std::string json = bench::json_path_from_args(argc, argv);
+      !json.empty()) {
+    bench::JsonReport report("fig5_training");
+    report.add("scale", to_string(config.scale));
+    report.add("epochs", config.epochs);
+    const char* keys[4] = {"v100", "mi50", "power9", "epyc"};
+    for (int p = 0; p < 4; ++p) {
+      std::string first = keys[p];
+      first += "_first_norm_rmse";
+      report.add(first, curves[p].front());
+      std::string final_key = keys[p];
+      final_key += "_final_norm_rmse";
+      report.add(final_key, curves[p].back());
+    }
+    report.write(json);
+  }
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   bench::BenchConfig config;
   bench::print_header("Figure 8: per-point error, ParaGraph vs COMPOFF (V100)",
@@ -77,5 +77,16 @@ int main() {
               "(paper: ParaGraph clearly lower, esp. small kernels)\n",
               para_rmse / 1e3, compoff_eval.rmse_us / 1e3);
   std::printf("wrote fig8_compoff_error.csv\n");
+
+  if (const std::string json = bench::json_path_from_args(argc, argv);
+      !json.empty()) {
+    bench::JsonReport report("fig8_compoff_error");
+    report.add("scale", to_string(config.scale));
+    report.add("paragraph_rmse_ms", para_rmse / 1e3);
+    report.add("compoff_rmse_ms", compoff_eval.rmse_us / 1e3);
+    report.add("paragraph_beats_compoff",
+               std::string(para_rmse < compoff_eval.rmse_us ? "true" : "false"));
+    report.write(json);
+  }
   return para_rmse < compoff_eval.rmse_us ? 0 : 1;
 }

@@ -6,7 +6,7 @@
 // ParaGraph's correlation is visibly tighter.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   bench::BenchConfig config;
   bench::print_header(
@@ -42,5 +42,16 @@ int main() {
   std::printf("paper: both strongly correlated; ParaGraph much stronger\n");
   std::printf("wrote fig9_compoff_scatter.csv (%zu + %zu points)\n",
               actual.size(), compoff_eval.actual_us.size());
+
+  if (const std::string json = bench::json_path_from_args(argc, argv);
+      !json.empty()) {
+    bench::JsonReport report("fig9_compoff_scatter");
+    report.add("scale", to_string(config.scale));
+    report.add("paragraph_pearson_r", para_corr);
+    report.add("compoff_pearson_r", compoff_corr);
+    report.add("paragraph_norm_rmse", run.result.final_norm_rmse);
+    report.add("compoff_norm_rmse", compoff_eval.norm_rmse);
+    report.write(json);
+  }
   return para_corr >= compoff_corr ? 0 : 1;
 }

@@ -1,18 +1,29 @@
 // Microbenchmarks for the substrates (google-benchmark): frontend parse,
 // graph construction, graph encoding, RGAT forward/backward, matmul, the
-// runtime simulator, and a full end-to-end sample encode.
+// runtime simulator, and a full end-to-end sample encode — plus the
+// workspace-substrate comparison (cold arena vs warmed-up arena vs batched
+// engine) whose summary is emitted as BENCH_substrate.json so the perf
+// trajectory stays machine-readable across PRs (`--json <path>` overrides
+// the output location).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
 #include "frontend/parser.hpp"
 #include "graph/builder.hpp"
 #include "model/encoding.hpp"
+#include "model/engine.hpp"
 #include "model/paragraph_model.hpp"
 #include "sim/kernel_profile.hpp"
 #include "sim/runtime_simulator.hpp"
 #include "support/rng.hpp"
 #include "tensor/init.hpp"
+#include "tensor/workspace.hpp"
 
 namespace {
 
@@ -28,6 +39,15 @@ const std::string& mm_source() {
     return std::string{};
   }();
   return source;
+}
+
+const model::EncodedGraph& mm_encoded() {
+  static const model::EncodedGraph enc = [] {
+    const auto parsed = frontend::parse_source(mm_source());
+    const auto g = graph::build_graph(parsed.root(), {});
+    return model::encode_graph(g, g.max_child_weight());
+  }();
+  return enc;
 }
 
 void BM_ParseKernel(benchmark::State& state) {
@@ -80,33 +100,69 @@ void BM_SimulateRuntime(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateRuntime);
 
-void BM_ModelPredict(benchmark::State& state) {
-  const auto parsed = frontend::parse_source(mm_source());
-  const auto g = graph::build_graph(parsed.root(), {});
-  const auto enc = model::encode_graph(g, g.max_child_weight());
+// The pre-refactor allocating behaviour: every predict pays for a cold
+// arena (all slots malloc'd anew), the shape of the old per-call
+// ForwardState.
+void BM_ModelPredictColdWorkspace(benchmark::State& state) {
+  const auto& enc = mm_encoded();
   model::ModelConfig config;
   config.hidden_dim = static_cast<std::size_t>(state.range(0));
   model::ParaGraphModel m(config);
   const std::array<float, 2> aux = {0.5f, 0.5f};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(m.predict(enc, aux));
+    tensor::Workspace ws;
+    benchmark::DoNotOptimize(m.predict(enc, aux, ws));
   }
 }
-BENCHMARK(BM_ModelPredict)->Arg(16)->Arg(24)->Arg(32);
+BENCHMARK(BM_ModelPredictColdWorkspace)->Arg(16)->Arg(24)->Arg(32);
+
+// Steady state: the warmed-up arena is reused, so predict performs zero
+// heap allocations.
+void BM_ModelPredictWarmWorkspace(benchmark::State& state) {
+  const auto& enc = mm_encoded();
+  model::ModelConfig config;
+  config.hidden_dim = static_cast<std::size_t>(state.range(0));
+  model::ParaGraphModel m(config);
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  tensor::Workspace ws;
+  (void)m.predict(enc, aux, ws);  // warm-up
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.predict(enc, aux, ws));
+  }
+}
+BENCHMARK(BM_ModelPredictWarmWorkspace)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_EnginePredictBatch(benchmark::State& state) {
+  const auto& enc = mm_encoded();
+  model::ModelConfig config;
+  config.hidden_dim = 24;
+  model::ParaGraphModel m(config);
+  model::InferenceEngine engine(m);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<model::EncodedGraph> graphs(batch, enc);
+  std::vector<std::array<float, 2>> aux(batch, {0.5f, 0.5f});
+  std::vector<double> out(batch);
+  engine.predict_batch(graphs, aux, out);  // warm the pool
+  for (auto _ : state) {
+    engine.predict_batch(graphs, aux, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EnginePredictBatch)->Arg(64)->Arg(256);
 
 void BM_ModelTrainStep(benchmark::State& state) {
-  const auto parsed = frontend::parse_source(mm_source());
-  const auto g = graph::build_graph(parsed.root(), {});
-  const auto enc = model::encode_graph(g, g.max_child_weight());
+  const auto& enc = mm_encoded();
   model::ModelConfig config;
   config.hidden_dim = static_cast<std::size_t>(state.range(0));
   model::ParaGraphModel m(config);
   std::vector<tensor::Matrix> grads;
   for (auto* p : m.parameters()) grads.emplace_back(p->rows(), p->cols());
   const std::array<float, 2> aux = {0.5f, 0.5f};
+  tensor::Workspace ws;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        m.accumulate_gradients(enc, aux, 0.5, 1.0, grads));
+        m.accumulate_gradients(enc, aux, 0.5, 1.0, grads, ws));
   }
 }
 BENCHMARK(BM_ModelTrainStep)->Arg(16)->Arg(24)->Arg(32);
@@ -150,6 +206,79 @@ void BM_DatasetPointEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_DatasetPointEndToEnd);
 
+/// Mean ns/call of `fn` over `iters` calls (after one untimed warm-up).
+template <typename Fn>
+double mean_ns(std::size_t iters, Fn&& fn) {
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+/// The workspace-substrate summary: cold-arena predict (the pre-refactor
+/// allocating shape) vs warmed-up predict vs engine batch throughput.
+void write_substrate_report(const std::string& path) {
+  const auto& enc = mm_encoded();
+  model::ModelConfig config;
+  config.hidden_dim = 24;
+  model::ParaGraphModel m(config);
+  const std::array<float, 2> aux = {0.5f, 0.5f};
+  constexpr std::size_t kIters = 2000;
+
+  volatile double sink = 0.0;
+  const double cold_ns = mean_ns(kIters, [&] {
+    tensor::Workspace ws;
+    sink = sink + m.predict(enc, aux, ws);
+  });
+
+  tensor::Workspace warm;
+  const double warm_ns = mean_ns(kIters, [&] {
+    sink = sink + m.predict(enc, aux, warm);
+  });
+
+  model::InferenceEngine engine(m);
+  constexpr std::size_t kBatch = 256;
+  std::vector<model::EncodedGraph> graphs(kBatch, enc);
+  std::vector<std::array<float, 2>> batch_aux(kBatch, aux);
+  std::vector<double> out(kBatch);
+  const double batch_ns = mean_ns(32, [&] {
+    engine.predict_batch(graphs, batch_aux, out);
+  });
+
+  bench::JsonReport report("micro_substrate");
+  report.add("graph_nodes", enc.features.rows());
+  report.add("hidden_dim", config.hidden_dim);
+  report.add("predict_cold_workspace_ns", cold_ns);
+  report.add("predict_warm_workspace_ns", warm_ns);
+  report.add("warm_speedup_over_cold", cold_ns / warm_ns);
+  report.add("engine_batch256_graphs_per_s", 1e9 * kBatch / batch_ns);
+  report.add("warm_workspace_slots", warm.num_slots());
+  report.add("warm_workspace_bytes", warm.bytes_reserved());
+  report.write(path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --json flag before google-benchmark sees the argv.
+  std::string json_path = "BENCH_substrate.json";
+  std::vector<char*> args;
+  for (int a = 0; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
+      json_path = argv[a + 1];
+      ++a;
+      continue;
+    }
+    args.push_back(argv[a]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_substrate_report(json_path);
+  return 0;
+}

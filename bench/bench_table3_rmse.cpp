@@ -8,10 +8,12 @@
 // runtime dispersion.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pg;
   bench::BenchConfig config;
   bench::print_header("Table III: ParaGraph RMSE per accelerator", config);
+  bench::JsonReport report("table3_rmse");
+  report.add("scale", to_string(config.scale));
 
   const char* paper_rmse[4] = {"4325", "280", "968", "510"};
   const char* paper_norm[4] = {"6 x 10^-3", "9 x 10^-3", "4 x 10^-3", "1 x 10^-2"};
@@ -29,9 +31,18 @@ int main() {
                    paper_norm[row]});
     csv.add_row({platform.name, format_double(rmse_ms, 8),
                  format_double(run.result.final_norm_rmse, 8)});
+    std::string rmse_key = platform.name;
+    rmse_key += "_rmse_ms";
+    report.add(rmse_key, rmse_ms);
+    std::string norm_key = platform.name;
+    norm_key += "_norm_rmse";
+    report.add(norm_key, run.result.final_norm_rmse);
     ++row;
   }
   std::printf("%s\n", table.render().c_str());
   std::printf("wrote table3_rmse.csv\n");
+  if (const std::string json = bench::json_path_from_args(argc, argv);
+      !json.empty())
+    report.write(json);
   return 0;
 }

@@ -5,7 +5,8 @@
 //
 //   1. Train a ParaGraph model per device on simulated measurements.
 //   2. For a target kernel, enumerate the applicable variants.
-//   3. Predict each variant's runtime from its graph alone.
+//   3. Predict every variant's runtime from its graph alone, batched
+//      through the InferenceEngine (one call per device model).
 //   4. Recommend the fastest (and show the simulator's ground truth).
 //
 // Usage: ./offload_advisor [kernel-name] (default: matmul)
@@ -15,6 +16,7 @@
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
 #include "frontend/parser.hpp"
+#include "model/engine.hpp"
 #include "model/trainer.hpp"
 #include "support/table.hpp"
 
@@ -70,16 +72,19 @@ int main(int argc, char** argv) {
   auto [cpu_model, cpu_set] = train_for(cpu);
   auto [gpu_model, gpu_set] = train_for(gpu);
 
-  // Predict each candidate's runtime from its ParaGraph.
-  TextTable table({"Device", "Variant", "Predicted (ms)", "Simulated (ms)"});
-  double best_pred = 1e300;
-  std::string best_label;
+  // Encode every candidate, then rank the whole slate with one batched
+  // engine call per device — the serving shape the engine is built for.
   sim::SimOptions noise_free;
   noise_free.noise_sigma = 0.0;
 
-  for (const Candidate& c : candidates) {
+  std::vector<model::EncodedGraph> cpu_graphs, gpu_graphs;
+  std::vector<std::array<float, 2>> cpu_aux, gpu_aux;
+  std::vector<double> simulated(candidates.size());
+  std::vector<std::size_t> batch_index(candidates.size());
+
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
     const bool on_gpu = c.platform.kind == sim::DeviceKind::kGpu;
-    const auto& m = on_gpu ? *gpu_model : *cpu_model;
     const auto& set = on_gpu ? *gpu_set : *cpu_set;
 
     dataset::RawDataPoint point;
@@ -91,16 +96,34 @@ int main(int argc, char** argv) {
 
     const auto pgraph =
         dataset::build_point_graph(point, graph::Representation::kParaGraph);
-    const auto encoded = model::encode_graph(pgraph, set.child_weight_scale);
-    const std::array<float, 2> aux = {
-        static_cast<float>(set.teams_scaler.transform(double(c.teams))),
-        static_cast<float>(set.threads_scaler.transform(double(c.threads)))};
-    const double predicted_us = set.from_target(m.predict(encoded, aux));
+    auto& graphs = on_gpu ? gpu_graphs : cpu_graphs;
+    auto& aux = on_gpu ? gpu_aux : cpu_aux;
+    batch_index[i] = graphs.size();
+    graphs.push_back(model::encode_graph(pgraph, set.child_weight_scale));
+    aux.push_back({static_cast<float>(set.teams_scaler.transform(double(c.teams))),
+                   static_cast<float>(set.threads_scaler.transform(double(c.threads)))});
 
     const auto parsed = frontend::parse_source(point.source);
     const auto profile = sim::profile_kernel(parsed.root());
-    const double simulated_us =
-        sim::simulate_runtime_us(profile, c.platform, noise_free);
+    simulated[i] = sim::simulate_runtime_us(profile, c.platform, noise_free);
+  }
+
+  model::InferenceEngine cpu_engine(*cpu_model);
+  model::InferenceEngine gpu_engine(*gpu_model);
+  std::vector<double> cpu_pred(cpu_graphs.size()), gpu_pred(gpu_graphs.size());
+  cpu_engine.predict_batch(cpu_graphs, cpu_aux, cpu_pred);
+  gpu_engine.predict_batch(gpu_graphs, gpu_aux, gpu_pred);
+
+  TextTable table({"Device", "Variant", "Predicted (ms)", "Simulated (ms)"});
+  double best_pred = 1e300;
+  std::string best_label;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    const bool on_gpu = c.platform.kind == sim::DeviceKind::kGpu;
+    const auto& set = on_gpu ? *gpu_set : *cpu_set;
+    const double scaled =
+        on_gpu ? gpu_pred[batch_index[i]] : cpu_pred[batch_index[i]];
+    const double predicted_us = set.from_target(scaled);
 
     const std::string label =
         c.platform.name + " / " + std::string(dataset::variant_name(c.variant));
@@ -110,7 +133,7 @@ int main(int argc, char** argv) {
     }
     table.add_row({c.platform.name, std::string(dataset::variant_name(c.variant)),
                    format_double(predicted_us / 1e3, 4),
-                   format_double(simulated_us / 1e3, 4)});
+                   format_double(simulated[i] / 1e3, 4)});
   }
 
   std::printf("== Advisor: %s, sizes mid-sweep ==\n%s\n", kernel_name.c_str(),

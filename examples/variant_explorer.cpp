@@ -3,15 +3,26 @@
 // configuration — the paper's motivating "which variant should I pick?"
 // question, answered here with the simulator's ground truth.
 //
-// Usage: ./variant_explorer [kernel-name]   (default: matmul)
+// With --predict, additionally trains a smoke-scale ParaGraph model per
+// device class and appends the model's batched predictions (via the
+// InferenceEngine) next to the simulator's ground truth.
+//
+// Usage: ./variant_explorer [kernel-name] [--predict]   (default: matmul)
 //        ./variant_explorer --list
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <tuple>
+#include <vector>
 
+#include "dataset/generator.hpp"
 #include "dataset/kernel_spec.hpp"
+#include "dataset/sample_builder.hpp"
 #include "dataset/variants.hpp"
 #include "frontend/parser.hpp"
+#include "model/engine.hpp"
+#include "model/trainer.hpp"
 #include "sim/kernel_profile.hpp"
 #include "sim/platform.hpp"
 #include "sim/runtime_simulator.hpp"
@@ -21,15 +32,20 @@ int main(int argc, char** argv) {
   using namespace pg;
 
   std::string kernel_name = "matmul";
-  if (argc > 1) {
-    if (std::strcmp(argv[1], "--list") == 0) {
+  bool with_predictions = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--list") == 0) {
       std::printf("Available kernels (paper Table I):\n");
       for (const auto& spec : dataset::benchmark_suite())
         std::printf("  %-16s (%s, %s)\n", spec.kernel.c_str(), spec.app.c_str(),
                     spec.domain.c_str());
       return 0;
     }
-    kernel_name = argv[1];
+    if (std::strcmp(argv[a], "--predict") == 0) {
+      with_predictions = true;
+      continue;
+    }
+    kernel_name = argv[a];
   }
 
   const dataset::KernelSpec* spec = nullptr;
@@ -57,12 +73,52 @@ int main(int argc, char** argv) {
                                                 sizes, 256, 256)
                         .c_str());
 
+  // With --predict: train one smoke-scale model per device class, then rank
+  // every variant row with a single batched engine call per model.
+  std::shared_ptr<model::ParaGraphModel> cpu_model, gpu_model;
+  std::shared_ptr<model::SampleSet> cpu_set, gpu_set;
+  if (with_predictions) {
+    const sim::Platform cpu_platform = sim::summit_power9();
+    const sim::Platform gpu_platform = sim::summit_v100();
+    std::printf("Training smoke-scale ParaGraph models for %s and %s ...\n\n",
+                cpu_platform.name.c_str(), gpu_platform.name.c_str());
+    dataset::GenerationConfig gen;
+    gen.scale = RunScale::kSmoke;
+    model::TrainConfig train_config;
+    train_config.epochs = 30;
+    auto train_for = [&](const sim::Platform& platform) {
+      const auto points = dataset::generate_dataset(platform, gen);
+      dataset::SampleBuildConfig build;
+      build.log_target = true;
+      auto set = std::make_shared<model::SampleSet>(
+          dataset::build_sample_set(points, build));
+      auto m = std::make_shared<model::ParaGraphModel>(model::ModelConfig{});
+      (void)model::train_model(*m, *set, train_config);
+      return std::pair{m, set};
+    };
+    std::tie(cpu_model, cpu_set) = train_for(cpu_platform);
+    std::tie(gpu_model, gpu_set) = train_for(gpu_platform);
+  }
+
   // Sweep variants across the four platforms.
-  TextTable table({"Variant", "Config", "POWER9 (ms)", "V100 (ms)",
-                   "EPYC (ms)", "MI50 (ms)"});
+  std::vector<std::string> header = {"Variant", "Config", "POWER9 (ms)",
+                                     "V100 (ms)", "EPYC (ms)", "MI50 (ms)"};
+  if (with_predictions) {
+    header.push_back("P9 pred (ms)");
+    header.push_back("V100 pred (ms)");
+  }
+  TextTable table(header);
   const auto platforms = sim::all_platforms();
   sim::SimOptions noise_free;
   noise_free.noise_sigma = 0.0;
+
+  struct Row {
+    bool gpu = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows;
+  std::vector<model::EncodedGraph> cpu_graphs, gpu_graphs;
+  std::vector<std::array<float, 2>> cpu_aux, gpu_aux;
 
   struct Config { std::int64_t teams, threads; };
   for (const auto variant :
@@ -82,20 +138,56 @@ int main(int argc, char** argv) {
     }
     const sim::KernelProfile profile = sim::profile_kernel(parsed.root());
 
-    std::vector<std::string> row;
-    row.push_back(std::string(dataset::variant_name(variant)));
-    row.push_back(gpu ? "teams=256 thr=256" : "threads=16");
+    Row row;
+    row.gpu = gpu;
+    row.cells.push_back(std::string(dataset::variant_name(variant)));
+    row.cells.push_back(gpu ? "teams=256 thr=256" : "threads=16");
     for (const auto& platform : platforms) {
       const bool platform_gpu = platform.kind == sim::DeviceKind::kGpu;
       if (platform_gpu != gpu) {
-        row.push_back("-");
+        row.cells.push_back("-");
         continue;
       }
       const double us = sim::simulate_runtime_us(profile, platform, noise_free);
-      row.push_back(format_double(us / 1e3, 4));
+      row.cells.push_back(format_double(us / 1e3, 4));
     }
-    table.add_row(row);
+
+    if (with_predictions) {
+      const auto& set = gpu ? *gpu_set : *cpu_set;
+      dataset::RawDataPoint point;
+      point.variant = std::string(dataset::variant_name(variant));
+      point.num_teams = config.teams;
+      point.num_threads = config.threads;
+      point.source = source;
+      const auto pgraph =
+          dataset::build_point_graph(point, graph::Representation::kParaGraph);
+      auto& graphs = gpu ? gpu_graphs : cpu_graphs;
+      auto& aux = gpu ? gpu_aux : cpu_aux;
+      graphs.push_back(model::encode_graph(pgraph, set.child_weight_scale));
+      aux.push_back(
+          {static_cast<float>(set.teams_scaler.transform(double(config.teams))),
+           static_cast<float>(
+               set.threads_scaler.transform(double(config.threads)))});
+    }
+    rows.push_back(std::move(row));
   }
+
+  if (with_predictions) {
+    model::InferenceEngine cpu_engine(*cpu_model);
+    model::InferenceEngine gpu_engine(*gpu_model);
+    std::vector<double> cpu_pred(cpu_graphs.size()), gpu_pred(gpu_graphs.size());
+    cpu_engine.predict_batch(cpu_graphs, cpu_aux, cpu_pred);
+    gpu_engine.predict_batch(gpu_graphs, gpu_aux, gpu_pred);
+    std::size_t cpu_i = 0, gpu_i = 0;
+    for (Row& row : rows) {
+      const double us = row.gpu ? gpu_set->from_target(gpu_pred[gpu_i++])
+                                : cpu_set->from_target(cpu_pred[cpu_i++]);
+      row.cells.push_back(row.gpu ? "-" : format_double(us / 1e3, 4));
+      row.cells.push_back(row.gpu ? format_double(us / 1e3, 4) : "-");
+    }
+  }
+
+  for (const Row& row : rows) table.add_row(row.cells);
   std::printf("== Simulated runtime by variant ==\n%s", table.render().c_str());
   std::printf("\n(cpu variants run on the CPU platforms, gpu variants on the "
               "GPUs; '-' = not applicable)\n");

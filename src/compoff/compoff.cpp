@@ -2,6 +2,8 @@
 // per-device regression fitted on them (the paper's non-GNN baseline).
 #include "compoff/compoff.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <numeric>
@@ -37,7 +39,8 @@ CompoffModel::CompoffModel(const CompoffConfig& config, std::size_t num_features
         sizes.push_back(1);
         pg::Rng rng(config.seed);
         return nn::Mlp(sizes, rng);
-      }()) {
+      }()),
+      ws_pool_(static_cast<std::size_t>(omp_get_max_threads())) {
   feature_scalers_.resize(num_features);
 }
 
@@ -109,16 +112,42 @@ std::vector<double> CompoffModel::train(
 }
 
 double CompoffModel::predict_us(const dataset::RawDataPoint& point) const {
+  thread_local tensor::Workspace ws;
+  return predict_us(point, ws);
+}
+
+double CompoffModel::predict_us(const dataset::RawDataPoint& point,
+                                tensor::Workspace& ws) const {
   check(trained_, "CompoffModel::predict_us before train");
+  ws.reset();
   const auto f = extract_features(point);
-  tensor::Matrix x(1, kNumFeatures);
+  tensor::Matrix& x = ws.acquire(1, kNumFeatures);
   for (std::size_t c = 0; c < kNumFeatures; ++c)
     x(0, c) = static_cast<float>(feature_scalers_[c].transform(f[c]));
-  const double scaled = mlp_.forward(x)(0, 0);
+  const double scaled = mlp_.forward(x, ws)(0, 0);
   // Clamp only at the physical floor. Small kernels sit at ~0 in COMPOFF's
   // MinMax-scaled count features, so the MLP extrapolates there — the
   // small-runtime weakness the paper's Fig. 8 shows.
   return std::max(target_scaler_.inverse(scaled), 0.0);
+}
+
+void CompoffModel::predict_batch_us(std::span<const dataset::RawDataPoint> points,
+                                    std::span<double> out) {
+  check(points.size() == out.size(),
+        "CompoffModel::predict_batch_us: span length mismatch");
+  auto thread_ws = [this]() -> tensor::Workspace& {
+    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+    check(tid < ws_pool_.size(), "CompoffModel: thread id exceeds pool");
+    return ws_pool_[tid];
+  };
+  if (omp_in_parallel()) {
+    for (std::size_t i = 0; i < points.size(); ++i)
+      out[i] = predict_us(points[i], thread_ws());
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::size_t i = 0; i < points.size(); ++i)
+    out[i] = predict_us(points[i], thread_ws());
 }
 
 CompoffEvaluation train_and_evaluate(
@@ -144,11 +173,15 @@ CompoffEvaluation train_and_evaluate(
   model.train(train_points);
 
   CompoffEvaluation eval;
+  std::vector<dataset::RawDataPoint> val_points;
+  val_points.reserve(points.size() - train_count);
   for (std::size_t k = train_count; k < points.size(); ++k) {
     const auto& point = points[order[k]];
+    val_points.push_back(point);
     eval.actual_us.push_back(point.runtime_us);
-    eval.predicted_us.push_back(model.predict_us(point));
   }
+  eval.predicted_us.resize(val_points.size());
+  model.predict_batch_us(val_points, eval.predicted_us);
   eval.rmse_us = stats::rmse(eval.actual_us, eval.predicted_us);
   const double range = stats::max(eval.actual_us) - stats::min(eval.actual_us);
   eval.norm_rmse = range > 0.0 ? eval.rmse_us / range : 0.0;

@@ -22,11 +22,13 @@
 #pragma once
 
 #include <array>
+#include <span>
 #include <vector>
 
 #include "dataset/generator.hpp"
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg::compoff {
 
@@ -57,11 +59,20 @@ class CompoffModel {
   /// Predicted runtime in microseconds (clamped to the observed minimum).
   [[nodiscard]] double predict_us(const dataset::RawDataPoint& point) const;
 
+  /// Batched predictions through the per-thread workspace pool
+  /// (OpenMP-parallel; out.size() must equal points.size()).
+  void predict_batch_us(std::span<const dataset::RawDataPoint> points,
+                        std::span<double> out);
+
  private:
+  double predict_us(const dataset::RawDataPoint& point,
+                    tensor::Workspace& ws) const;
+
   CompoffConfig config_;
   nn::Mlp mlp_;
   std::vector<nn::MinMaxScaler> feature_scalers_;
   nn::MinMaxScaler target_scaler_;
+  std::vector<tensor::Workspace> ws_pool_;  // one per OpenMP thread
   bool trained_ = false;
 };
 

@@ -1,0 +1,73 @@
+// InferenceEngine: per-thread workspace pool + OpenMP-parallel batch
+// prediction over encoded graphs.
+#include "model/engine.hpp"
+
+#include <omp.h>
+
+#include "support/check.hpp"
+
+namespace pg::model {
+
+InferenceEngine::InferenceEngine(const ParaGraphModel& model)
+    : model_(&model),
+      pool_(static_cast<std::size_t>(omp_get_max_threads())) {}
+
+tensor::Workspace& InferenceEngine::workspace_for_current_thread() {
+  const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+  check(tid < pool_.size(), "InferenceEngine: thread id exceeds pool");
+  return pool_[tid];
+}
+
+double InferenceEngine::predict_one(const EncodedGraph& graph,
+                                    std::span<const float> aux) {
+  return model_->predict(graph, aux, workspace_for_current_thread());
+}
+
+void InferenceEngine::predict_batch(std::span<const EncodedGraph> graphs,
+                                    std::span<const std::array<float, 2>> aux,
+                                    std::span<double> out) {
+  check(graphs.size() == aux.size() && graphs.size() == out.size(),
+        "InferenceEngine::predict_batch: span length mismatch");
+  check(model_->config().aux_dim == 2,
+        "InferenceEngine::predict_batch: engine batches 2-feature aux");
+  if (omp_in_parallel()) {
+    // Caller already manages threading: stay serial on this thread, with
+    // its own workspace (omp_get_thread_num() is the caller-team id here).
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+      out[i] = predict_one(graphs[i], aux[i]);
+    return;
+  }
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    out[i] = predict_one(graphs[i], aux[i]);
+}
+
+std::vector<double> InferenceEngine::predict_samples_us(
+    std::span<const TrainingSample> samples, const SampleSet& set) {
+  std::vector<double> predictions(samples.size());
+  if (omp_in_parallel()) {
+    for (std::size_t i = 0; i < samples.size(); ++i)
+      predictions[i] =
+          set.from_target(predict_one(samples[i].graph, samples[i].aux));
+    return predictions;
+  }
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    predictions[i] =
+        set.from_target(predict_one(samples[i].graph, samples[i].aux));
+  return predictions;
+}
+
+std::size_t InferenceEngine::workspace_slots() const {
+  std::size_t total = 0;
+  for (const auto& ws : pool_) total += ws.num_slots();
+  return total;
+}
+
+std::size_t InferenceEngine::workspace_bytes() const {
+  std::size_t total = 0;
+  for (const auto& ws : pool_) total += ws.bytes_reserved();
+  return total;
+}
+
+}  // namespace pg::model

@@ -1,0 +1,58 @@
+// Batched inference engine over a trained ParaGraphModel: a per-thread
+// pool of grow-only Workspaces plus OpenMP fan-out, so steady-state
+// prediction — the advisor's "rank every candidate variant" loop and the
+// trainer's validation pass — performs zero heap allocations per graph.
+//
+// The engine does not own the model; keep the model alive for the engine's
+// lifetime. Model parameters may change between calls (the trainer reuses
+// one engine across epochs) — predictions always read the current weights.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "model/paragraph_model.hpp"
+#include "model/sample.hpp"
+#include "tensor/workspace.hpp"
+
+namespace pg::model {
+
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(const ParaGraphModel& model);
+
+  /// One scaled-domain prediction through the calling thread's workspace.
+  [[nodiscard]] double predict_one(const EncodedGraph& graph,
+                                   std::span<const float> aux);
+
+  /// Batched scaled-domain predictions, OpenMP-parallel over the graphs.
+  /// graphs/aux/out must have equal lengths. Bitwise-identical to calling
+  /// predict_one per element: predictions are independent, and workspace
+  /// history never leaks into results because every borrowed buffer is
+  /// either zero-filled on acquire or fully overwritten before being read
+  /// (the acquire_uninit contract).
+  void predict_batch(std::span<const EncodedGraph> graphs,
+                     std::span<const std::array<float, 2>> aux,
+                     std::span<double> out);
+
+  /// Microsecond-domain predictions for a sample list, honouring the set's
+  /// target transform (linear or log) and the physical floor (>= 0).
+  [[nodiscard]] std::vector<double> predict_samples_us(
+      std::span<const TrainingSample> samples, const SampleSet& set);
+
+  [[nodiscard]] const ParaGraphModel& model() const { return *model_; }
+
+  // Aggregate arena statistics over the thread pool — flat counts between
+  // two calls mean the steady state (zero allocation) has been reached.
+  [[nodiscard]] std::size_t workspace_slots() const;
+  [[nodiscard]] std::size_t workspace_bytes() const;
+
+ private:
+  tensor::Workspace& workspace_for_current_thread();
+
+  const ParaGraphModel* model_;
+  std::vector<tensor::Workspace> pool_;  // one per OpenMP thread
+};
+
+}  // namespace pg::model

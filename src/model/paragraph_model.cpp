@@ -1,6 +1,11 @@
 // Wires encoding -> RGAT stack -> readout MLP; forward, backward, and
-// parameter registration for Adam and checkpointing.
+// parameter registration for Adam and checkpointing. All intermediates are
+// workspace-borrowed: ForwardState is a plain struct of pointers into the
+// Workspace of the current pass, so the hot path never touches the heap
+// once the arena is warm.
 #include "model/paragraph_model.hpp"
+
+#include <algorithm>
 
 #include "nn/activation.hpp"
 #include "nn/loss.hpp"
@@ -10,13 +15,18 @@ namespace pg::model {
 
 struct ParaGraphModel::ForwardState {
   nn::RgatConv::Cache c1, c2, c3;
-  tensor::Matrix h1, h2, h3;   // conv outputs (post-ReLU)
-  tensor::Matrix pooled;       // [1 x hidden]
-  tensor::Matrix f1_pre, f1;   // fc1 pre/post activation
-  tensor::Matrix f2_pre, f2;   // fc2 pre/post activation
-  tensor::Matrix aux_in;       // [1 x aux_dim]
-  tensor::Matrix aux_pre, aux; // aux_fc pre/post activation
-  tensor::Matrix concat;       // [1 x hidden + aux_embed]
+  const tensor::Matrix* h1 = nullptr;      // conv outputs (post-ReLU)
+  const tensor::Matrix* h2 = nullptr;
+  const tensor::Matrix* h3 = nullptr;
+  const tensor::Matrix* pooled = nullptr;  // [1 x hidden]
+  const tensor::Matrix* f1_pre = nullptr;  // fc1 pre/post activation
+  const tensor::Matrix* f1 = nullptr;
+  const tensor::Matrix* f2_pre = nullptr;  // fc2 pre/post activation
+  const tensor::Matrix* f2 = nullptr;
+  const tensor::Matrix* aux_in = nullptr;  // [1 x aux_dim]
+  const tensor::Matrix* aux_pre = nullptr; // aux_fc pre/post activation
+  const tensor::Matrix* aux = nullptr;
+  const tensor::Matrix* concat = nullptr;  // [1 x hidden + aux_embed]
 };
 
 ParaGraphModel::ParaGraphModel(const ModelConfig& config)
@@ -55,45 +65,67 @@ ParaGraphModel::ParaGraphModel(const ModelConfig& config)
 
 double ParaGraphModel::run_forward(const EncodedGraph& graph,
                                    std::span<const float> aux,
-                                   ForwardState* state) const {
+                                   ForwardState& s,
+                                   tensor::Workspace& ws) const {
   check(aux.size() == config_.aux_dim, "aux feature size mismatch");
-  ForwardState local;
-  ForwardState& s = state != nullptr ? *state : local;
 
-  s.h1 = conv1_.forward(graph.features, graph.relations, s.c1);
-  s.h2 = conv2_.forward(s.h1, graph.relations, s.c2);
-  s.h3 = conv3_.forward(s.h2, graph.relations, s.c3);
-  s.pooled = tensor::row_mean(s.h3);
+  s.h1 = &conv1_.forward(graph.features, graph.relations, s.c1, ws);
+  s.h2 = &conv2_.forward(*s.h1, graph.relations, s.c2, ws);
+  s.h3 = &conv3_.forward(*s.h2, graph.relations, s.c3, ws);
+  tensor::Matrix& pooled = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::row_mean_into(pooled, *s.h3);
+  s.pooled = &pooled;
 
-  s.f1_pre = fc1_.forward(s.pooled);
-  s.f1 = nn::relu(s.f1_pre);
-  s.f2_pre = fc2_.forward(s.f1);
-  s.f2 = nn::relu(s.f2_pre);
+  s.f1_pre = &fc1_.forward(pooled, ws);
+  tensor::Matrix& f1 = ws.acquire_uninit(1, config_.hidden_dim);
+  nn::relu_into(f1, *s.f1_pre);
+  s.f1 = &f1;
+  s.f2_pre = &fc2_.forward(f1, ws);
+  tensor::Matrix& f2 = ws.acquire_uninit(1, config_.hidden_dim);
+  nn::relu_into(f2, *s.f2_pre);
+  s.f2 = &f2;
 
-  s.aux_in = tensor::Matrix::row(aux);
-  s.aux_pre = aux_fc_.forward(s.aux_in);
-  s.aux = nn::relu(s.aux_pre);
+  tensor::Matrix& aux_in = ws.acquire_uninit(1, config_.aux_dim);
+  std::copy(aux.begin(), aux.end(), aux_in.row_span(0).begin());
+  s.aux_in = &aux_in;
+  s.aux_pre = &aux_fc_.forward(aux_in, ws);
+  tensor::Matrix& aux_act = ws.acquire_uninit(1, config_.aux_embed_dim);
+  nn::relu_into(aux_act, *s.aux_pre);
+  s.aux = &aux_act;
 
-  s.concat = tensor::Matrix(1, config_.hidden_dim + config_.aux_embed_dim);
-  for (std::size_t j = 0; j < config_.hidden_dim; ++j) s.concat(0, j) = s.f2(0, j);
+  tensor::Matrix& concat =
+      ws.acquire_uninit(1, config_.hidden_dim + config_.aux_embed_dim);
+  for (std::size_t j = 0; j < config_.hidden_dim; ++j) concat(0, j) = f2(0, j);
   for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
-    s.concat(0, config_.hidden_dim + j) = s.aux(0, j);
+    concat(0, config_.hidden_dim + j) = aux_act(0, j);
+  s.concat = &concat;
 
-  return static_cast<double>(out_fc_.forward(s.concat)(0, 0));
+  return static_cast<double>(out_fc_.forward(concat, ws)(0, 0));
+}
+
+double ParaGraphModel::predict(const EncodedGraph& graph,
+                               std::span<const float> aux,
+                               tensor::Workspace& ws) const {
+  ws.reset();
+  ForwardState s;
+  return run_forward(graph, aux, s, ws);
 }
 
 double ParaGraphModel::predict(const EncodedGraph& graph,
                                std::span<const float> aux) const {
-  return run_forward(graph, aux, nullptr);
+  thread_local tensor::Workspace ws;
+  return predict(graph, aux, ws);
 }
 
 double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
                                             std::span<const float> aux,
                                             double target, double grad_scale,
-                                            std::span<tensor::Matrix> grads) const {
+                                            std::span<tensor::Matrix> grads,
+                                            tensor::Workspace& ws) const {
   check(grads.size() == num_params(), "gradient buffer size mismatch");
+  ws.reset();
   ForwardState s;
-  const double prediction = run_forward(graph, aux, &s);
+  const double prediction = run_forward(graph, aux, s, ws);
   const double dloss = nn::mse_grad(prediction, target) * grad_scale;
 
   // Parameter layout: conv1, conv2, conv3, fc1, fc2, aux_fc, out_fc.
@@ -108,29 +140,32 @@ double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
   auto out_grads = grads.subspan(offset, 2); offset += 2;
   check(offset == grads.size(), "parameter layout mismatch");
 
-  tensor::Matrix dout(1, 1);
+  tensor::Matrix& dout = ws.acquire_uninit(1, 1);
   dout(0, 0) = static_cast<float>(dloss);
-  tensor::Matrix dconcat = out_fc_.backward(s.concat, dout, out_grads);
+  tensor::Matrix& dconcat = out_fc_.backward(*s.concat, dout, out_grads, ws);
 
-  tensor::Matrix df2(1, config_.hidden_dim);
-  tensor::Matrix daux(1, config_.aux_embed_dim);
+  tensor::Matrix& df2 = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::Matrix& daux = ws.acquire_uninit(1, config_.aux_embed_dim);
   for (std::size_t j = 0; j < config_.hidden_dim; ++j) df2(0, j) = dconcat(0, j);
   for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
     daux(0, j) = dconcat(0, config_.hidden_dim + j);
 
   // Aux branch.
-  const tensor::Matrix daux_pre = nn::relu_backward(daux, s.aux_pre);
-  (void)aux_fc_.backward(s.aux_in, daux_pre, aux_grads);
+  tensor::Matrix& daux_pre = ws.acquire_uninit(1, config_.aux_embed_dim);
+  nn::relu_backward_into(daux_pre, daux, *s.aux_pre);
+  (void)aux_fc_.backward(*s.aux_in, daux_pre, aux_grads, ws);
 
   // Graph head.
-  const tensor::Matrix df2_pre = nn::relu_backward(df2, s.f2_pre);
-  tensor::Matrix df1 = fc2_.backward(s.f1, df2_pre, fc2_grads);
-  const tensor::Matrix df1_pre = nn::relu_backward(df1, s.f1_pre);
-  tensor::Matrix dpooled = fc1_.backward(s.pooled, df1_pre, fc1_grads);
+  tensor::Matrix& df2_pre = ws.acquire_uninit(1, config_.hidden_dim);
+  nn::relu_backward_into(df2_pre, df2, *s.f2_pre);
+  tensor::Matrix& df1 = fc2_.backward(*s.f1, df2_pre, fc2_grads, ws);
+  tensor::Matrix& df1_pre = ws.acquire_uninit(1, config_.hidden_dim);
+  nn::relu_backward_into(df1_pre, df1, *s.f1_pre);
+  tensor::Matrix& dpooled = fc1_.backward(*s.pooled, df1_pre, fc1_grads, ws);
 
   // Mean-pool backward: every node row receives dpooled / N.
-  const std::size_t n = s.h3.rows();
-  tensor::Matrix dh3(n, config_.hidden_dim);
+  const std::size_t n = s.h3->rows();
+  tensor::Matrix& dh3 = ws.acquire_uninit(n, config_.hidden_dim);
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto row = dh3.row_span(i);
@@ -138,11 +173,19 @@ double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
     for (std::size_t j = 0; j < config_.hidden_dim; ++j) row[j] = src[j] * inv_n;
   }
 
-  tensor::Matrix dh2 = conv3_.backward(dh3, graph.relations, s.c3, conv3_grads);
-  tensor::Matrix dh1 = conv2_.backward(dh2, graph.relations, s.c2, conv2_grads);
-  (void)conv1_.backward(dh1, graph.relations, s.c1, conv1_grads);
+  tensor::Matrix& dh2 = conv3_.backward(dh3, graph.relations, s.c3, conv3_grads, ws);
+  tensor::Matrix& dh1 = conv2_.backward(dh2, graph.relations, s.c2, conv2_grads, ws);
+  (void)conv1_.backward(dh1, graph.relations, s.c1, conv1_grads, ws);
 
   return prediction;
+}
+
+double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
+                                            std::span<const float> aux,
+                                            double target, double grad_scale,
+                                            std::span<tensor::Matrix> grads) const {
+  thread_local tensor::Workspace ws;
+  return accumulate_gradients(graph, aux, target, grad_scale, grads, ws);
 }
 
 std::vector<tensor::Matrix*> ParaGraphModel::parameters() {

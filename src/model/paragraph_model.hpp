@@ -3,6 +3,12 @@
 //   the two auxiliary features (num_teams, num_threads) are embedded by a
 //   separate FC layer; both embeddings are concatenated and a final FC
 //   layer produces the (MinMax-scaled) runtime.
+//
+// Every forward/backward borrows all its buffers from a caller-supplied
+// Workspace, so a warmed-up predict/accumulate_gradients performs zero heap
+// allocations. The Workspace-free overloads are conveniences over a
+// thread-local workspace; hot loops (trainer, InferenceEngine) pass their
+// own per-thread workspaces explicitly.
 #pragma once
 
 #include <array>
@@ -12,6 +18,7 @@
 #include "model/encoding.hpp"
 #include "nn/linear.hpp"
 #include "nn/rgat.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg::model {
 
@@ -29,13 +36,28 @@ class ParaGraphModel {
   explicit ParaGraphModel(const ModelConfig& config);
 
   /// Forward pass; aux must be MinMax-scaled, size == config().aux_dim.
+  /// Resets `ws` and borrows every intermediate from it — allocation-free
+  /// once the workspace has seen this graph's shapes.
+  [[nodiscard]] double predict(const EncodedGraph& graph,
+                               std::span<const float> aux,
+                               tensor::Workspace& ws) const;
+
+  /// Convenience overload over a thread-local workspace.
   [[nodiscard]] double predict(const EncodedGraph& graph,
                                std::span<const float> aux) const;
 
   /// Forward + backward for one sample under MSE against `target` (scaled).
   /// Accumulates `grad_scale * dL/dtheta` into `grads` (one Matrix per
   /// parameter, same order as parameters()). Returns the prediction.
-  /// Thread-safe: concurrent calls only read the model.
+  /// Resets `ws`; thread-safe when each thread passes its own workspace —
+  /// concurrent calls only read the model.
+  double accumulate_gradients(const EncodedGraph& graph,
+                              std::span<const float> aux, double target,
+                              double grad_scale,
+                              std::span<tensor::Matrix> grads,
+                              tensor::Workspace& ws) const;
+
+  /// Convenience overload over a thread-local workspace.
   double accumulate_gradients(const EncodedGraph& graph,
                               std::span<const float> aux, double target,
                               double grad_scale,
@@ -48,7 +70,7 @@ class ParaGraphModel {
  private:
   struct ForwardState;
   double run_forward(const EncodedGraph& graph, std::span<const float> aux,
-                     ForwardState* state) const;
+                     ForwardState& state, tensor::Workspace& ws) const;
 
   ModelConfig config_;
   nn::RgatConv conv1_;

@@ -1,5 +1,6 @@
 // Mini-batch Adam/MSE training loop, OpenMP-parallel across the graphs of
-// a batch with per-thread gradient accumulation.
+// a batch with per-thread gradient accumulation and per-thread workspaces
+// (no per-sample heap traffic once the arenas are warm).
 #include "model/trainer.hpp"
 
 #include <omp.h>
@@ -8,6 +9,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "model/engine.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -15,21 +17,17 @@
 namespace pg::model {
 namespace {
 
-double evaluate_rmse_us(const ParaGraphModel& model,
+double evaluate_rmse_us(InferenceEngine& engine,
                         const std::vector<TrainingSample>& samples,
                         const SampleSet& set,
                         std::vector<double>* predictions_out) {
   if (samples.empty()) return 0.0;
-  std::vector<double> predictions(samples.size());
-#pragma omp parallel for schedule(dynamic, 8)
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const double scaled = model.predict(samples[i].graph, samples[i].aux);
-    predictions[i] = set.from_target(scaled);
-  }
+  std::vector<double> predictions = engine.predict_samples_us(samples, set);
   std::vector<double> actual(samples.size());
   for (std::size_t i = 0; i < samples.size(); ++i) actual[i] = samples[i].runtime_us;
-  if (predictions_out != nullptr) *predictions_out = predictions;
-  return stats::rmse(actual, predictions);
+  const double rmse = stats::rmse(actual, predictions);
+  if (predictions_out != nullptr) *predictions_out = std::move(predictions);
+  return rmse;
 }
 
 }  // namespace
@@ -37,9 +35,8 @@ double evaluate_rmse_us(const ParaGraphModel& model,
 std::vector<double> predict_all(const ParaGraphModel& model,
                                 const std::vector<TrainingSample>& samples,
                                 const SampleSet& set) {
-  std::vector<double> predictions;
-  evaluate_rmse_us(model, samples, set, &predictions);
-  return predictions;
+  InferenceEngine engine(model);
+  return engine.predict_samples_us(samples, set);
 }
 
 TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
@@ -56,6 +53,11 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
   thread_grads.reserve(max_threads);
   for (int t = 0; t < max_threads; ++t)
     thread_grads.push_back(adam.make_gradient_buffer());
+  // Per-thread arenas: every sample's forward/backward reuses its thread's
+  // grow-only buffers, and the validation engine keeps its own pool warm
+  // across epochs.
+  std::vector<tensor::Workspace> thread_ws(max_threads);
+  InferenceEngine eval_engine(model);
 
   std::vector<std::size_t> order(set.train.size());
   std::iota(order.begin(), order.end(), 0);
@@ -90,11 +92,13 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
 #pragma omp parallel reduction(+ : batch_loss)
       {
         auto& grads = thread_grads[omp_get_thread_num()];
+        auto& ws = thread_ws[omp_get_thread_num()];
 #pragma omp for schedule(static)
         for (std::size_t i = start; i < end; ++i) {
           const TrainingSample& sample = set.train[order[i]];
           const double pred = model.accumulate_gradients(
-              sample.graph, sample.aux, sample.target_scaled, grad_scale, grads);
+              sample.graph, sample.aux, sample.target_scaled, grad_scale, grads,
+              ws);
           const double d = pred - sample.target_scaled;
           batch_loss += d * d;
         }
@@ -117,7 +121,7 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
     record.train_mse_scaled = epoch_loss / static_cast<double>(order.size());
     const bool last_epoch = (epoch == config.epochs);
     record.val_rmse_us = evaluate_rmse_us(
-        model, set.validation, set,
+        eval_engine, set.validation, set,
         last_epoch ? &result.val_predictions_us : nullptr);
     record.val_norm_rmse =
         actual_range > 0.0 ? record.val_rmse_us / actual_range : 0.0;

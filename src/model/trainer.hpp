@@ -35,9 +35,11 @@ struct TrainResult {
   double final_norm_rmse = 0.0;
 };
 
-/// Predictions (in microseconds) for a sample list; parallel, clamped at
-/// the physical floor (0), and honouring the set's target transform
-/// (linear or log).
+/// Predictions (in microseconds) for a sample list; a thin wrapper over a
+/// one-shot InferenceEngine — parallel with per-thread workspaces, clamped
+/// at the physical floor (0), and honouring the set's target transform
+/// (linear or log). Callers predicting repeatedly should hold their own
+/// engine so its workspace pool stays warm.
 std::vector<double> predict_all(const ParaGraphModel& model,
                                 const std::vector<TrainingSample>& samples,
                                 const SampleSet& set);

@@ -12,14 +12,29 @@ tensor::Matrix relu(const tensor::Matrix& x) {
   return y;
 }
 
-tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {
-  check(dy.same_shape(x), "relu_backward: shape mismatch");
-  tensor::Matrix dx = dy;
+void relu_into(tensor::Matrix& y, const tensor::Matrix& x) {
+  check(y.same_shape(x), "relu_into: shape mismatch");
   auto xs = x.data();
+  auto ys = y.data();
+  for (std::size_t i = 0; i < ys.size(); ++i)
+    ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+}
+
+tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {
+  tensor::Matrix dx = dy;
+  relu_backward_into(dx, dy, x);
+  return dx;
+}
+
+void relu_backward_into(tensor::Matrix& dx, const tensor::Matrix& dy,
+                        const tensor::Matrix& x) {
+  check(dy.same_shape(x), "relu_backward: shape mismatch");
+  check(dx.same_shape(dy), "relu_backward_into: destination shape mismatch");
+  auto xs = x.data();
+  auto dys = dy.data();
   auto ds = dx.data();
   for (std::size_t i = 0; i < ds.size(); ++i)
-    if (xs[i] <= 0.0f) ds[i] = 0.0f;
-  return dx;
+    ds[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
 }
 
 float leaky_relu(float x, float slope) { return x > 0.0f ? x : slope * x; }

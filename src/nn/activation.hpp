@@ -11,6 +11,11 @@ tensor::Matrix relu(const tensor::Matrix& x);
 /// dL/dx given dL/dy and the *pre-activation* input x.
 tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x);
 
+// Allocation-free variants writing into pre-shaped (workspace) storage.
+void relu_into(tensor::Matrix& y, const tensor::Matrix& x);
+void relu_backward_into(tensor::Matrix& dx, const tensor::Matrix& dy,
+                        const tensor::Matrix& x);
+
 float leaky_relu(float x, float slope);
 float leaky_relu_grad(float x, float slope);
 

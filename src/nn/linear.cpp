@@ -22,14 +22,40 @@ tensor::Matrix Linear::forward(const tensor::Matrix& x) const {
   return y;
 }
 
+const tensor::Matrix& Linear::forward(const tensor::Matrix& x,
+                                      tensor::Workspace& ws) const {
+  check(x.cols() == w_.rows(), "Linear::forward: feature dim mismatch");
+  tensor::Matrix& y = ws.acquire_uninit(x.rows(), w_.cols());
+  tensor::matmul_into(y, x, w_);
+  for (std::size_t i = 0; i < y.rows(); ++i) {
+    auto row = y.row_span(i);
+    auto bias = b_.row_span(0);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
+  }
+  return y;
+}
+
 tensor::Matrix Linear::backward(const tensor::Matrix& x, const tensor::Matrix& dy,
                                 std::span<tensor::Matrix> grads) const {
   check(grads.size() == num_params(), "Linear::backward: bad grad span");
   check(grads[0].same_shape(w_) && grads[1].same_shape(b_),
         "Linear::backward: grad shapes mismatch");
-  grads[0].add_(tensor::matmul_transpose_a(x, dy));
-  grads[1].add_(tensor::column_sums(dy));
+  tensor::matmul_transpose_a_acc(grads[0], x, dy);
+  tensor::column_sums_acc(grads[1], dy);
   return tensor::matmul_transpose_b(dy, w_);
+}
+
+tensor::Matrix& Linear::backward(const tensor::Matrix& x, const tensor::Matrix& dy,
+                                 std::span<tensor::Matrix> grads,
+                                 tensor::Workspace& ws) const {
+  check(grads.size() == num_params(), "Linear::backward: bad grad span");
+  check(grads[0].same_shape(w_) && grads[1].same_shape(b_),
+        "Linear::backward: grad shapes mismatch");
+  tensor::matmul_transpose_a_acc(grads[0], x, dy);
+  tensor::column_sums_acc(grads[1], dy);
+  tensor::Matrix& dx = ws.acquire_uninit(dy.rows(), w_.rows());
+  tensor::matmul_transpose_b_into(dx, dy, w_);
+  return dx;
 }
 
 std::vector<tensor::Matrix*> Linear::parameters() { return {&w_, &b_}; }

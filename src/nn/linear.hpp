@@ -11,6 +11,7 @@
 #include "support/rng.hpp"
 #include "tensor/init.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg::nn {
 
@@ -21,11 +22,20 @@ class Linear {
   /// y = x W + b, with x: [n x in].
   [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x) const;
 
+  /// Allocation-free forward: y lives in `ws` until its next reset().
+  const tensor::Matrix& forward(const tensor::Matrix& x,
+                                tensor::Workspace& ws) const;
+
   /// Given dL/dy and the forward input x, accumulates dW into grads[0] and
   /// db into grads[1], returns dL/dx. `grads` must have `num_params()`
   /// matrices shaped like `parameters()`.
   tensor::Matrix backward(const tensor::Matrix& x, const tensor::Matrix& dy,
                           std::span<tensor::Matrix> grads) const;
+
+  /// Allocation-free backward: dL/dx lives in `ws` until its next reset().
+  tensor::Matrix& backward(const tensor::Matrix& x, const tensor::Matrix& dy,
+                           std::span<tensor::Matrix> grads,
+                           tensor::Workspace& ws) const;
 
   [[nodiscard]] static constexpr std::size_t num_params() { return 2; }
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();

@@ -32,6 +32,20 @@ tensor::Matrix Mlp::forward(const tensor::Matrix& x) const {
   return forward(x, cache);
 }
 
+const tensor::Matrix& Mlp::forward(const tensor::Matrix& x,
+                                   tensor::Workspace& ws) const {
+  const tensor::Matrix* h = &x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const tensor::Matrix& pre = layers_[l].forward(*h, ws);
+    const bool last = (l + 1 == layers_.size());
+    if (last) return pre;
+    tensor::Matrix& act = ws.acquire_uninit(pre.rows(), pre.cols());
+    relu_into(act, pre);
+    h = &act;
+  }
+  return *h;  // zero-layer Mlp is impossible (ctor checks >= 2 sizes)
+}
+
 tensor::Matrix Mlp::backward(const tensor::Matrix& dy, const Cache& cache,
                              std::span<tensor::Matrix> grads) const {
   check(grads.size() == num_params(), "Mlp::backward: bad grad span");

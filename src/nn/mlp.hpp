@@ -23,6 +23,11 @@ class Mlp {
   [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x, Cache& cache) const;
   [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x) const;
 
+  /// Allocation-free inference (no cache): the result lives in `ws` until
+  /// its next reset().
+  const tensor::Matrix& forward(const tensor::Matrix& x,
+                                tensor::Workspace& ws) const;
+
   /// Accumulates into `grads` (layout = parameters()) and returns dL/dx.
   tensor::Matrix backward(const tensor::Matrix& dy, const Cache& cache,
                           std::span<tensor::Matrix> grads) const;

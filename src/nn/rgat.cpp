@@ -1,5 +1,7 @@
 // RGAT convolution: per-relation projections, additive attention with
-// LeakyReLU + softmax over incoming edges, and the matching backward.
+// LeakyReLU + softmax over incoming edges, and the matching backward — all
+// scratch drawn from the caller's Workspace, gather/scatter fused into the
+// projection loops so no per-relation temporaries are materialised.
 #include "nn/rgat.hpp"
 
 #include <cmath>
@@ -17,16 +19,16 @@ float dot(std::span<const float> a, std::span<const float> b) {
   return static_cast<float>(acc);
 }
 
-/// Gathers rows `ids` of `x` into a dense [|ids|, cols] matrix.
-tensor::Matrix gather_rows(const tensor::Matrix& x,
-                           const std::vector<std::uint32_t>& ids) {
-  tensor::Matrix out(ids.size(), x.cols());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    auto src = x.row_span(ids[i]);
-    auto dst = out.row_span(i);
-    std::copy(src.begin(), src.end(), dst.begin());
+/// Totals over all relations: edges and locally-active nodes. These define
+/// the concatenated-block layout shared by forward and backward.
+void relation_totals(const RelationalGraph& graph, std::size_t* total_edges,
+                     std::size_t* total_active) {
+  *total_edges = 0;
+  *total_active = 0;
+  for (const RelationEdges& rel : graph.relations) {
+    *total_edges += rel.edges.size();
+    *total_active += rel.num_active_nodes();
   }
-  return out;
 }
 
 }  // namespace
@@ -56,45 +58,66 @@ RgatConv::RgatConv(std::size_t in_features, std::size_t out_features,
   tensor::glorot_uniform(w_self_, rng);
 }
 
-tensor::Matrix RgatConv::forward(const tensor::Matrix& x,
-                                 const RelationalGraph& graph,
-                                 Cache& cache) const {
+const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
+                                        const RelationalGraph& graph,
+                                        Cache& cache,
+                                        tensor::Workspace& ws) const {
   check(x.cols() == in_, "RgatConv::forward: feature dim mismatch");
   check(x.rows() == graph.num_nodes, "RgatConv::forward: node count mismatch");
   check(graph.relations.size() == num_relations_,
         "RgatConv::forward: relation count mismatch");
 
-  cache.x = x;
-  cache.g.assign(num_relations_, tensor::Matrix{});
-  cache.raw.assign(num_relations_, {});
-  cache.alpha.assign(num_relations_, {});
+  std::size_t total_edges = 0;
+  std::size_t total_active = 0;
+  relation_totals(graph, &total_edges, &total_active);
 
-  tensor::Matrix pre = tensor::matmul(x, w_self_);
+  cache.x = &x;
+  // g accumulates (+=) and must start zeroed; raw/alpha/pre/s_src/s_dst are
+  // fully written before any read, so they skip the acquire memset.
+  cache.g = &ws.acquire(total_active, out_);
+  cache.raw = &ws.acquire_uninit(1, total_edges);
+  cache.alpha = &ws.acquire_uninit(1, total_edges);
+  cache.pre = &ws.acquire_uninit(x.rows(), out_);
+
+  tensor::Matrix& pre = *cache.pre;
+  tensor::matmul_into(pre, x, w_self_);
   for (std::size_t i = 0; i < pre.rows(); ++i) {
     auto row = pre.row_span(i);
     auto bias = b_.row_span(0);
     for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
   }
 
+  tensor::Matrix& s_src = ws.acquire_uninit(1, total_active);
+  tensor::Matrix& s_dst = ws.acquire_uninit(1, total_active);
+  auto raw = total_edges > 0 ? cache.raw->row_span(0) : std::span<float>{};
+  auto alpha = total_edges > 0 ? cache.alpha->row_span(0) : std::span<float>{};
+
+  std::size_t edge_off = 0;
+  std::size_t row_off = 0;
   for (std::size_t r = 0; r < num_relations_; ++r) {
     const RelationEdges& rel = graph.relations[r];
     if (rel.empty()) continue;
     const std::size_t na = rel.num_active_nodes();
 
-    // Project only the rows this relation touches.
-    tensor::Matrix g = tensor::matmul(gather_rows(x, rel.nodes), w_rel_[r]);
-
-    std::vector<float> s_src(na);
-    std::vector<float> s_dst(na);
+    // Project only the rows this relation touches, straight into the
+    // relation's block of the concatenated cache (fused gather + matmul).
     for (std::size_t i = 0; i < na; ++i) {
-      s_src[i] = dot(g.row_span(i), a_src_[r].row_span(0));
-      s_dst[i] = dot(g.row_span(i), a_dst_[r].row_span(0));
+      auto src = x.row_span(rel.nodes[i]);
+      auto dst = cache.g->row_span(row_off + i);
+      for (std::size_t k = 0; k < in_; ++k) {
+        const float aval = src[k];
+        if (aval == 0.0f) continue;
+        auto wrow = w_rel_[r].row_span(k);
+        for (std::size_t j = 0; j < out_; ++j) dst[j] += aval * wrow[j];
+      }
     }
 
-    std::vector<float>& raw = cache.raw[r];
-    std::vector<float>& alpha = cache.alpha[r];
-    raw.resize(rel.edges.size());
-    alpha.resize(rel.edges.size());
+    auto ss = s_src.row_span(0);
+    auto sd = s_dst.row_span(0);
+    for (std::size_t i = 0; i < na; ++i) {
+      ss[row_off + i] = dot(cache.g->row_span(row_off + i), a_src_[r].row_span(0));
+      sd[row_off + i] = dot(cache.g->row_span(row_off + i), a_dst_[r].row_span(0));
+    }
 
     for (std::size_t group = 0; group < rel.num_groups(); ++group) {
       const std::size_t lo = rel.group_offsets[group];
@@ -104,83 +127,111 @@ tensor::Matrix RgatConv::forward(const tensor::Matrix& x,
 
       float max_logit = -1e30f;
       for (std::size_t e = lo; e < hi; ++e) {
-        raw[e] = s_src[rel.edges[e].src_local] + s_dst[v_local];
-        const float logit = leaky_relu(raw[e], leaky_slope_);
+        raw[edge_off + e] = ss[row_off + rel.edges[e].src_local] + sd[row_off + v_local];
+        const float logit = leaky_relu(raw[edge_off + e], leaky_slope_);
         if (logit > max_logit) max_logit = logit;
       }
       double denom = 0.0;
       for (std::size_t e = lo; e < hi; ++e) {
-        alpha[e] = std::exp(leaky_relu(raw[e], leaky_slope_) - max_logit);
-        denom += alpha[e];
+        alpha[edge_off + e] =
+            std::exp(leaky_relu(raw[edge_off + e], leaky_slope_) - max_logit);
+        denom += alpha[edge_off + e];
       }
       auto out_row = pre.row_span(v_global);
       for (std::size_t e = lo; e < hi; ++e) {
-        alpha[e] = static_cast<float>(alpha[e] / denom);
-        const float scale = alpha[e] * rel.edges[e].gate;
-        auto g_row = g.row_span(rel.edges[e].src_local);
+        alpha[edge_off + e] = static_cast<float>(alpha[edge_off + e] / denom);
+        const float scale = alpha[edge_off + e] * rel.edges[e].gate;
+        auto g_row = cache.g->row_span(row_off + rel.edges[e].src_local);
         for (std::size_t j = 0; j < out_; ++j) out_row[j] += scale * g_row[j];
       }
     }
-    cache.g[r] = std::move(g);
+
+    edge_off += rel.edges.size();
+    row_off += na;
   }
 
-  cache.pre = pre;
-  return apply_relu_ ? relu(pre) : pre;
+  if (!apply_relu_) return pre;
+  tensor::Matrix& y = ws.acquire_uninit(x.rows(), out_);
+  relu_into(y, pre);
+  return y;
 }
 
-tensor::Matrix RgatConv::backward(const tensor::Matrix& dy,
-                                  const RelationalGraph& graph,
-                                  const Cache& cache,
-                                  std::span<tensor::Matrix> grads) const {
+tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
+                                   const RelationalGraph& graph,
+                                   const Cache& cache,
+                                   std::span<tensor::Matrix> grads,
+                                   tensor::Workspace& ws) const {
   check(grads.size() == num_params(), "RgatConv::backward: bad grad span");
-  const std::size_t n = cache.x.rows();
+  check(cache.x != nullptr, "RgatConv::backward: cache without forward");
+  const tensor::Matrix& x = *cache.x;
+  const std::size_t n = x.rows();
   check(dy.rows() == n && dy.cols() == out_, "RgatConv::backward: dy shape");
 
-  const tensor::Matrix dpre = apply_relu_ ? relu_backward(dy, cache.pre) : dy;
+  const tensor::Matrix* dpre = &dy;
+  if (apply_relu_) {
+    tensor::Matrix& masked = ws.acquire_uninit(n, out_);
+    relu_backward_into(masked, dy, *cache.pre);
+    dpre = &masked;
+  }
 
   // Self-connection + bias.
-  tensor::Matrix dx = tensor::matmul_transpose_b(dpre, w_self_);
-  grads[3 * num_relations_].add_(tensor::matmul_transpose_a(cache.x, dpre));
-  grads[3 * num_relations_ + 1].add_(tensor::column_sums(dpre));
+  tensor::Matrix& dx = ws.acquire_uninit(n, in_);
+  tensor::matmul_transpose_b_into(dx, *dpre, w_self_);
+  tensor::matmul_transpose_a_acc(grads[3 * num_relations_], x, *dpre);
+  tensor::column_sums_acc(grads[3 * num_relations_ + 1], *dpre);
 
+  std::size_t total_edges = 0;
+  std::size_t total_active = 0;
+  relation_totals(graph, &total_edges, &total_active);
+
+  // dg/ds_* accumulate (+=) and need the zero fill; dscore is assigned per
+  // edge before its group reads it back.
+  tensor::Matrix& dg = ws.acquire(total_active, out_);
+  tensor::Matrix& ds_src_m = ws.acquire(1, total_active);
+  tensor::Matrix& ds_dst_m = ws.acquire(1, total_active);
+  tensor::Matrix& dscore_m = ws.acquire_uninit(1, total_edges);
+
+  std::size_t edge_off = 0;
+  std::size_t row_off = 0;
   for (std::size_t r = 0; r < num_relations_; ++r) {
     const RelationEdges& rel = graph.relations[r];
     if (rel.empty()) continue;
     const std::size_t na = rel.num_active_nodes();
-    const tensor::Matrix& g = cache.g[r];
-    const std::vector<float>& raw = cache.raw[r];
-    const std::vector<float>& alpha = cache.alpha[r];
-
-    tensor::Matrix dg(na, out_);
-    std::vector<float> ds_src(na, 0.0f);
-    std::vector<float> ds_dst(na, 0.0f);
+    auto raw = cache.raw->row_span(0);
+    auto alpha = cache.alpha->row_span(0);
+    auto ds_src = ds_src_m.row_span(0);
+    auto ds_dst = ds_dst_m.row_span(0);
+    auto dscore = dscore_m.row_span(0);
 
     for (std::size_t group = 0; group < rel.num_groups(); ++group) {
       const std::size_t lo = rel.group_offsets[group];
       const std::size_t hi = rel.group_offsets[group + 1];
       const std::uint32_t v_local = rel.group_dst[group];
       const std::uint32_t v_global = rel.nodes[v_local];
-      auto dpre_row = dpre.row_span(v_global);
+      auto dpre_row = dpre->row_span(v_global);
 
       // dscore_e = d(out_v) . (gate_e * g_src); softmax backward within the
       // group; message-path gradient back to g_src.
       double weighted_sum = 0.0;  // sum_e alpha_e * dscore_e
-      std::vector<float> dscore(hi - lo);
       for (std::size_t e = lo; e < hi; ++e) {
         const RelEdge& edge = rel.edges[e];
-        dscore[e - lo] = edge.gate * dot(dpre_row, g.row_span(edge.src_local));
-        weighted_sum += static_cast<double>(alpha[e]) * dscore[e - lo];
-        const float scale = alpha[e] * edge.gate;
-        auto dg_row = dg.row_span(edge.src_local);
+        dscore[edge_off + e] =
+            edge.gate * dot(dpre_row, cache.g->row_span(row_off + edge.src_local));
+        weighted_sum +=
+            static_cast<double>(alpha[edge_off + e]) * dscore[edge_off + e];
+        const float scale = alpha[edge_off + e] * edge.gate;
+        auto dg_row = dg.row_span(row_off + edge.src_local);
         for (std::size_t j = 0; j < out_; ++j) dg_row[j] += scale * dpre_row[j];
       }
       for (std::size_t e = lo; e < hi; ++e) {
         const RelEdge& edge = rel.edges[e];
         const float dlogit =
-            alpha[e] * (dscore[e - lo] - static_cast<float>(weighted_sum));
-        const float draw = dlogit * leaky_relu_grad(raw[e], leaky_slope_);
-        ds_src[edge.src_local] += draw;
-        ds_dst[v_local] += draw;
+            alpha[edge_off + e] *
+            (dscore[edge_off + e] - static_cast<float>(weighted_sum));
+        const float draw =
+            dlogit * leaky_relu_grad(raw[edge_off + e], leaky_slope_);
+        ds_src[row_off + edge.src_local] += draw;
+        ds_dst[row_off + v_local] += draw;
       }
     }
 
@@ -190,33 +241,51 @@ tensor::Matrix RgatConv::backward(const tensor::Matrix& dy,
     auto da_src = grads[3 * r + 1].row_span(0);
     auto da_dst = grads[3 * r + 2].row_span(0);
     for (std::size_t i = 0; i < na; ++i) {
-      if (ds_src[i] != 0.0f) {
-        auto dg_row = dg.row_span(i);
-        auto g_row = g.row_span(i);
+      if (ds_src[row_off + i] != 0.0f) {
+        auto dg_row = dg.row_span(row_off + i);
+        auto g_row = cache.g->row_span(row_off + i);
         for (std::size_t j = 0; j < out_; ++j) {
-          dg_row[j] += ds_src[i] * a_src_row[j];
-          da_src[j] += ds_src[i] * g_row[j];
+          dg_row[j] += ds_src[row_off + i] * a_src_row[j];
+          da_src[j] += ds_src[row_off + i] * g_row[j];
         }
       }
-      if (ds_dst[i] != 0.0f) {
-        auto dg_row = dg.row_span(i);
-        auto g_row = g.row_span(i);
+      if (ds_dst[row_off + i] != 0.0f) {
+        auto dg_row = dg.row_span(row_off + i);
+        auto g_row = cache.g->row_span(row_off + i);
         for (std::size_t j = 0; j < out_; ++j) {
-          dg_row[j] += ds_dst[i] * a_dst_row[j];
-          da_dst[j] += ds_dst[i] * g_row[j];
+          dg_row[j] += ds_dst[row_off + i] * a_dst_row[j];
+          da_dst[j] += ds_dst[row_off + i] * g_row[j];
         }
       }
     }
 
-    // g = gather(x) W_r  =>  dW_r += gather(x)^T dg; dx[global] += (dg W_r^T)[local].
-    const tensor::Matrix x_local = gather_rows(cache.x, rel.nodes);
-    grads[3 * r].add_(tensor::matmul_transpose_a(x_local, dg));
-    const tensor::Matrix dx_local = tensor::matmul_transpose_b(dg, w_rel_[r]);
+    // g = gather(x) W_r  =>  dW_r += gather(x)^T dg (fused, no x_local);
+    // dx[global] += (dg W_r^T)[local] (fused scatter, no dx_local).
+    tensor::Matrix& dw = grads[3 * r];
+    for (std::size_t i = 0; i < na; ++i) {
+      auto x_row = x.row_span(rel.nodes[i]);
+      auto dg_row = dg.row_span(row_off + i);
+      for (std::size_t k = 0; k < in_; ++k) {
+        const float aval = x_row[k];
+        if (aval == 0.0f) continue;
+        auto dw_row = dw.row_span(k);
+        for (std::size_t j = 0; j < out_; ++j) dw_row[j] += aval * dg_row[j];
+      }
+    }
     for (std::size_t i = 0; i < na; ++i) {
       auto dst = dx.row_span(rel.nodes[i]);
-      auto src = dx_local.row_span(i);
-      for (std::size_t j = 0; j < in_; ++j) dst[j] += src[j];
+      auto dg_row = dg.row_span(row_off + i);
+      for (std::size_t k = 0; k < in_; ++k) {
+        auto w_row = w_rel_[r].row_span(k);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < out_; ++j)
+          acc += static_cast<double>(dg_row[j]) * w_row[j];
+        dst[k] += static_cast<float>(acc);
+      }
     }
+
+    edge_off += rel.edges.size();
+    row_off += na;
   }
   return dx;
 }

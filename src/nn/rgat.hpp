@@ -12,6 +12,10 @@
 //
 // `gate` carries the ParaGraph edge weight (MinMax-scaled) for Child edges
 // and is 1 elsewhere — the graph-side realisation of W in Eq. (2).
+//
+// All buffers — the output, the cached activations, and every scratch
+// matrix — are borrowed from the caller's Workspace, so a warmed-up
+// forward/backward pair performs zero heap allocations.
 #pragma once
 
 #include <span>
@@ -20,6 +24,7 @@
 #include "nn/relational_graph.hpp"
 #include "support/rng.hpp"
 #include "tensor/matrix.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg::nn {
 
@@ -29,24 +34,30 @@ class RgatConv {
            std::size_t num_relations, pg::Rng& rng, bool apply_relu = true,
            float leaky_slope = 0.2f);
 
-  /// Everything the backward pass needs from one forward call. Owned by the
-  /// caller so concurrent forward/backward passes don't share state.
+  /// Everything the backward pass needs from one forward call. All members
+  /// point into the Workspace the forward was given (plus the borrowed
+  /// input), so a Cache is valid until that workspace's next reset().
+  /// Per-relation data is concatenated: relation r's block starts at the
+  /// running sum of earlier relations' edge / active-node counts.
   struct Cache {
-    tensor::Matrix x;                          // input [N x in]
-    std::vector<tensor::Matrix> g;             // per relation [N x out]
-    std::vector<std::vector<float>> raw;       // per relation, per edge (pre-LeakyReLU)
-    std::vector<std::vector<float>> alpha;     // per relation, per edge
-    tensor::Matrix pre;                        // pre-activation output [N x out]
+    const tensor::Matrix* x = nullptr;  // borrowed input [N x in]
+    tensor::Matrix* g = nullptr;        // [sum_r |nodes_r| x out] projections
+    tensor::Matrix* raw = nullptr;      // [1 x total_edges] pre-LeakyReLU logits
+    tensor::Matrix* alpha = nullptr;    // [1 x total_edges] attention weights
+    tensor::Matrix* pre = nullptr;      // pre-activation output [N x out]
   };
 
-  [[nodiscard]] tensor::Matrix forward(const tensor::Matrix& x,
-                                       const RelationalGraph& graph,
-                                       Cache& cache) const;
+  /// Output lives in `ws` until its next reset().
+  const tensor::Matrix& forward(const tensor::Matrix& x,
+                                const RelationalGraph& graph, Cache& cache,
+                                tensor::Workspace& ws) const;
 
   /// Accumulates parameter gradients into `grads` (layout = parameters())
-  /// and returns dL/dx.
-  tensor::Matrix backward(const tensor::Matrix& dy, const RelationalGraph& graph,
-                          const Cache& cache, std::span<tensor::Matrix> grads) const;
+  /// and returns dL/dx (borrowed from `ws`). The cache's workspace must not
+  /// have been reset since the matching forward.
+  tensor::Matrix& backward(const tensor::Matrix& dy, const RelationalGraph& graph,
+                           const Cache& cache, std::span<tensor::Matrix> grads,
+                           tensor::Workspace& ws) const;
 
   /// Parameter layout: for each relation [W_r, a_src_r, a_dst_r], then
   /// W_self, b.

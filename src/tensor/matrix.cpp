@@ -79,8 +79,16 @@ double Matrix::squared_norm() const {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
   Matrix c(a.rows(), b.cols());
+  matmul_into(c, a, b);
+  return c;
+}
+
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  check(c.rows() == a.rows() && c.cols() == b.cols(),
+        "matmul_into: destination shape mismatch");
+  c.zero();
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -100,12 +108,18 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
-  return c;
 }
 
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
-  check(a.rows() == b.rows(), "matmul_transpose_a: row counts differ");
   Matrix c(a.cols(), b.cols());
+  matmul_transpose_a_acc(c, a, b);
+  return c;
+}
+
+void matmul_transpose_a_acc(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.rows() == b.rows(), "matmul_transpose_a: row counts differ");
+  check(c.rows() == a.cols() && c.cols() == b.cols(),
+        "matmul_transpose_a_acc: destination shape mismatch");
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.cols();
@@ -123,12 +137,18 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
       for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
-  return c;
 }
 
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
-  check(a.cols() == b.cols(), "matmul_transpose_b: col counts differ");
   Matrix c(a.rows(), b.rows());
+  matmul_transpose_b_into(c, a, b);
+  return c;
+}
+
+void matmul_transpose_b_into(Matrix& c, const Matrix& a, const Matrix& b) {
+  check(a.cols() == b.cols(), "matmul_transpose_b: col counts differ");
+  check(c.rows() == a.rows() && c.cols() == b.rows(),
+        "matmul_transpose_b_into: destination shape mismatch");
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
@@ -145,7 +165,6 @@ Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
       crow[j] = static_cast<float>(acc);
     }
   }
-  return c;
 }
 
 Matrix transpose(const Matrix& a) {
@@ -175,16 +194,31 @@ Matrix hadamard(const Matrix& a, const Matrix& b) {
 
 Matrix column_sums(const Matrix& a) {
   Matrix out(1, a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i)
-    for (std::size_t j = 0; j < a.cols(); ++j) out(0, j) += a(i, j);
+  column_sums_acc(out, a);
   return out;
 }
 
+void column_sums_acc(Matrix& out, const Matrix& a) {
+  check(out.rows() == 1 && out.cols() == a.cols(),
+        "column_sums_acc: destination shape mismatch");
+  auto sums = out.row_span(0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.row_span(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) sums[j] += row[j];
+  }
+}
+
 Matrix row_mean(const Matrix& a) {
-  check(a.rows() > 0, "row_mean of empty matrix");
-  Matrix out = column_sums(a);
-  out.scale_(1.0f / static_cast<float>(a.rows()));
+  Matrix out(1, a.cols());
+  row_mean_into(out, a);
   return out;
+}
+
+void row_mean_into(Matrix& out, const Matrix& a) {
+  check(a.rows() > 0, "row_mean of empty matrix");
+  out.zero();
+  column_sums_acc(out, a);
+  out.scale_(1.0f / static_cast<float>(a.rows()));
 }
 
 }  // namespace pg::tensor

@@ -71,6 +71,15 @@ Matrix matmul_transpose_a(const Matrix& a, const Matrix& b);
 /// C = A * B^T.
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b);
 
+// Allocation-free variants writing into caller-owned (workspace) storage.
+// `_into` defines every element of the pre-shaped destination; `_acc`
+// accumulates on top of it (the gradient-buffer pattern).
+void matmul_into(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_transpose_a_acc(Matrix& c, const Matrix& a, const Matrix& b);
+void matmul_transpose_b_into(Matrix& c, const Matrix& a, const Matrix& b);
+void column_sums_acc(Matrix& out, const Matrix& a);
+void row_mean_into(Matrix& out, const Matrix& a);
+
 Matrix transpose(const Matrix& a);
 Matrix add(const Matrix& a, const Matrix& b);
 Matrix sub(const Matrix& a, const Matrix& b);

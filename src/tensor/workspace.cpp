@@ -1,0 +1,35 @@
+// Shape-keyed Matrix arena: acquire/reset with grow-only slot storage.
+#include "tensor/workspace.hpp"
+
+#include "support/check.hpp"
+
+namespace pg::tensor {
+
+Matrix& Workspace::acquire(std::size_t rows, std::size_t cols) {
+  Matrix& m = acquire_uninit(rows, cols);
+  m.zero();
+  return m;
+}
+
+Matrix& Workspace::acquire_uninit(std::size_t rows, std::size_t cols) {
+  check(rows < (std::uint64_t{1} << 32) && cols < (std::uint64_t{1} << 32),
+        "Workspace::acquire: dimension too large");
+  const std::uint64_t key = (static_cast<std::uint64_t>(rows) << 32) |
+                            static_cast<std::uint64_t>(cols);
+  Bucket& bucket = buckets_[key];
+  ++num_acquires_;
+  if (bucket.in_use == 0) active_.push_back(&bucket);
+  if (bucket.in_use == bucket.slots.size()) {
+    bucket.slots.push_back(std::make_unique<Matrix>(rows, cols));
+    ++num_slots_;
+    bytes_reserved_ += rows * cols * sizeof(float);
+  }
+  return *bucket.slots[bucket.in_use++];
+}
+
+void Workspace::reset() {
+  for (Bucket* bucket : active_) bucket->in_use = 0;
+  active_.clear();
+}
+
+}  // namespace pg::tensor

@@ -18,6 +18,9 @@ std::optional<std::int64_t> fold(const std::string& expr) {
 }
 
 /// Parses a function whose single statement is a for loop; analyses it.
+/// The AST dies with this helper, so the returned LoopInfo's induction_var
+/// is nulled out — tests that need it must parse inline and keep the
+/// ParseResult alive (see InductionVarIdentified).
 std::optional<LoopInfo> analyze(const std::string& loop,
                                 const std::string& prelude = "") {
   auto r = parse_source("void f(void) { " + prelude + loop + " }");
@@ -28,7 +31,9 @@ std::optional<LoopInfo> analyze(const std::string& loop,
     return found == nullptr;
   });
   EXPECT_NE(found, nullptr);
-  return analyze_for_loop(found);
+  auto info = analyze_for_loop(found);
+  if (info.has_value()) info->induction_var = nullptr;
+  return info;
 }
 
 TEST(ConstEval, Literals) {
@@ -223,7 +228,17 @@ TEST(LoopAnalysis, TripCountOrUsesAnalysis) {
 }
 
 TEST(LoopAnalysis, InductionVarIdentified) {
-  auto info = analyze("for (int k = 0; k < 3; k++) {}");
+  // Parsed inline (not via analyze()): LoopInfo::induction_var points into
+  // the parse's AST, so the ParseResult must outlive the assertion.
+  auto r = parse_source("void f(void) { for (int k = 0; k < 3; k++) {} }");
+  ASSERT_TRUE(r.ok());
+  const AstNode* loop = nullptr;
+  walk(r.root(), [&](const AstNode* x, int) {
+    if (loop == nullptr && x->is(NodeKind::kForStmt)) loop = x;
+    return loop == nullptr;
+  });
+  ASSERT_NE(loop, nullptr);
+  auto info = analyze_for_loop(loop);
   ASSERT_TRUE(info.has_value());
   ASSERT_NE(info->induction_var, nullptr);
   EXPECT_EQ(info->induction_var->text(), "k");

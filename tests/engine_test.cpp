@@ -1,0 +1,132 @@
+// Tests for the batched InferenceEngine: exact (bitwise) agreement between
+// predict_batch, predict_one, and the model's own predict; span validation;
+// warm-pool steady state; and the microsecond-domain sample path against
+// predict_all.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "model/encoding.hpp"
+#include "model/engine.hpp"
+#include "model/trainer.hpp"
+#include "support/check.hpp"
+
+namespace pg::model {
+namespace {
+
+graph::ProgramGraph small_graph() {
+  auto r = frontend::parse_source(R"(
+    void f(void) {
+      for (int i = 0; i < 40; i++) {
+        double x = 1.0;
+      }
+    }
+  )");
+  EXPECT_TRUE(r.ok());
+  return graph::build_graph(r.root(), {});
+}
+
+/// A batch whose elements genuinely differ: the same program graph encoded
+/// at different weight scales, with varying aux features.
+std::pair<std::vector<EncodedGraph>, std::vector<std::array<float, 2>>>
+make_batch(std::size_t n) {
+  const auto g = small_graph();
+  std::vector<EncodedGraph> graphs;
+  std::vector<std::array<float, 2>> aux;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i + 1) / static_cast<double>(n);
+    graphs.push_back(encode_graph(g, 40.0 + 400.0 * t));
+    aux.push_back({static_cast<float>(t), static_cast<float>(1.0 - t)});
+  }
+  return {std::move(graphs), std::move(aux)};
+}
+
+TEST(InferenceEngine, PredictOneMatchesModelPredict) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 3});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(4);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    EXPECT_EQ(engine.predict_one(graphs[i], aux[i]), m.predict(graphs[i], aux[i]));
+}
+
+TEST(InferenceEngine, BatchMatchesSequentialPredictOneBitwise) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 5});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(17);  // not a multiple of the chunk size
+  std::vector<double> batched(graphs.size());
+  engine.predict_batch(graphs, aux, batched);
+
+  InferenceEngine sequential(m);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    EXPECT_EQ(batched[i], sequential.predict_one(graphs[i], aux[i])) << i;
+}
+
+TEST(InferenceEngine, RepeatedBatchIsDeterministic) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 7});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(8);
+  std::vector<double> first(graphs.size()), second(graphs.size());
+  engine.predict_batch(graphs, aux, first);
+  engine.predict_batch(graphs, aux, second);
+  EXPECT_EQ(first, second);
+}
+
+TEST(InferenceEngine, WarmPoolStopsGrowing) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 7});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(8);
+  std::vector<double> out(graphs.size());
+  engine.predict_batch(graphs, aux, out);
+  const std::size_t slots = engine.workspace_slots();
+  const std::size_t bytes = engine.workspace_bytes();
+  EXPECT_GT(slots, 0u);
+  engine.predict_batch(graphs, aux, out);
+  EXPECT_EQ(engine.workspace_slots(), slots);
+  EXPECT_EQ(engine.workspace_bytes(), bytes);
+}
+
+TEST(InferenceEngine, EmptyBatchIsANoOp) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  InferenceEngine engine(m);
+  engine.predict_batch({}, {}, {});
+  EXPECT_EQ(engine.workspace_slots(), 0u);
+}
+
+TEST(InferenceEngine, SpanLengthMismatchThrows) {
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 2});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(3);
+  std::vector<double> bad(2);
+  EXPECT_THROW(engine.predict_batch(graphs, aux, bad), InternalError);
+}
+
+TEST(InferenceEngine, PredictSamplesUsMatchesPredictAll) {
+  SampleSet set;
+  set.target_scaler.fit_bounds(0.0, 1000.0);
+  set.teams_scaler.fit_bounds(1.0, 2.0);
+  set.threads_scaler.fit_bounds(1.0, 2.0);
+  const auto g = small_graph();
+  for (std::size_t i = 0; i < 12; ++i) {
+    TrainingSample s;
+    const double t = static_cast<double>(i) / 12.0;
+    s.graph = encode_graph(g, 40.0 + 400.0 * t);
+    s.aux = {static_cast<float>(t), static_cast<float>(1.0 - t)};
+    s.runtime_us = 100.0 + 800.0 * t;
+    s.target_scaled = set.target_scaler.transform(s.runtime_us);
+    set.validation.push_back(std::move(s));
+  }
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 9});
+
+  InferenceEngine engine(m);
+  const auto engine_preds = engine.predict_samples_us(set.validation, set);
+  const auto trainer_preds = predict_all(m, set.validation, set);
+  ASSERT_EQ(engine_preds.size(), set.validation.size());
+  EXPECT_EQ(engine_preds, trainer_preds);
+  for (double p : engine_preds) EXPECT_GE(p, 0.0);  // physical floor
+}
+
+}  // namespace
+}  // namespace pg::model

@@ -15,6 +15,7 @@
 #include "nn/rgat.hpp"
 #include "support/rng.hpp"
 #include "tensor/init.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg {
 namespace {
@@ -165,18 +166,20 @@ TEST(GradCheck, RgatConvAllParameters) {
   tensor::uniform_init(x, xr, -1.0f, 1.0f);
 
   auto loss = [&] {
+    tensor::Workspace loss_ws;
     nn::RgatConv::Cache cache;
-    const Matrix y = conv.forward(x, g, cache);
+    const Matrix y = conv.forward(x, g, cache, loss_ws);
     return y.squared_norm();
   };
 
+  tensor::Workspace ws;
   nn::RgatConv::Cache cache;
-  const Matrix y = conv.forward(x, g, cache);
+  const Matrix y = conv.forward(x, g, cache, ws);
   Matrix dy = y;
   dy.scale_(2.0f);
   std::vector<Matrix> grads;
   for (auto* p : conv.parameters()) grads.emplace_back(p->rows(), p->cols());
-  const Matrix dx = conv.backward(dy, g, cache, grads);
+  const Matrix dx = conv.backward(dy, g, cache, grads, ws);
 
   check_parameter_gradients(conv.parameters(), grads, loss, 5e-3, 0.08, 1e-4);
 
@@ -208,17 +211,19 @@ TEST(GradCheck, RgatConvWithRelu) {
   tensor::uniform_init(x, xr, 0.2f, 1.0f);  // keep pre-activations away from 0
 
   auto loss = [&] {
+    tensor::Workspace loss_ws;
     nn::RgatConv::Cache cache;
-    return conv.forward(x, g, cache).squared_norm();
+    return conv.forward(x, g, cache, loss_ws).squared_norm();
   };
 
+  tensor::Workspace ws;
   nn::RgatConv::Cache cache;
-  const Matrix y = conv.forward(x, g, cache);
+  const Matrix y = conv.forward(x, g, cache, ws);
   Matrix dy = y;
   dy.scale_(2.0f);
   std::vector<Matrix> grads;
   for (auto* p : conv.parameters()) grads.emplace_back(p->rows(), p->cols());
-  (void)conv.backward(dy, g, cache, grads);
+  (void)conv.backward(dy, g, cache, grads, ws);
 
   check_parameter_gradients(conv.parameters(), grads, loss, 5e-3, 0.1, 1e-4);
 }

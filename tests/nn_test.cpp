@@ -16,6 +16,7 @@
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "tensor/init.hpp"
+#include "tensor/workspace.hpp"
 
 namespace pg::nn {
 namespace {
@@ -297,8 +298,9 @@ TEST(RgatConv, OutputShape) {
   RgatConv conv(4, 6, 2, rng);
   const RelationalGraph g = line_graph(5, 2);
   tensor::Matrix x(5, 4, 0.3f);
+  tensor::Workspace ws;
   RgatConv::Cache cache;
-  const tensor::Matrix y = conv.forward(x, g, cache);
+  const tensor::Matrix y = conv.forward(x, g, cache, ws);
   EXPECT_EQ(y.rows(), 5u);
   EXPECT_EQ(y.cols(), 6u);
 }
@@ -310,8 +312,9 @@ TEST(RgatConv, ReluOutputIsNonNegative) {
   tensor::Matrix x(6, 4);
   pg::Rng xr(3);
   tensor::uniform_init(x, xr, -2.0f, 2.0f);
+  tensor::Workspace ws;
   RgatConv::Cache cache;
-  const tensor::Matrix y = conv.forward(x, g, cache);
+  const tensor::Matrix y = conv.forward(x, g, cache, ws);
   for (float v : y.data()) EXPECT_GE(v, 0.0f);
 }
 
@@ -322,8 +325,9 @@ TEST(RgatConv, IsolatedNodesStillGetSelfTransform) {
   g.num_nodes = 2;
   g.relations.push_back(RelationEdges::from_edges({}));  // no edges at all
   tensor::Matrix x(2, 3, 1.0f);
+  tensor::Workspace ws;
   RgatConv::Cache cache;
-  const tensor::Matrix y = conv.forward(x, g, cache);
+  const tensor::Matrix y = conv.forward(x, g, cache, ws);
   // With no edges the output is exactly x W_self + b, not zero.
   EXPECT_NE(y.squared_norm(), 0.0);
 }
@@ -337,9 +341,10 @@ TEST(RgatConv, AttentionIsNormalisedPerDestination) {
   g.relations.push_back(
       RelationEdges::from_edges({{0, 2, 0, 0, 1.0f}, {1, 2, 0, 0, 1.0f}}));
   tensor::Matrix x(3, 3, 0.5f);
+  tensor::Workspace ws;
   RgatConv::Cache cache;
-  (void)conv.forward(x, g, cache);
-  const auto& alpha = cache.alpha[0];
+  (void)conv.forward(x, g, cache, ws);
+  const auto alpha = cache.alpha->row_span(0);
   ASSERT_EQ(alpha.size(), 2u);
   EXPECT_NEAR(alpha[0] + alpha[1], 1.0f, 1e-5f);
 }
@@ -349,12 +354,13 @@ TEST(RgatConv, GateScalesMessages) {
   RgatConv conv(2, 2, 1, rng, /*apply_relu=*/false);
   tensor::Matrix x(2, 2, 1.0f);
 
-  auto out_with_gate = [&](float gate) {
+  auto out_with_gate = [&](float gate) -> tensor::Matrix {
     RelationalGraph g;
     g.num_nodes = 2;
     g.relations.push_back(RelationEdges::from_edges({{0, 1, 0, 0, gate}}));
+    tensor::Workspace ws;
     RgatConv::Cache cache;
-    return conv.forward(x, g, cache);
+    return conv.forward(x, g, cache, ws);
   };
   const tensor::Matrix y0 = out_with_gate(0.0f);
   const tensor::Matrix y1 = out_with_gate(1.0f);
@@ -368,8 +374,9 @@ TEST(RgatConv, RelationCountMismatchThrows) {
   RgatConv conv(2, 2, 3, rng);
   const RelationalGraph g = line_graph(3, 2);  // only 2 relations
   tensor::Matrix x(3, 2);
+  tensor::Workspace ws;
   RgatConv::Cache cache;
-  EXPECT_THROW(conv.forward(x, g, cache), InternalError);
+  EXPECT_THROW(conv.forward(x, g, cache, ws), InternalError);
 }
 
 TEST(RgatConv, ParameterLayout) {
