@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "compoff/compoff.hpp"
+#include "dataset/corpus_cache.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
 #include "model/engine.hpp"
@@ -151,6 +152,10 @@ struct PlatformRun {
 /// validation predictions come from the trainer's own InferenceEngine pass;
 /// the fallback below serves them through a fresh engine when training was
 /// configured not to produce them.
+///
+/// When PARAGRAPH_CORPUS_DIR is set, the sample set is loaded from (or, on
+/// first run, written to) a .pgds corpus file there instead of re-parsing
+/// and re-encoding the whole sweep — byte-exact, so results are unchanged.
 inline PlatformRun train_platform(
     const sim::Platform& platform, const BenchConfig& config,
     graph::Representation representation = graph::Representation::kParaGraph,
@@ -165,7 +170,14 @@ inline PlatformRun train_platform(
 
   dataset::SampleBuildConfig build;
   build.representation = representation;
-  run.set = dataset::build_sample_set(run.points, build);
+  dataset::CorpusKey key;
+  key.platform_name = platform.name;
+  key.scale = config.scale;
+  key.representation = representation;
+  key.seed = config.seed;
+  key.log_target = build.log_target;
+  run.set = dataset::load_or_build_sample_set(
+      env_string("PARAGRAPH_CORPUS_DIR", ""), key, run.points, build);
 
   model::ModelConfig model_config;
   model_config.hidden_dim = config.hidden_dim;

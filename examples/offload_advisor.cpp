@@ -13,11 +13,13 @@
 #include <cstdio>
 #include <string>
 
+#include "dataset/corpus_cache.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
 #include "frontend/parser.hpp"
 #include "model/engine.hpp"
 #include "model/trainer.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -63,8 +65,16 @@ int main(int argc, char** argv) {
     const auto points = dataset::generate_dataset(platform, gen);
     dataset::SampleBuildConfig build;
     build.log_target = true;
+    // Load-from-corpus path: with PARAGRAPH_CORPUS_DIR set, later runs skip
+    // the per-point parse/build/encode entirely.
+    dataset::CorpusKey key;
+    key.platform_name = platform.name;
+    key.scale = gen.scale;
+    key.seed = gen.seed;
+    key.log_target = build.log_target;
     auto set = std::make_shared<model::SampleSet>(
-        dataset::build_sample_set(points, build));
+        dataset::load_or_build_sample_set(env_string("PARAGRAPH_CORPUS_DIR", ""),
+                                          key, points, build));
     auto m = std::make_shared<model::ParaGraphModel>(model::ModelConfig{});
     (void)model::train_model(*m, *set, train_config);
     return std::pair{m, set};

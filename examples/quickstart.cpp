@@ -8,6 +8,7 @@
 // Run:  ./quickstart            (takes ~a minute at smoke scale)
 #include <cstdio>
 
+#include "dataset/corpus_cache.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
 #include "frontend/ast_dump.hpp"
@@ -84,9 +85,15 @@ int main() {
               v100.name.c_str(), stats.num_points, stats.min_runtime_us / 1e3,
               stats.max_runtime_us / 1e3);
 
-  // 4. Train the ParaGraph model.
+  // 4. Train the ParaGraph model. With PARAGRAPH_CORPUS_DIR set, the
+  //    encoded sample set is cached as a .pgds corpus between runs.
   dataset::SampleBuildConfig build_config;
-  const model::SampleSet set = dataset::build_sample_set(points, build_config);
+  dataset::CorpusKey corpus_key;
+  corpus_key.platform_name = v100.name;
+  corpus_key.scale = gen.scale;
+  corpus_key.seed = gen.seed;
+  const model::SampleSet set = dataset::load_or_build_sample_set(
+      env_string("PARAGRAPH_CORPUS_DIR", ""), corpus_key, points, build_config);
 
   model::ModelConfig model_config;
   model::ParaGraphModel gnn(model_config);

@@ -16,6 +16,7 @@
 #include <tuple>
 #include <vector>
 
+#include "dataset/corpus_cache.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/kernel_spec.hpp"
 #include "dataset/sample_builder.hpp"
@@ -26,6 +27,7 @@
 #include "sim/kernel_profile.hpp"
 #include "sim/platform.hpp"
 #include "sim/runtime_simulator.hpp"
+#include "support/env.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -90,8 +92,15 @@ int main(int argc, char** argv) {
       const auto points = dataset::generate_dataset(platform, gen);
       dataset::SampleBuildConfig build;
       build.log_target = true;
+      // Load-from-corpus path (see dataset/corpus_cache.hpp).
+      dataset::CorpusKey key;
+      key.platform_name = platform.name;
+      key.scale = gen.scale;
+      key.seed = gen.seed;
+      key.log_target = build.log_target;
       auto set = std::make_shared<model::SampleSet>(
-          dataset::build_sample_set(points, build));
+          dataset::load_or_build_sample_set(
+              env_string("PARAGRAPH_CORPUS_DIR", ""), key, points, build));
       auto m = std::make_shared<model::ParaGraphModel>(model::ModelConfig{});
       (void)model::train_model(*m, *set, train_config);
       return std::pair{m, set};

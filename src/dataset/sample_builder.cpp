@@ -35,6 +35,28 @@ graph::ProgramGraph build_point_graph(const RawDataPoint& point,
   return graph::build_graph(parsed.root(), options);
 }
 
+model::TrainingSample make_training_sample(const graph::ProgramGraph& graph,
+                                           const model::SampleSet& scalers,
+                                           std::int64_t num_teams,
+                                           std::int64_t num_threads,
+                                           double runtime_us,
+                                           std::int32_t app_id,
+                                           std::string app_name,
+                                           std::string variant) {
+  model::TrainingSample sample;
+  sample.graph = model::encode_graph(graph, scalers.child_weight_scale);
+  sample.aux = {static_cast<float>(scalers.teams_scaler.transform(
+                    static_cast<double>(num_teams))),
+                static_cast<float>(scalers.threads_scaler.transform(
+                    static_cast<double>(num_threads)))};
+  sample.target_scaled = scalers.to_target(runtime_us);
+  sample.runtime_us = runtime_us;
+  sample.app_id = app_id;
+  sample.app_name = std::move(app_name);
+  sample.variant = std::move(variant);
+  return sample;
+}
+
 model::SampleSet build_sample_set(const std::vector<RawDataPoint>& points,
                                   const SampleBuildConfig& config) {
   check(!points.empty(), "build_sample_set: empty dataset");
@@ -82,19 +104,8 @@ model::SampleSet build_sample_set(const std::vector<RawDataPoint>& points,
 
   auto make_sample = [&](std::size_t i) {
     const RawDataPoint& p = points[i];
-    model::TrainingSample sample;
-    sample.graph = model::encode_graph(graphs[i], set.child_weight_scale);
-    sample.aux = {
-        static_cast<float>(set.teams_scaler.transform(
-            static_cast<double>(p.num_teams))),
-        static_cast<float>(set.threads_scaler.transform(
-            static_cast<double>(p.num_threads)))};
-    sample.target_scaled = set.to_target(p.runtime_us);
-    sample.runtime_us = p.runtime_us;
-    sample.app_id = p.app_id;
-    sample.app_name = p.app;
-    sample.variant = p.variant;
-    return sample;
+    return make_training_sample(graphs[i], set, p.num_teams, p.num_threads,
+                                p.runtime_us, p.app_id, p.app, p.variant);
   };
 
   set.train.reserve(train_count);

@@ -34,4 +34,19 @@ graph::ProgramGraph build_point_graph(const RawDataPoint& point,
                                       graph::Representation representation,
                                       std::int64_t unknown_trip_fallback = 100);
 
+/// Encodes one scaled TrainingSample from an already-built graph. This is
+/// THE canonical encode recipe — build_sample_set and `paragraph-cli
+/// encode` both call it, so the on-disk and in-process paths cannot drift
+/// (cli_test asserts the resulting bytes are identical). `scalers` supplies
+/// the fitted teams/threads/target scalers, the child-weight scale, and the
+/// target transform.
+model::TrainingSample make_training_sample(const graph::ProgramGraph& graph,
+                                           const model::SampleSet& scalers,
+                                           std::int64_t num_teams,
+                                           std::int64_t num_threads,
+                                           double runtime_us,
+                                           std::int32_t app_id,
+                                           std::string app_name,
+                                           std::string variant);
+
 }  // namespace pg::dataset

@@ -1,0 +1,110 @@
+// Source: truncation-checked, budget-enforcing byte reader.
+#include "io/binary.hpp"
+
+#include <array>
+
+namespace pg::io {
+
+void Source::bytes(void* out, std::size_t n) {
+  if (budget_active_ && consumed_ + n > budget_end_)
+    throw FormatError("section overrun: payload larger than its declared size");
+  is_.read(static_cast<char*>(out), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_.gcount()) != n || !is_)
+    throw FormatError("truncated file: unexpected end of data");
+  consumed_ += n;
+}
+
+void Source::skip(std::uint64_t n) {
+  std::array<char, 4096> scratch;
+  while (n > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, scratch.size()));
+    bytes(scratch.data(), chunk);
+    n -= chunk;
+  }
+}
+
+void Source::push_budget(std::uint64_t n) {
+  if (budget_active_) throw FormatError("internal: nested section budgets");
+  budget_end_ = consumed_ + n;
+  budget_active_ = true;
+}
+
+void Source::pop_budget() {
+  if (!budget_active_) throw FormatError("internal: no active section budget");
+  if (consumed_ != budget_end_)
+    throw FormatError("section underrun: payload smaller than its declared size");
+  budget_active_ = false;
+}
+
+std::uint8_t get_u8(Source& src) {
+  std::uint8_t b = 0;
+  src.bytes(&b, 1);
+  return b;
+}
+
+std::uint16_t get_u16(Source& src) {
+  std::uint8_t b[2];
+  src.bytes(b, sizeof b);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t get_u32(Source& src) {
+  std::uint8_t b[4];
+  src.bytes(b, sizeof b);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t get_u64(Source& src) {
+  std::uint8_t b[8];
+  src.bytes(b, sizeof b);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+std::int32_t get_i32(Source& src) {
+  return static_cast<std::int32_t>(get_u32(src));
+}
+
+std::int64_t get_i64(Source& src) {
+  return static_cast<std::int64_t>(get_u64(src));
+}
+
+float get_f32(Source& src) { return std::bit_cast<float>(get_u32(src)); }
+
+double get_f64(Source& src) { return std::bit_cast<double>(get_u64(src)); }
+
+std::string get_string(Source& src) {
+  const std::uint32_t len = get_u32(src);
+  // Checking against the section budget (not just the global cap) keeps a
+  // corrupt length from allocating anything before the read would fail.
+  if (len > kMaxReasonableCount || len > src.remaining_budget())
+    throw FormatError("corrupt string length");
+  std::string s(len, '\0');
+  if (len > 0) src.bytes(s.data(), len);
+  return s;
+}
+
+std::uint64_t get_count(Source& src, const char* what) {
+  const std::uint64_t v = get_u64(src);
+  if (v > kMaxReasonableCount)
+    throw FormatError(std::string("corrupt count field: ") + what);
+  return v;
+}
+
+std::uint64_t get_count(Source& src, const char* what,
+                        std::uint64_t min_bytes_per_element) {
+  const std::uint64_t count = get_count(src, what);
+  // count * min_bytes_per_element > remaining, without overflow.
+  if (min_bytes_per_element > 0 &&
+      count > src.remaining_budget() / min_bytes_per_element)
+    throw FormatError(std::string("corrupt count field: ") + what +
+                      " larger than its section");
+  return count;
+}
+
+}  // namespace pg::io

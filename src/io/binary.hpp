@@ -1,0 +1,169 @@
+// Low-level primitives for the pg::io binary formats.
+//
+// Every multi-byte value is written in explicit little-endian byte order
+// (assembled by shifts, never memcpy'd from host memory), so files written
+// on any host read back identically on any other. Floats travel as their
+// IEEE-754 bit patterns via the same integer paths — round trips are
+// bit-exact, including NaN payloads.
+//
+// Writers are templates over a Sink so the same serialisation code both
+// *measures* (CountingSink) and *emits* (StreamSink) a payload; the
+// section-table sizes in the container header therefore come from the very
+// code that writes the bytes and cannot drift from it.
+//
+// Readers operate on a Source that throws FormatError on truncation and
+// enforces per-section byte budgets, so a corrupt section table cannot make
+// a reader run off into a neighbouring section or the rest of the file.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace pg::io {
+
+/// A malformed/corrupt/incompatible *input file*. Deliberately distinct
+/// from pg::InternalError: bad bytes on disk are an environmental condition
+/// callers may want to catch and report, not a library bug.
+class FormatError : public std::runtime_error {
+ public:
+  explicit FormatError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Upper bound on any single length/count field. Far above every legitimate
+/// graph in this project, low enough that a corrupt count fails cleanly
+/// instead of attempting a multi-gigabyte allocation.
+inline constexpr std::uint64_t kMaxReasonableCount = 1ull << 28;
+
+// --- sinks ----------------------------------------------------------------
+
+struct StreamSink {
+  std::ostream& os;
+  void bytes(const void* data, std::size_t n) {
+    os.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  }
+};
+
+struct CountingSink {
+  std::uint64_t count = 0;
+  void bytes(const void*, std::size_t n) { count += n; }
+};
+
+template <class Sink>
+void put_u8(Sink& sink, std::uint8_t v) {
+  sink.bytes(&v, 1);
+}
+
+template <class Sink>
+void put_u16(Sink& sink, std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  sink.bytes(b, sizeof b);
+}
+
+template <class Sink>
+void put_u32(Sink& sink, std::uint32_t v) {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+      static_cast<std::uint8_t>(v >> 16), static_cast<std::uint8_t>(v >> 24)};
+  sink.bytes(b, sizeof b);
+}
+
+template <class Sink>
+void put_u64(Sink& sink, std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  sink.bytes(b, sizeof b);
+}
+
+template <class Sink>
+void put_i32(Sink& sink, std::int32_t v) {
+  put_u32(sink, static_cast<std::uint32_t>(v));
+}
+
+template <class Sink>
+void put_i64(Sink& sink, std::int64_t v) {
+  put_u64(sink, static_cast<std::uint64_t>(v));
+}
+
+template <class Sink>
+void put_f32(Sink& sink, float v) {
+  put_u32(sink, std::bit_cast<std::uint32_t>(v));
+}
+
+template <class Sink>
+void put_f64(Sink& sink, double v) {
+  put_u64(sink, std::bit_cast<std::uint64_t>(v));
+}
+
+template <class Sink>
+void put_string(Sink& sink, const std::string& s) {
+  put_u32(sink, static_cast<std::uint32_t>(s.size()));
+  sink.bytes(s.data(), s.size());
+}
+
+// --- source ---------------------------------------------------------------
+
+/// Byte source over an istream with truncation detection and an optional
+/// byte budget (the current section's declared size). Every read is
+/// accounted; a section that declares fewer bytes than its payload needs
+/// fails with "section overrun" instead of silently consuming its
+/// neighbour's bytes.
+class Source {
+ public:
+  explicit Source(std::istream& is) : is_(is) {}
+
+  void bytes(void* out, std::size_t n);
+
+  /// Discards exactly `n` bytes (unknown forward-compatible sections).
+  void skip(std::uint64_t n);
+
+  /// Total bytes consumed so far.
+  [[nodiscard]] std::uint64_t consumed() const { return consumed_; }
+
+  /// Restricts subsequent reads to the next `n` bytes. Only one budget can
+  /// be active at a time (sections do not nest in this format).
+  void push_budget(std::uint64_t n);
+
+  /// Ends the current section: the payload must have consumed its declared
+  /// size exactly.
+  void pop_budget();
+
+  /// Bytes left in the active budget (max u64 when none is active). Lets
+  /// readers reject a corrupt count *before* sizing a container for it.
+  [[nodiscard]] std::uint64_t remaining_budget() const {
+    return budget_active_ ? budget_end_ - consumed_ : ~0ull;
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t budget_end_ = 0;  // consumed_ limit; 0 = no active budget
+  bool budget_active_ = false;
+};
+
+std::uint8_t get_u8(Source& src);
+std::uint16_t get_u16(Source& src);
+std::uint32_t get_u32(Source& src);
+std::uint64_t get_u64(Source& src);
+std::int32_t get_i32(Source& src);
+std::int64_t get_i64(Source& src);
+float get_f32(Source& src);
+double get_f64(Source& src);
+std::string get_string(Source& src);
+
+/// `get_u64` + sanity cap: throws FormatError when the value exceeds
+/// kMaxReasonableCount (corrupt count fields fail before they allocate).
+std::uint64_t get_count(Source& src, const char* what);
+
+/// `get_count` + budget fit: additionally rejects counts whose elements
+/// (at `min_bytes_per_element` each, the smallest legal encoding) cannot
+/// fit in the remaining section budget — so a corrupt count can never
+/// drive a container allocation bigger than the section it came from.
+std::uint64_t get_count(Source& src, const char* what,
+                        std::uint64_t min_bytes_per_element);
+
+}  // namespace pg::io

@@ -1,0 +1,710 @@
+// Container header/section-table handling plus the graph/sample/dataset
+// payload codecs. Every put_* is a template over Sink so the section sizes
+// in the table are measured by the same code that emits the bytes.
+#include "io/pgraph_io.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "io/binary.hpp"
+#include "model/encoding.hpp"
+
+namespace pg::io {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'G', 'I', 'O', 'B', 'I', 'N', '\x1a'};
+
+// Section ids (high byte = payload family).
+constexpr std::uint32_t kSecGraphNodes = 0x0101;
+constexpr std::uint32_t kSecGraphEdges = 0x0102;
+constexpr std::uint32_t kSecSampleMeta = 0x0201;
+constexpr std::uint32_t kSecSampleFeatures = 0x0202;
+constexpr std::uint32_t kSecSampleRelations = 0x0203;
+constexpr std::uint32_t kSecDatasetMeta = 0x0301;
+
+// Record-stream framing; the values spell "RECD" / "DEND" on disk.
+constexpr std::uint32_t kRecordMarker = 0x44434552;
+constexpr std::uint32_t kEndMarker = 0x444e4544;
+
+constexpr std::uint32_t kMaxSections = 64;
+// 1 GiB: far above any legitimate section/record in this project, and the
+// hard ceiling on what a crafted section-size field can make a reader
+// allocate transiently (the Matrix in get_sample_features is budget-bound).
+constexpr std::uint64_t kMaxSectionBytes = 1ull << 30;
+// Containers are grown incrementally while bytes actually arrive, with at
+// most this much capacity reserved up front — so a corrupt count field can
+// never drive a giant allocation ahead of the reads that would expose it.
+constexpr std::uint64_t kMaxPrealloc = 1ull << 16;
+
+struct SectionEntry {
+  std::uint32_t id = 0;
+  std::uint64_t size = 0;
+};
+
+// --- header / section table ----------------------------------------------
+
+template <class Sink>
+void put_header(Sink& sink, PayloadKind kind, std::uint32_t section_count) {
+  sink.bytes(kMagic, sizeof kMagic);
+  put_u16(sink, kFormatVersion);
+  put_u16(sink, static_cast<std::uint16_t>(kind));
+  put_u64(sink, feature_schema_hash());
+  put_u32(sink, section_count);
+}
+
+template <class Sink>
+void put_section_table(Sink& sink, const std::vector<SectionEntry>& entries) {
+  for (const SectionEntry& e : entries) {
+    put_u32(sink, e.id);
+    put_u64(sink, e.size);
+  }
+}
+
+FileInfo get_raw_header(Source& src) {
+  char magic[sizeof kMagic];
+  src.bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw FormatError("not a ParaGraph binary container (bad magic)");
+  FileInfo info;
+  info.version = get_u16(src);
+  info.kind = static_cast<PayloadKind>(get_u16(src));
+  info.schema_hash = get_u64(src);
+  return info;
+}
+
+/// Magic + version + kind + schema check, then the validated section table.
+std::vector<SectionEntry> get_prologue(Source& src, PayloadKind expected) {
+  const FileInfo info = get_raw_header(src);
+  if (info.version != kFormatVersion)
+    throw FormatError("unsupported format version " +
+                      std::to_string(info.version) + " (this build reads " +
+                      std::to_string(kFormatVersion) + ")");
+  if (info.kind != expected)
+    throw FormatError(std::string("wrong payload kind: expected ") +
+                      std::string(payload_kind_name(expected)) +
+                      ", file holds " +
+                      std::string(payload_kind_name(info.kind)));
+  if (info.schema_hash != feature_schema_hash())
+    throw FormatError(
+        "feature-schema mismatch: file was written under a different "
+        "node-kind/edge-type contract (see docs/FORMAT.md)");
+
+  const std::uint32_t count = get_u32(src);
+  if (count == 0 || count > kMaxSections)
+    throw FormatError("corrupt section table: implausible section count");
+  std::vector<SectionEntry> entries(count);
+  for (SectionEntry& e : entries) {
+    e.id = get_u32(src);
+    e.size = get_u64(src);
+    if (e.size > kMaxSectionBytes)
+      throw FormatError("corrupt section table: implausible section size");
+    for (const SectionEntry& prev : entries) {
+      if (&prev == &e) break;
+      if (prev.id == e.id)
+        throw FormatError("corrupt section table: duplicate section id");
+    }
+  }
+  return entries;
+}
+
+// --- graph payloads -------------------------------------------------------
+
+template <class Sink>
+void put_graph_nodes(Sink& sink, const graph::ProgramGraph& graph) {
+  put_u64(sink, graph.num_nodes());
+  for (const graph::GraphNode& n : graph.nodes()) {
+    put_u16(sink, static_cast<std::uint16_t>(n.kind));
+    put_string(sink, n.label);
+  }
+}
+
+template <class Sink>
+void put_graph_edges(Sink& sink, const graph::ProgramGraph& graph) {
+  put_u64(sink, graph.num_edges());
+  for (const graph::GraphEdge& e : graph.edges()) {
+    put_u32(sink, e.src);
+    put_u32(sink, e.dst);
+    put_u8(sink, static_cast<std::uint8_t>(e.type));
+    put_f32(sink, e.weight);
+  }
+}
+
+std::vector<graph::GraphNode> get_graph_nodes(Source& src) {
+  const std::uint64_t count = get_count(src, "graph node count", 6);
+  std::vector<graph::GraphNode> nodes;
+  nodes.reserve(std::min(count, kMaxPrealloc));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    graph::GraphNode n;
+    const std::uint16_t kind = get_u16(src);
+    if (kind >= frontend::kNumNodeKinds)
+      throw FormatError("corrupt graph node: unknown node kind");
+    n.kind = static_cast<frontend::NodeKind>(kind);
+    n.label = get_string(src);
+    nodes.push_back(std::move(n));
+  }
+  return nodes;
+}
+
+std::vector<graph::GraphEdge> get_graph_edges(Source& src) {
+  const std::uint64_t count = get_count(src, "graph edge count", 13);
+  std::vector<graph::GraphEdge> edges;
+  edges.reserve(std::min(count, kMaxPrealloc));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    graph::GraphEdge e;
+    e.src = get_u32(src);
+    e.dst = get_u32(src);
+    const std::uint8_t type = get_u8(src);
+    if (type >= graph::kNumEdgeTypes)
+      throw FormatError("corrupt graph edge: unknown edge type");
+    e.type = static_cast<graph::EdgeType>(type);
+    e.weight = get_f32(src);
+    if (!std::isfinite(e.weight) || e.weight < 0.0f)
+      throw FormatError("corrupt graph edge: bad weight");
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+// --- sample payloads ------------------------------------------------------
+
+template <class Sink>
+void put_sample_meta(Sink& sink, const model::TrainingSample& s) {
+  put_f32(sink, s.aux[0]);
+  put_f32(sink, s.aux[1]);
+  put_f64(sink, s.target_scaled);
+  put_f64(sink, s.runtime_us);
+  put_i32(sink, s.app_id);
+  put_string(sink, s.app_name);
+  put_string(sink, s.variant);
+}
+
+void get_sample_meta(Source& src, model::TrainingSample& s) {
+  s.aux[0] = get_f32(src);
+  s.aux[1] = get_f32(src);
+  s.target_scaled = get_f64(src);
+  s.runtime_us = get_f64(src);
+  s.app_id = get_i32(src);
+  s.app_name = get_string(src);
+  s.variant = get_string(src);
+}
+
+template <class Sink>
+void put_sample_features(Sink& sink, const tensor::Matrix& m) {
+  put_u64(sink, m.rows());
+  put_u64(sink, m.cols());
+  for (float v : m.data()) put_f32(sink, v);
+}
+
+tensor::Matrix get_sample_features(Source& src) {
+  const std::uint64_t rows = get_count(src, "feature rows");
+  const std::uint64_t cols = get_count(src, "feature cols");
+  if (cols != model::kNodeFeatureDim)
+    throw FormatError("corrupt sample: feature width does not match the "
+                      "feature-order contract");
+  // rows, cols <= 2^28 (get_count), so rows*cols*4 <= 2^58: no overflow.
+  if (rows * cols * sizeof(float) > src.remaining_budget())
+    throw FormatError("corrupt sample: feature matrix larger than its section");
+  tensor::Matrix m(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+  for (float& v : m.data()) v = get_f32(src);
+  return m;
+}
+
+template <class Sink>
+void put_sample_relations(Sink& sink, const nn::RelationalGraph& rg) {
+  put_u64(sink, rg.num_nodes);
+  put_u32(sink, static_cast<std::uint32_t>(rg.relations.size()));
+  for (const nn::RelationEdges& rel : rg.relations) {
+    put_u64(sink, rel.edges.size());
+    for (const nn::RelEdge& e : rel.edges) {
+      put_u32(sink, e.src);
+      put_u32(sink, e.dst);
+      put_u32(sink, e.src_local);
+      put_u32(sink, e.dst_local);
+      put_f32(sink, e.gate);
+    }
+    put_u64(sink, rel.nodes.size());
+    for (std::uint32_t v : rel.nodes) put_u32(sink, v);
+    put_u64(sink, rel.group_offsets.size());
+    for (std::uint32_t v : rel.group_offsets) put_u32(sink, v);
+    put_u64(sink, rel.group_dst.size());
+    for (std::uint32_t v : rel.group_dst) put_u32(sink, v);
+  }
+}
+
+/// Reads one relation and verifies every invariant RelationEdges::from_edges
+/// guarantees, so corrupt files cannot smuggle out-of-range indices into the
+/// RGAT gather/scatter kernels.
+nn::RelationEdges get_relation(Source& src, std::uint64_t num_global_nodes) {
+  nn::RelationEdges rel;
+  const std::uint64_t num_edges = get_count(src, "relation edge count", 20);
+  rel.edges.reserve(std::min(num_edges, kMaxPrealloc));
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    nn::RelEdge e;
+    e.src = get_u32(src);
+    e.dst = get_u32(src);
+    e.src_local = get_u32(src);
+    e.dst_local = get_u32(src);
+    e.gate = get_f32(src);
+    if (!std::isfinite(e.gate))
+      throw FormatError("corrupt relation: non-finite edge gate");
+    rel.edges.push_back(e);
+  }
+  auto read_u32s = [&src](std::vector<std::uint32_t>& out, std::uint64_t n) {
+    out.reserve(std::min(n, kMaxPrealloc));
+    for (std::uint64_t i = 0; i < n; ++i) out.push_back(get_u32(src));
+  };
+  read_u32s(rel.nodes, get_count(src, "relation node count", 4));
+  read_u32s(rel.group_offsets, get_count(src, "relation offset count", 4));
+  read_u32s(rel.group_dst, get_count(src, "relation group count", 4));
+
+  for (std::size_t i = 0; i < rel.nodes.size(); ++i) {
+    if (rel.nodes[i] >= num_global_nodes)
+      throw FormatError("corrupt relation: node id out of range");
+    if (i > 0 && rel.nodes[i] <= rel.nodes[i - 1])
+      throw FormatError("corrupt relation: node list not strictly increasing");
+  }
+  if (rel.group_offsets.size() != rel.group_dst.size() + 1)
+    throw FormatError("corrupt relation: group table shape mismatch");
+  if (rel.group_offsets.front() != 0 ||
+      rel.group_offsets.back() != rel.edges.size())
+    throw FormatError("corrupt relation: group offsets do not span the edges");
+  for (std::size_t g = 0; g + 1 < rel.group_offsets.size(); ++g) {
+    if (rel.group_offsets[g] >= rel.group_offsets[g + 1])
+      throw FormatError("corrupt relation: group offsets not increasing");
+    if (g > 0 && rel.group_dst[g] <= rel.group_dst[g - 1])
+      throw FormatError("corrupt relation: group dst not increasing");
+    if (rel.group_dst[g] >= rel.nodes.size())
+      throw FormatError("corrupt relation: group dst out of range");
+    for (std::uint32_t i = rel.group_offsets[g]; i < rel.group_offsets[g + 1];
+         ++i) {
+      const nn::RelEdge& e = rel.edges[i];
+      if (e.src_local >= rel.nodes.size() || e.dst_local >= rel.nodes.size())
+        throw FormatError("corrupt relation: local index out of range");
+      if (e.dst_local != rel.group_dst[g])
+        throw FormatError("corrupt relation: edge outside its dst group");
+      if (e.src != rel.nodes[e.src_local] || e.dst != rel.nodes[e.dst_local])
+        throw FormatError("corrupt relation: local/global id mismatch");
+    }
+  }
+  return rel;
+}
+
+nn::RelationalGraph get_sample_relations(Source& src) {
+  nn::RelationalGraph rg;
+  rg.num_nodes = static_cast<std::size_t>(get_count(src, "relation graph nodes"));
+  const std::uint32_t num_relations = get_u32(src);
+  if (num_relations != graph::kNumEdgeTypes)
+    throw FormatError("corrupt sample: relation count does not match the "
+                      "edge-type contract");
+  rg.relations.reserve(num_relations);
+  for (std::uint32_t r = 0; r < num_relations; ++r)
+    rg.relations.push_back(get_relation(src, rg.num_nodes));
+  return rg;
+}
+
+/// The three sample sections concatenated without framing — the body shared
+/// by .psample sections and .pgds records.
+template <class Sink>
+void put_sample_body(Sink& sink, const model::TrainingSample& s) {
+  put_sample_meta(sink, s);
+  put_sample_features(sink, s.graph.features);
+  put_sample_relations(sink, s.graph.relations);
+}
+
+model::TrainingSample get_sample_body(Source& src) {
+  model::TrainingSample s;
+  get_sample_meta(src, s);
+  s.graph.features = get_sample_features(src);
+  s.graph.relations = get_sample_relations(src);
+  if (s.graph.features.rows() != s.graph.relations.num_nodes)
+    throw FormatError("corrupt sample: feature rows != relation graph nodes");
+  return s;
+}
+
+// --- dataset meta ---------------------------------------------------------
+
+template <class Sink>
+void put_dataset_meta(Sink& sink, const DatasetMeta& meta) {
+  put_string(sink, meta.platform);
+  put_string(sink, meta.representation);
+  put_u64(sink, meta.seed);
+  put_u8(sink, meta.log_target ? 1 : 0);
+  put_f64(sink, meta.child_weight_scale);
+  put_f64(sink, meta.target_min);
+  put_f64(sink, meta.target_max);
+  put_f64(sink, meta.teams_min);
+  put_f64(sink, meta.teams_max);
+  put_f64(sink, meta.threads_min);
+  put_f64(sink, meta.threads_max);
+}
+
+DatasetMeta get_dataset_meta(Source& src) {
+  DatasetMeta meta;
+  meta.platform = get_string(src);
+  meta.representation = get_string(src);
+  meta.seed = get_u64(src);
+  meta.log_target = get_u8(src) != 0;
+  meta.child_weight_scale = get_f64(src);
+  meta.target_min = get_f64(src);
+  meta.target_max = get_f64(src);
+  meta.teams_min = get_f64(src);
+  meta.teams_max = get_f64(src);
+  meta.threads_min = get_f64(src);
+  meta.threads_max = get_f64(src);
+  if (!std::isfinite(meta.child_weight_scale) || meta.child_weight_scale <= 0.0)
+    throw FormatError("corrupt dataset meta: bad child weight scale");
+  return meta;
+}
+
+void throw_on_stream_error(const std::ostream& os) {
+  if (!os) throw FormatError("I/O error while writing");
+}
+
+}  // namespace
+
+std::string_view payload_kind_name(PayloadKind kind) {
+  switch (kind) {
+    case PayloadKind::kGraph: return "graph";
+    case PayloadKind::kSample: return "sample";
+    case PayloadKind::kDataset: return "dataset";
+  }
+  return "unknown";
+}
+
+std::uint64_t feature_schema_hash() {
+  // FNV-1a over the feature-order contract; any enum rename/reorder/resize
+  // lands on a different hash.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::string_view text) {
+    for (const char c : text) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // separator so concatenated names can't collide
+    h *= 0x100000001b3ull;
+  };
+  mix("pg-feature-schema-v1");
+  mix(std::to_string(model::kNodeFeatureDim));
+  for (std::size_t k = 0; k < frontend::kNumNodeKinds; ++k)
+    mix(frontend::node_kind_name(static_cast<frontend::NodeKind>(k)));
+  for (std::size_t t = 0; t < graph::kNumEdgeTypes; ++t)
+    mix(graph::edge_type_name(static_cast<graph::EdgeType>(t)));
+  return h;
+}
+
+// --- graphs ---------------------------------------------------------------
+
+void write_graph(std::ostream& os, const graph::ProgramGraph& graph) {
+  CountingSink nodes_size, edges_size;
+  put_graph_nodes(nodes_size, graph);
+  put_graph_edges(edges_size, graph);
+
+  StreamSink sink{os};
+  put_header(sink, PayloadKind::kGraph, 2);
+  put_section_table(sink, {{kSecGraphNodes, nodes_size.count},
+                           {kSecGraphEdges, edges_size.count}});
+  put_graph_nodes(sink, graph);
+  put_graph_edges(sink, graph);
+  throw_on_stream_error(os);
+}
+
+graph::ProgramGraph read_graph(std::istream& is) {
+  Source src(is);
+  const auto table = get_prologue(src, PayloadKind::kGraph);
+
+  std::vector<graph::GraphNode> nodes;
+  std::vector<graph::GraphEdge> edges;
+  bool have_nodes = false;
+  bool have_edges = false;
+  for (const SectionEntry& entry : table) {
+    src.push_budget(entry.size);
+    switch (entry.id) {
+      case kSecGraphNodes:
+        nodes = get_graph_nodes(src);
+        have_nodes = true;
+        break;
+      case kSecGraphEdges:
+        edges = get_graph_edges(src);
+        have_edges = true;
+        break;
+      default:
+        src.skip(entry.size);  // forward-compatible: unknown section
+    }
+    src.pop_budget();
+  }
+  if (!have_nodes || !have_edges)
+    throw FormatError("corrupt graph file: missing nodes/edges section");
+
+  graph::ProgramGraph graph;
+  for (graph::GraphNode& n : nodes) graph.add_node(n.kind, std::move(n.label));
+  for (const graph::GraphEdge& e : edges) {
+    if (e.src >= graph.num_nodes() || e.dst >= graph.num_nodes())
+      throw FormatError("corrupt graph edge: endpoint out of range");
+    graph.add_edge(e.src, e.dst, e.type, e.weight);
+  }
+  return graph;
+}
+
+// --- samples --------------------------------------------------------------
+
+void write_sample(std::ostream& os, const model::TrainingSample& sample) {
+  CountingSink meta_size, features_size, relations_size;
+  put_sample_meta(meta_size, sample);
+  put_sample_features(features_size, sample.graph.features);
+  put_sample_relations(relations_size, sample.graph.relations);
+
+  StreamSink sink{os};
+  put_header(sink, PayloadKind::kSample, 3);
+  put_section_table(sink, {{kSecSampleMeta, meta_size.count},
+                           {kSecSampleFeatures, features_size.count},
+                           {kSecSampleRelations, relations_size.count}});
+  put_sample_meta(sink, sample);
+  put_sample_features(sink, sample.graph.features);
+  put_sample_relations(sink, sample.graph.relations);
+  throw_on_stream_error(os);
+}
+
+model::TrainingSample read_sample(std::istream& is) {
+  Source src(is);
+  const auto table = get_prologue(src, PayloadKind::kSample);
+
+  model::TrainingSample sample;
+  bool have_meta = false;
+  bool have_features = false;
+  bool have_relations = false;
+  for (const SectionEntry& entry : table) {
+    src.push_budget(entry.size);
+    switch (entry.id) {
+      case kSecSampleMeta:
+        get_sample_meta(src, sample);
+        have_meta = true;
+        break;
+      case kSecSampleFeatures:
+        sample.graph.features = get_sample_features(src);
+        have_features = true;
+        break;
+      case kSecSampleRelations:
+        sample.graph.relations = get_sample_relations(src);
+        have_relations = true;
+        break;
+      default:
+        src.skip(entry.size);
+    }
+    src.pop_budget();
+  }
+  if (!have_meta || !have_features || !have_relations)
+    throw FormatError("corrupt sample file: missing required section");
+  if (sample.graph.features.rows() != sample.graph.relations.num_nodes)
+    throw FormatError("corrupt sample: feature rows != relation graph nodes");
+  return sample;
+}
+
+// --- datasets -------------------------------------------------------------
+
+DatasetMeta DatasetMeta::scalers_from(const model::SampleSet& set) {
+  DatasetMeta meta;
+  meta.log_target = set.log_target;
+  meta.child_weight_scale = set.child_weight_scale;
+  meta.target_min = set.target_scaler.min_value();
+  meta.target_max = set.target_scaler.max_value();
+  meta.teams_min = set.teams_scaler.min_value();
+  meta.teams_max = set.teams_scaler.max_value();
+  meta.threads_min = set.threads_scaler.min_value();
+  meta.threads_max = set.threads_scaler.max_value();
+  return meta;
+}
+
+void DatasetMeta::apply_scalers(model::SampleSet& set) const {
+  set.log_target = log_target;
+  set.child_weight_scale = child_weight_scale;
+  set.target_scaler.fit_bounds(target_min, target_max);
+  set.teams_scaler.fit_bounds(teams_min, teams_max);
+  set.threads_scaler.fit_bounds(threads_min, threads_max);
+}
+
+DatasetWriter::DatasetWriter(std::ostream& os, const DatasetMeta& meta)
+    : os_(os) {
+  CountingSink meta_size;
+  put_dataset_meta(meta_size, meta);
+
+  StreamSink sink{os_};
+  put_header(sink, PayloadKind::kDataset, 1);
+  put_section_table(sink, {{kSecDatasetMeta, meta_size.count}});
+  put_dataset_meta(sink, meta);
+  throw_on_stream_error(os_);
+}
+
+DatasetWriter::~DatasetWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; an explicit finish() surfaces errors.
+  }
+}
+
+void DatasetWriter::append(const model::TrainingSample& sample, Split split) {
+  if (finished_) throw FormatError("DatasetWriter: append after finish");
+  CountingSink body_size;
+  put_u8(body_size, static_cast<std::uint8_t>(split));
+  put_sample_body(body_size, sample);
+
+  StreamSink sink{os_};
+  put_u32(sink, kRecordMarker);
+  put_u64(sink, body_size.count);
+  put_u8(sink, static_cast<std::uint8_t>(split));
+  put_sample_body(sink, sample);
+  throw_on_stream_error(os_);
+  ++records_;
+}
+
+void DatasetWriter::finish() {
+  if (finished_) return;
+  StreamSink sink{os_};
+  put_u32(sink, kEndMarker);
+  put_u64(sink, records_);
+  throw_on_stream_error(os_);
+  finished_ = true;
+}
+
+DatasetReader::DatasetReader(std::istream& is) : is_(is) {
+  Source src(is_);
+  const auto table = get_prologue(src, PayloadKind::kDataset);
+  bool have_meta = false;
+  for (const SectionEntry& entry : table) {
+    src.push_budget(entry.size);
+    if (entry.id == kSecDatasetMeta) {
+      meta_ = get_dataset_meta(src);
+      have_meta = true;
+    } else {
+      src.skip(entry.size);
+    }
+    src.pop_budget();
+  }
+  if (!have_meta)
+    throw FormatError("corrupt dataset file: missing meta section");
+}
+
+bool DatasetReader::next(model::TrainingSample& sample, Split& split) {
+  if (done_) return false;
+  Source src(is_);
+  const std::uint32_t marker = get_u32(src);
+  if (marker == kEndMarker) {
+    const std::uint64_t declared = get_u64(src);
+    if (declared != records_)
+      throw FormatError("corrupt dataset file: record count mismatch at end "
+                        "marker (dropped tail?)");
+    done_ = true;
+    return false;
+  }
+  if (marker != kRecordMarker)
+    throw FormatError("corrupt dataset file: bad record marker");
+  const std::uint64_t body = get_u64(src);
+  if (body > kMaxSectionBytes)
+    throw FormatError("corrupt dataset file: implausible record size");
+  src.push_budget(body);
+  const std::uint8_t split_raw = get_u8(src);
+  if (split_raw > static_cast<std::uint8_t>(Split::kValidation))
+    throw FormatError("corrupt dataset record: bad split tag");
+  split = static_cast<Split>(split_raw);
+  sample = get_sample_body(src);
+  src.pop_budget();
+  ++records_;
+  return true;
+}
+
+void write_sample_set(std::ostream& os, const model::SampleSet& set,
+                      const std::string& platform,
+                      const std::string& representation, std::uint64_t seed) {
+  DatasetMeta meta = DatasetMeta::scalers_from(set);
+  meta.platform = platform;
+  meta.representation = representation;
+  meta.seed = seed;
+  DatasetWriter writer(os, meta);
+  for (const model::TrainingSample& s : set.train)
+    writer.append(s, Split::kTrain);
+  for (const model::TrainingSample& s : set.validation)
+    writer.append(s, Split::kValidation);
+  writer.finish();
+}
+
+StoredSampleSet read_sample_set(std::istream& is) {
+  DatasetReader reader(is);
+  StoredSampleSet out;
+  out.meta = reader.meta();
+  out.meta.apply_scalers(out.set);
+  model::TrainingSample sample;
+  Split split = Split::kTrain;
+  while (reader.next(sample, split)) {
+    if (split == Split::kTrain)
+      out.set.train.push_back(std::move(sample));
+    else
+      out.set.validation.push_back(std::move(sample));
+    sample = {};
+  }
+  return out;
+}
+
+// --- file helpers ---------------------------------------------------------
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw FormatError("cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw FormatError("cannot open for reading: " + path);
+  return is;
+}
+
+}  // namespace
+
+void write_graph_file(const std::string& path, const graph::ProgramGraph& graph) {
+  auto os = open_out(path);
+  write_graph(os, graph);
+}
+
+graph::ProgramGraph read_graph_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_graph(is);
+}
+
+void write_sample_file(const std::string& path,
+                       const model::TrainingSample& sample) {
+  auto os = open_out(path);
+  write_sample(os, sample);
+}
+
+model::TrainingSample read_sample_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_sample(is);
+}
+
+void write_sample_set_file(const std::string& path, const model::SampleSet& set,
+                           const std::string& platform,
+                           const std::string& representation,
+                           std::uint64_t seed) {
+  auto os = open_out(path);
+  write_sample_set(os, set, platform, representation, seed);
+}
+
+StoredSampleSet read_sample_set_file(const std::string& path) {
+  auto is = open_in(path);
+  return read_sample_set(is);
+}
+
+FileInfo probe_file(const std::string& path) {
+  auto is = open_in(path);
+  Source src(is);
+  return get_raw_header(src);
+}
+
+}  // namespace pg::io

@@ -1,0 +1,164 @@
+// The ParaGraph binary container format (see docs/FORMAT.md):
+//
+//   header   magic "PGIOBIN\x1A" | u16 version | u16 payload kind
+//            | u64 feature-schema hash | u32 section count
+//   table    section count x { u32 section id | u64 payload bytes }
+//   payload  section payloads, concatenated in table order
+//
+// Three payload kinds share the container:
+//   kGraph    (.pgraph)  — graph::ProgramGraph (nodes + edges sections)
+//   kSample   (.psample) — model::TrainingSample (meta + features + relations)
+//   kDataset  (.pgds)    — a DatasetMeta section followed by a *record
+//                          stream* of framed samples (streaming: the writer
+//                          never buffers the file, the reader never needs to
+//                          seek or know the record count up front)
+//
+// The feature-schema hash pins the feature-order contract: node-kind names
+// in enum order, edge-type names in enum order, and the node feature width.
+// Any reordering/renaming/resizing of those enums changes the hash, and
+// files written under the old contract are rejected instead of silently
+// decoding into wrong one-hot columns.
+//
+// All read paths throw io::FormatError on malformed input (bad magic, wrong
+// version/kind, truncation, corrupt section table, inconsistent payloads) —
+// never UB, never pg::InternalError.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "graph/program_graph.hpp"
+#include "io/binary.hpp"  // FormatError — part of every reader's contract
+#include "model/sample.hpp"
+
+namespace pg::io {
+
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+enum class PayloadKind : std::uint16_t {
+  kGraph = 1,
+  kSample = 2,
+  kDataset = 3,
+};
+
+std::string_view payload_kind_name(PayloadKind kind);
+
+/// FNV-1a hash of the feature-order contract (node-kind names, edge-type
+/// names, feature width). Stored in every file header; a mismatch on read
+/// means the enums changed since the file was written.
+std::uint64_t feature_schema_hash();
+
+// --- whole-graph files (.pgraph) -----------------------------------------
+
+void write_graph(std::ostream& os, const graph::ProgramGraph& graph);
+graph::ProgramGraph read_graph(std::istream& is);
+void write_graph_file(const std::string& path, const graph::ProgramGraph& graph);
+graph::ProgramGraph read_graph_file(const std::string& path);
+
+// --- single-sample files (.psample) --------------------------------------
+
+void write_sample(std::ostream& os, const model::TrainingSample& sample);
+model::TrainingSample read_sample(std::istream& is);
+void write_sample_file(const std::string& path, const model::TrainingSample& sample);
+model::TrainingSample read_sample_file(const std::string& path);
+
+// --- dataset files (.pgds) -----------------------------------------------
+
+/// Provenance + the fitted scalers a deployment needs to interpret the
+/// stored (already scaled) samples. Mirrors model::SampleSet's scaler state.
+struct DatasetMeta {
+  std::string platform;        // e.g. "NVIDIA V100 (GPU)"
+  std::string representation;  // e.g. "ParaGraph"
+  std::uint64_t seed = 0;      // generation seed (0 = not applicable)
+  bool log_target = false;
+  double child_weight_scale = 1.0;
+  double target_min = 0.0, target_max = 1.0;
+  double teams_min = 0.0, teams_max = 1.0;
+  double threads_min = 0.0, threads_max = 1.0;
+
+  /// Copies the scaler state (not provenance) out of a sample set.
+  static DatasetMeta scalers_from(const model::SampleSet& set);
+
+  /// Installs the scaler state into a sample set.
+  void apply_scalers(model::SampleSet& set) const;
+};
+
+enum class Split : std::uint8_t { kTrain = 0, kValidation = 1 };
+
+/// Streams samples into a .pgds container. Header + meta are written by the
+/// constructor, each append() frames and writes one record immediately, and
+/// finish() seals the stream with an end marker carrying the record count
+/// (readers detect a dropped tail). The destructor finishes automatically.
+class DatasetWriter {
+ public:
+  DatasetWriter(std::ostream& os, const DatasetMeta& meta);
+  ~DatasetWriter();
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  void append(const model::TrainingSample& sample, Split split);
+  void finish();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t records_ = 0;
+  bool finished_ = false;
+};
+
+/// Streams samples out of a .pgds container: meta is available right after
+/// construction; next() decodes one record at a time (no whole-file
+/// buffering), returns false at the (validated) end marker.
+class DatasetReader {
+ public:
+  explicit DatasetReader(std::istream& is);
+
+  [[nodiscard]] const DatasetMeta& meta() const { return meta_; }
+
+  /// Reads the next record into `sample`/`split`; false at end-of-stream.
+  bool next(model::TrainingSample& sample, Split& split);
+
+  [[nodiscard]] std::uint64_t records_read() const { return records_; }
+
+ private:
+  class SourceHolder;
+  std::istream& is_;
+  DatasetMeta meta_;
+  std::uint64_t records_ = 0;
+  bool done_ = false;
+};
+
+/// A deserialised dataset: the sample set (scalers installed) + provenance.
+struct StoredSampleSet {
+  model::SampleSet set;
+  DatasetMeta meta;
+};
+
+/// Writes a whole SampleSet (train + validation, scalers from the set) with
+/// the given provenance fields.
+void write_sample_set(std::ostream& os, const model::SampleSet& set,
+                      const std::string& platform,
+                      const std::string& representation, std::uint64_t seed);
+void write_sample_set_file(const std::string& path, const model::SampleSet& set,
+                           const std::string& platform,
+                           const std::string& representation,
+                           std::uint64_t seed);
+StoredSampleSet read_sample_set(std::istream& is);
+StoredSampleSet read_sample_set_file(const std::string& path);
+
+// --- probing --------------------------------------------------------------
+
+struct FileInfo {
+  std::uint16_t version = 0;
+  PayloadKind kind = PayloadKind::kGraph;
+  std::uint64_t schema_hash = 0;
+};
+
+/// Reads just the fixed header (magic/version/kind/schema); for dispatching
+/// on file kind (paragraph-cli dump) without decoding payloads. Unlike the
+/// full readers this accepts any version/kind — only the magic must match.
+FileInfo probe_file(const std::string& path);
+
+}  // namespace pg::io

@@ -1,7 +1,10 @@
 // Binary checkpoint format: tagged sections of u64/f64 for every parameter
-// matrix plus the fitted scalers.
+// matrix plus the fitted scalers. All multi-byte values are explicit
+// little-endian (assembled by shifts, like the pg::io container formats),
+// so checkpoints are portable across hosts.
 #include "model/checkpoint.hpp"
 
+#include <bit>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -12,28 +15,45 @@
 namespace pg::model {
 namespace {
 
-constexpr char kMagic[8] = {'P', 'G', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr char kMagic[8] = {'P', 'G', 'C', 'K', 'P', 'T', '0', '2'};
 
 void write_u64(std::ostream& os, std::uint64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  os.write(b, sizeof b);
 }
 
 std::uint64_t read_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  unsigned char b[8];
+  is.read(reinterpret_cast<char*>(b), sizeof b);
   check(static_cast<bool>(is), "checkpoint truncated");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
   return v;
 }
 
 void write_f64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+  write_u64(os, std::bit_cast<std::uint64_t>(v));
 }
 
 double read_f64(std::istream& is) {
-  double v = 0.0;
-  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return std::bit_cast<double>(read_u64(is));
+}
+
+void write_f32(std::ostream& os, float v) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(bits >> (8 * i));
+  os.write(b, sizeof b);
+}
+
+float read_f32(std::istream& is) {
+  unsigned char b[4];
+  is.read(reinterpret_cast<char*>(b), sizeof b);
   check(static_cast<bool>(is), "checkpoint truncated");
-  return v;
+  std::uint32_t bits = 0;
+  for (int i = 3; i >= 0; --i) bits = (bits << 8) | b[i];
+  return std::bit_cast<float>(bits);
 }
 
 void write_scaler(std::ostream& os, const nn::MinMaxScaler& scaler) {
@@ -51,7 +71,7 @@ nn::MinMaxScaler read_scaler(std::istream& is) {
 
 }  // namespace
 
-void save_checkpoint(std::ostream& os, ParaGraphModel& model,
+void save_checkpoint(std::ostream& os, const ParaGraphModel& model,
                      const CheckpointScalers& scalers) {
   os.write(kMagic, sizeof kMagic);
   const auto params = model.parameters();
@@ -59,13 +79,14 @@ void save_checkpoint(std::ostream& os, ParaGraphModel& model,
   for (const tensor::Matrix* p : params) {
     write_u64(os, p->rows());
     write_u64(os, p->cols());
-    os.write(reinterpret_cast<const char*>(p->data().data()),
-             static_cast<std::streamsize>(p->size() * sizeof(float)));
+    for (const float v : p->data()) write_f32(os, v);
   }
   write_scaler(os, scalers.target);
   write_scaler(os, scalers.teams);
   write_scaler(os, scalers.threads);
   write_f64(os, scalers.child_weight_scale);
+  const char log_target = scalers.log_target ? 1 : 0;
+  os.write(&log_target, 1);
   check(static_cast<bool>(os), "checkpoint write failed");
 }
 
@@ -82,19 +103,21 @@ CheckpointScalers load_checkpoint(std::istream& is, ParaGraphModel& model) {
     const std::uint64_t cols = read_u64(is);
     check(rows == p->rows() && cols == p->cols(),
           "checkpoint parameter shape mismatch (different model config?)");
-    is.read(reinterpret_cast<char*>(p->data().data()),
-            static_cast<std::streamsize>(p->size() * sizeof(float)));
-    check(static_cast<bool>(is), "checkpoint truncated");
+    for (float& v : p->data()) v = read_f32(is);
   }
   CheckpointScalers scalers;
   scalers.target = read_scaler(is);
   scalers.teams = read_scaler(is);
   scalers.threads = read_scaler(is);
   scalers.child_weight_scale = read_f64(is);
+  char log_target = 0;
+  is.read(&log_target, 1);
+  check(static_cast<bool>(is), "checkpoint truncated");
+  scalers.log_target = log_target != 0;
   return scalers;
 }
 
-void save_checkpoint_file(const std::string& path, ParaGraphModel& model,
+void save_checkpoint_file(const std::string& path, const ParaGraphModel& model,
                           const CheckpointScalers& scalers) {
   std::ofstream os(path, std::ios::binary);
   check(static_cast<bool>(os), "cannot open checkpoint file for writing");

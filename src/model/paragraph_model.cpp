@@ -200,6 +200,18 @@ std::vector<tensor::Matrix*> ParaGraphModel::parameters() {
   return params;
 }
 
+std::vector<const tensor::Matrix*> ParaGraphModel::parameters() const {
+  std::vector<const tensor::Matrix*> params;
+  for (const auto* p : conv1_.parameters()) params.push_back(p);
+  for (const auto* p : conv2_.parameters()) params.push_back(p);
+  for (const auto* p : conv3_.parameters()) params.push_back(p);
+  for (const auto* p : fc1_.parameters()) params.push_back(p);
+  for (const auto* p : fc2_.parameters()) params.push_back(p);
+  for (const auto* p : aux_fc_.parameters()) params.push_back(p);
+  for (const auto* p : out_fc_.parameters()) params.push_back(p);
+  return params;
+}
+
 std::size_t ParaGraphModel::num_params() const {
   return 3 * conv1_.num_params() + 4 * 2;
 }

@@ -64,6 +64,7 @@ class ParaGraphModel {
                               std::span<tensor::Matrix> grads) const;
 
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::vector<const tensor::Matrix*> parameters() const;
   [[nodiscard]] std::size_t num_params() const;
   [[nodiscard]] const ModelConfig& config() const { return config_; }
 

@@ -60,4 +60,8 @@ tensor::Matrix& Linear::backward(const tensor::Matrix& x, const tensor::Matrix& 
 
 std::vector<tensor::Matrix*> Linear::parameters() { return {&w_, &b_}; }
 
+std::vector<const tensor::Matrix*> Linear::parameters() const {
+  return {&w_, &b_};
+}
+
 }  // namespace pg::nn

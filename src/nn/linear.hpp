@@ -39,6 +39,7 @@ class Linear {
 
   [[nodiscard]] static constexpr std::size_t num_params() { return 2; }
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::vector<const tensor::Matrix*> parameters() const;
 
   [[nodiscard]] std::size_t in_features() const { return w_.rows(); }
   [[nodiscard]] std::size_t out_features() const { return w_.cols(); }

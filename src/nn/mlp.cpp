@@ -69,4 +69,13 @@ std::vector<tensor::Matrix*> Mlp::parameters() {
   return params;
 }
 
+std::vector<const tensor::Matrix*> Mlp::parameters() const {
+  std::vector<const tensor::Matrix*> params;
+  params.reserve(num_params());
+  for (const Linear& layer : layers_) {
+    for (const tensor::Matrix* p : layer.parameters()) params.push_back(p);
+  }
+  return params;
+}
+
 }  // namespace pg::nn

@@ -33,6 +33,7 @@ class Mlp {
                           std::span<tensor::Matrix> grads) const;
 
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::vector<const tensor::Matrix*> parameters() const;
   [[nodiscard]] std::size_t num_params() const { return 2 * layers_.size(); }
   [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
 

@@ -303,4 +303,17 @@ std::vector<tensor::Matrix*> RgatConv::parameters() {
   return params;
 }
 
+std::vector<const tensor::Matrix*> RgatConv::parameters() const {
+  std::vector<const tensor::Matrix*> params;
+  params.reserve(num_params());
+  for (std::size_t r = 0; r < num_relations_; ++r) {
+    params.push_back(&w_rel_[r]);
+    params.push_back(&a_src_[r]);
+    params.push_back(&a_dst_[r]);
+  }
+  params.push_back(&w_self_);
+  params.push_back(&b_);
+  return params;
+}
+
 }  // namespace pg::nn

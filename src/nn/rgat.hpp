@@ -62,6 +62,7 @@ class RgatConv {
   /// Parameter layout: for each relation [W_r, a_src_r, a_dst_r], then
   /// W_self, b.
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();
+  [[nodiscard]] std::vector<const tensor::Matrix*> parameters() const;
   [[nodiscard]] std::size_t num_params() const { return 3 * num_relations_ + 2; }
 
   [[nodiscard]] std::size_t in_features() const { return in_; }

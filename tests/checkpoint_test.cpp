@@ -31,6 +31,7 @@ CheckpointScalers demo_scalers() {
   scalers.teams.fit_bounds(1.0, 1024.0);
   scalers.threads.fit_bounds(1.0, 256.0);
   scalers.child_weight_scale = 1234.5;
+  scalers.log_target = true;  // must survive the round trip (PGCKPT02)
   return scalers;
 }
 
@@ -51,6 +52,7 @@ TEST(Checkpoint, RoundTripRestoresPredictions) {
   EXPECT_DOUBLE_EQ(scalers.target.min_value(), 10.0);
   EXPECT_DOUBLE_EQ(scalers.target.max_value(), 1e6);
   EXPECT_DOUBLE_EQ(scalers.child_weight_scale, 1234.5);
+  EXPECT_TRUE(scalers.log_target);
 }
 
 TEST(Checkpoint, FileRoundTrip) {

@@ -1,0 +1,35 @@
+# Byte-compares every checked-in golden-corpus file against a regenerated
+# copy (golden_corpus_regen fixture). Any difference means the frontend /
+# graph builder / encoder / binary format drifted without the golden corpus
+# being regenerated — exactly the silent drift this test exists to catch.
+#
+# Usage: cmake -DGOLDEN_DIR=... -DREGEN_DIR=... -P compare_golden.cmake
+# Union of both directories: a regeneration that adds or renames files must
+# fail here too, not only in CI's `diff -r`.
+file(GLOB golden_files RELATIVE "${GOLDEN_DIR}" "${GOLDEN_DIR}/*")
+file(GLOB regen_files RELATIVE "${REGEN_DIR}" "${REGEN_DIR}/*")
+list(APPEND golden_files ${regen_files})
+list(REMOVE_DUPLICATES golden_files)
+list(SORT golden_files)
+if(NOT golden_files)
+  message(FATAL_ERROR "no files found under ${GOLDEN_DIR} or ${REGEN_DIR}")
+endif()
+
+set(drifted "")
+foreach(file IN LISTS golden_files)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${GOLDEN_DIR}/${file}" "${REGEN_DIR}/${file}"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    list(APPEND drifted "${file}")
+  endif()
+endforeach()
+
+if(drifted)
+  message(FATAL_ERROR "regenerated corpus differs from tests/golden for: "
+          "${drifted} — encoder/builder drift; if intentional, regenerate "
+          "with `paragraph-cli corpus --golden --out tests/golden`")
+endif()
+list(LENGTH golden_files num_files)
+message(STATUS "golden corpus matches: all ${num_files} files identical")

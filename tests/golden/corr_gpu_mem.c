@@ -1,0 +1,22 @@
+
+double corr_x[65536];
+double corr_y[65536];
+double corr_result[4];
+
+void corr_kernel(void) {
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  double sxy = 0.0;
+  #pragma omp target teams distribute parallel for num_teams(256) thread_limit(128) reduction(+: sx, sy, sxx, syy, sxy) map(to: corr_x[0:65536], corr_y[0:65536]) map(tofrom: corr_result[0:4])
+  for (int i = 0; i < 65536; i++) {
+    sx += corr_x[i];
+    sy += corr_y[i];
+    sxx += corr_x[i] * corr_x[i];
+    syy += corr_y[i] * corr_y[i];
+    sxy += corr_x[i] * corr_y[i];
+  }
+  corr_result[0] = (65536 * sxy - sx * sy) /
+                   (sqrt(65536 * sxx - sx * sx) * sqrt(65536 * syy - sy * sy));
+}

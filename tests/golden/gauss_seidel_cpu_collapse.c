@@ -1,0 +1,12 @@
+
+double gs_grid[256][256];
+
+void gauss_seidel_kernel(void) {
+  #pragma omp parallel for num_threads(16) schedule(static) collapse(2)
+  for (int i = 1; i < 256 - 1; i++) {
+    for (int j = 1; j < 256 - 1; j++) {
+      gs_grid[i][j] = 0.25 * (gs_grid[i - 1][j] + gs_grid[i + 1][j] +
+                              gs_grid[i][j - 1] + gs_grid[i][j + 1]);
+    }
+  }
+}

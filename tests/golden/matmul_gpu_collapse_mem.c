@@ -1,0 +1,17 @@
+
+double mm_a[128][128];
+double mm_b[128][128];
+double mm_c[128][128];
+
+void mm_kernel(void) {
+  #pragma omp target teams distribute parallel for num_teams(128) thread_limit(64) collapse(2) map(to: mm_a[0:128*128], mm_b[0:128*128]) map(from: mm_c[0:128*128])
+  for (int i = 0; i < 128; i++) {
+    for (int j = 0; j < 128; j++) {
+      double s = 0.0;
+      for (int k = 0; k < 128; k++) {
+        s += mm_a[i][k] * mm_b[k][j];
+      }
+      mm_c[i][j] = s;
+    }
+  }
+}

@@ -1,0 +1,15 @@
+
+double mv_a[512][512];
+double mv_x[512];
+double mv_y[512];
+
+void mv_kernel(void) {
+  #pragma omp parallel for num_threads(8) schedule(static)
+  for (int i = 0; i < 512; i++) {
+    double s = 0.0;
+    for (int j = 0; j < 512; j++) {
+      s += mv_a[i][j] * mv_x[j];
+    }
+    mv_y[i] = s;
+  }
+}

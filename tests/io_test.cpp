@@ -1,0 +1,452 @@
+// pg::io regression suite over the checked-in golden corpus
+// (tests/golden/): byte-exact round trips for all three payload kinds,
+// rejection of bad magic / versions / schema hashes, truncation and
+// corrupt-section-table error paths, and the graph builder pinned against
+// the golden text dumps (any encoder/builder drift fails here first).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "io/binary.hpp"
+#include "io/pgraph_io.hpp"
+#include "model/encoding.hpp"
+
+#ifndef PG_GOLDEN_DIR
+#error "PG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pg {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(PG_GOLDEN_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// One MANIFEST.txt corpus line, e.g.
+/// "matvec_cpu kernel=matvec variant=cpu teams=1 threads=8 ...".
+struct ManifestEntry {
+  std::string name;
+  std::map<std::string, std::string> fields;
+
+  [[nodiscard]] std::int64_t int_field(const std::string& key) const {
+    return std::stoll(fields.at(key));
+  }
+};
+
+struct Manifest {
+  std::uint64_t schema_hash = 0;
+  double child_weight_scale = 0.0;
+  std::vector<ManifestEntry> entries;
+};
+
+// gtest ASSERT_* macros require a void function, hence the out-param.
+void read_manifest(Manifest& manifest) {
+  std::istringstream is(slurp(golden_path("MANIFEST.txt")));
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string head;
+    fields >> head;
+    if (head == "format-version") continue;
+    if (head == "schema-hash") {
+      std::string hex;
+      fields >> hex;
+      manifest.schema_hash = std::stoull(hex, nullptr, 16);
+      continue;
+    }
+    if (head == "child-weight-scale") {
+      std::string value;
+      fields >> value;
+      manifest.child_weight_scale = std::stod(value);
+      continue;
+    }
+    ManifestEntry entry;
+    entry.name = head;
+    std::string kv;
+    while (fields >> kv) {
+      const auto eq = kv.find('=');
+      ASSERT_NE(eq, std::string::npos) << line;
+      entry.fields[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+    manifest.entries.push_back(std::move(entry));
+  }
+  ASSERT_FALSE(manifest.entries.empty());
+}
+
+
+graph::ProgramGraph build_from_golden_source(const ManifestEntry& entry) {
+  const std::string source = slurp(golden_path(entry.name + ".c"));
+  const frontend::ParseResult parsed = frontend::parse_source(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.diagnostics.summary();
+  graph::BuildOptions options;
+  options.representation = graph::Representation::kParaGraph;
+  const bool gpu = entry.fields.at("variant").rfind("gpu", 0) == 0;
+  const std::int64_t teams = entry.int_field("teams");
+  const std::int64_t threads = entry.int_field("threads");
+  options.parallel_workers = gpu ? teams * threads : threads;
+  return graph::build_graph(parsed.root(), options);
+}
+
+// --- feature-order contract ----------------------------------------------
+
+TEST(IoSchema, HashIsStableAcrossCalls) {
+  EXPECT_EQ(io::feature_schema_hash(), io::feature_schema_hash());
+  EXPECT_NE(io::feature_schema_hash(), 0u);
+}
+
+TEST(IoSchema, HashMatchesGoldenManifest) {
+  Manifest manifest;
+  ASSERT_NO_FATAL_FAILURE(read_manifest(manifest));
+  EXPECT_EQ(io::feature_schema_hash(), manifest.schema_hash)
+      << "the node-kind/edge-type feature contract changed; regenerate "
+         "tests/golden with paragraph-cli corpus --golden (and bump the "
+         "format version if files in the wild must stay readable)";
+}
+
+// --- golden pinning -------------------------------------------------------
+
+TEST(IoGolden, BuilderMatchesGoldenTextDumps) {
+  Manifest manifest;
+  ASSERT_NO_FATAL_FAILURE(read_manifest(manifest));
+  for (const ManifestEntry& entry : manifest.entries) {
+    const graph::ProgramGraph graph = build_from_golden_source(entry);
+    std::ostringstream text;
+    graph.serialize(text);
+    EXPECT_EQ(text.str(), slurp(golden_path(entry.name + ".pgraph.txt")))
+        << entry.name << ": builder output drifted from the golden dump";
+  }
+}
+
+TEST(IoGolden, BinaryGraphsMatchGoldenFiles) {
+  Manifest manifest;
+  ASSERT_NO_FATAL_FAILURE(read_manifest(manifest));
+  for (const ManifestEntry& entry : manifest.entries) {
+    const graph::ProgramGraph graph = build_from_golden_source(entry);
+    std::ostringstream os(std::ios::binary);
+    io::write_graph(os, graph);
+    EXPECT_EQ(os.str(), slurp(golden_path(entry.name + ".pgraph")))
+        << entry.name << ": binary graph encoding drifted";
+  }
+}
+
+TEST(IoGolden, EncodedSamplesMatchGoldenFiles) {
+  Manifest manifest;
+  ASSERT_NO_FATAL_FAILURE(read_manifest(manifest));
+
+  std::ifstream ds(golden_path("corpus.pgds"), std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(ds));
+  io::DatasetReader reader(ds);
+  const io::DatasetMeta meta = reader.meta();
+  EXPECT_DOUBLE_EQ(meta.child_weight_scale, manifest.child_weight_scale);
+
+  model::SampleSet scalers;
+  meta.apply_scalers(scalers);
+
+  for (const ManifestEntry& entry : manifest.entries) {
+    const graph::ProgramGraph graph = build_from_golden_source(entry);
+    const model::TrainingSample stored =
+        io::read_sample_file(golden_path(entry.name + ".psample"));
+
+    model::TrainingSample rebuilt;
+    rebuilt.graph = model::encode_graph(graph, meta.child_weight_scale);
+    rebuilt.aux = {static_cast<float>(scalers.teams_scaler.transform(
+                       static_cast<double>(entry.int_field("teams")))),
+                   static_cast<float>(scalers.threads_scaler.transform(
+                       static_cast<double>(entry.int_field("threads"))))};
+    rebuilt.runtime_us = std::stod(entry.fields.at("runtime_us"));
+    rebuilt.target_scaled = scalers.to_target(rebuilt.runtime_us);
+    rebuilt.app_id = stored.app_id;
+    rebuilt.app_name = stored.app_name;
+    rebuilt.variant = stored.variant;
+
+    std::ostringstream rebuilt_bytes(std::ios::binary);
+    io::write_sample(rebuilt_bytes, rebuilt);
+    EXPECT_EQ(rebuilt_bytes.str(), slurp(golden_path(entry.name + ".psample")))
+        << entry.name << ": sample encoding drifted";
+  }
+}
+
+// --- byte-exact round trips ----------------------------------------------
+
+TEST(IoRoundTrip, GraphBytesAreStable) {
+  const std::string original = slurp(golden_path("matvec_cpu.pgraph"));
+  std::istringstream is(original, std::ios::binary);
+  const graph::ProgramGraph graph = io::read_graph(is);
+  std::ostringstream os(std::ios::binary);
+  io::write_graph(os, graph);
+  EXPECT_EQ(os.str(), original);
+}
+
+TEST(IoRoundTrip, GraphContentsSurvive) {
+  const graph::ProgramGraph graph =
+      io::read_graph_file(golden_path("corr_gpu_mem.pgraph"));
+  std::ostringstream os(std::ios::binary);
+  io::write_graph(os, graph);
+  std::istringstream is(os.str(), std::ios::binary);
+  const graph::ProgramGraph again = io::read_graph(is);
+  ASSERT_EQ(again.num_nodes(), graph.num_nodes());
+  ASSERT_EQ(again.num_edges(), graph.num_edges());
+  for (std::size_t i = 0; i < graph.num_edges(); ++i)
+    EXPECT_EQ(again.edges()[i], graph.edges()[i]) << "edge " << i;
+  for (std::size_t i = 0; i < graph.num_nodes(); ++i) {
+    EXPECT_EQ(again.nodes()[i].kind, graph.nodes()[i].kind) << "node " << i;
+    EXPECT_EQ(again.nodes()[i].label, graph.nodes()[i].label) << "node " << i;
+  }
+}
+
+TEST(IoRoundTrip, SampleBytesAreStable) {
+  const std::string original =
+      slurp(golden_path("matmul_gpu_collapse_mem.psample"));
+  std::istringstream is(original, std::ios::binary);
+  const model::TrainingSample sample = io::read_sample(is);
+  std::ostringstream os(std::ios::binary);
+  io::write_sample(os, sample);
+  EXPECT_EQ(os.str(), original);
+
+  // Spot-check decoded contents, down to feature bits.
+  EXPECT_EQ(sample.variant, "gpu_collapse_mem");
+  EXPECT_EQ(sample.graph.features.cols(), model::kNodeFeatureDim);
+  EXPECT_EQ(sample.graph.features.rows(), sample.graph.relations.num_nodes);
+  EXPECT_DOUBLE_EQ(sample.runtime_us, 850.0);
+}
+
+TEST(IoRoundTrip, DatasetBytesAreStable) {
+  const std::string original = slurp(golden_path("corpus.pgds"));
+  std::istringstream is(original, std::ios::binary);
+  const io::StoredSampleSet stored = io::read_sample_set(is);
+  EXPECT_EQ(stored.set.train.size(), 4u);
+  EXPECT_EQ(stored.set.validation.size(), 0u);
+
+  std::ostringstream os(std::ios::binary);
+  io::write_sample_set(os, stored.set, stored.meta.platform,
+                       stored.meta.representation, stored.meta.seed);
+  EXPECT_EQ(os.str(), original);
+}
+
+TEST(IoRoundTrip, DatasetStreamingReaderSeesEveryRecord) {
+  std::ifstream is(golden_path("corpus.pgds"), std::ios::binary);
+  ASSERT_TRUE(static_cast<bool>(is));
+  io::DatasetReader reader(is);
+  model::TrainingSample sample;
+  io::Split split = io::Split::kValidation;
+  std::size_t count = 0;
+  while (reader.next(sample, split)) {
+    EXPECT_EQ(split, io::Split::kTrain);
+    EXPECT_GT(sample.graph.relations.num_nodes, 0u);
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(reader.records_read(), 4u);
+  // A drained reader stays drained.
+  EXPECT_FALSE(reader.next(sample, split));
+}
+
+// --- rejection paths ------------------------------------------------------
+
+using Bytes = std::string;
+
+void expect_rejected(Bytes bytes, const char* what) {
+  std::istringstream is(std::move(bytes), std::ios::binary);
+  EXPECT_THROW(io::read_graph(is), io::FormatError) << what;
+}
+
+TEST(IoReject, BadMagic) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  bytes[0] = 'X';
+  expect_rejected(std::move(bytes), "bad magic");
+}
+
+TEST(IoReject, EmptyFile) { expect_rejected({}, "empty file"); }
+
+TEST(IoReject, FutureFormatVersion) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  bytes[8] = 0x7f;  // u16 version little-endian low byte
+  expect_rejected(std::move(bytes), "future version");
+}
+
+TEST(IoReject, WrongPayloadKind) {
+  // A valid sample file is not a graph file.
+  Bytes bytes = slurp(golden_path("matvec_cpu.psample"));
+  expect_rejected(std::move(bytes), "wrong kind");
+
+  std::istringstream is(slurp(golden_path("matvec_cpu.pgraph")),
+                        std::ios::binary);
+  EXPECT_THROW(io::read_sample(is), io::FormatError);
+}
+
+TEST(IoReject, SchemaHashMismatch) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  bytes[12] = static_cast<char>(bytes[12] ^ 0x5a);  // u64 schema hash
+  expect_rejected(std::move(bytes), "schema mismatch");
+}
+
+TEST(IoReject, TruncatedAtEveryPrefix) {
+  const Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  // Every proper prefix must throw FormatError — never crash, never succeed.
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 64 ? 1 : 97)) {
+    std::istringstream is(bytes.substr(0, len), std::ios::binary);
+    EXPECT_THROW(io::read_graph(is), io::FormatError) << "prefix " << len;
+  }
+}
+
+TEST(IoReject, CorruptSectionCount) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  // u32 section count at offset 20.
+  bytes[20] = 0;
+  bytes[21] = 0;
+  expect_rejected(std::move(bytes), "zero sections");
+
+  Bytes huge = slurp(golden_path("matvec_cpu.pgraph"));
+  huge[20] = static_cast<char>(0xff);
+  huge[21] = static_cast<char>(0xff);
+  expect_rejected(std::move(huge), "implausible section count");
+}
+
+TEST(IoReject, CorruptSectionSize) {
+  // First table entry: id at 24..27, u64 size at 28..35.
+  Bytes grown = slurp(golden_path("matvec_cpu.pgraph"));
+  grown[28] = static_cast<char>(grown[28] + 1);  // size+1 -> overruns payload
+  expect_rejected(std::move(grown), "grown section size");
+
+  Bytes shrunk = slurp(golden_path("matvec_cpu.pgraph"));
+  shrunk[28] = static_cast<char>(shrunk[28] - 1);  // size-1 -> section overrun
+  expect_rejected(std::move(shrunk), "shrunk section size");
+
+  Bytes absurd = slurp(golden_path("matvec_cpu.pgraph"));
+  absurd[34] = static_cast<char>(0x7f);  // ~2^55 bytes
+  expect_rejected(std::move(absurd), "absurd section size");
+}
+
+TEST(IoReject, DuplicateSectionId) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  // Overwrite the edges-section id (second table entry, offset 36) with the
+  // nodes-section id (first entry, offset 24).
+  for (int i = 0; i < 4; ++i) bytes[36 + i] = bytes[24 + i];
+  expect_rejected(std::move(bytes), "duplicate section id");
+}
+
+TEST(IoReject, CorruptNodeCount) {
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  // Node count is the first u64 of the first section payload (offset 48).
+  for (int i = 0; i < 8; ++i) bytes[48 + i] = static_cast<char>(0xff);
+  expect_rejected(std::move(bytes), "absurd node count");
+}
+
+TEST(IoReject, UnknownSectionsAreSkipped) {
+  // Forward compatibility: an extra section with an unknown id must be
+  // ignored, not rejected. Rebuild the file with a third section.
+  const Bytes original = slurp(golden_path("matvec_cpu.pgraph"));
+  const std::string extra_payload = "future bytes";
+
+  std::ostringstream os(std::ios::binary);
+  io::StreamSink sink{os};
+  os.write(original.data(), 20);         // magic + version + kind + schema
+  io::put_u32(sink, 3);                  // section count 2 -> 3
+  os.write(original.data() + 24, 24);    // the two original table entries
+  io::put_u32(sink, 0x7fff);             // unknown section id
+  io::put_u64(sink, extra_payload.size());
+  os.write(original.data() + 48,
+           static_cast<std::streamsize>(original.size() - 48));  // payloads
+  os.write(extra_payload.data(),
+           static_cast<std::streamsize>(extra_payload.size()));
+
+  std::istringstream is(os.str(), std::ios::binary);
+  const graph::ProgramGraph graph = io::read_graph(is);
+  EXPECT_EQ(graph.num_nodes(), 59u);
+  EXPECT_EQ(graph.num_edges(), 123u);
+}
+
+TEST(IoReject, DatasetDroppedTail) {
+  // Chopping off the end marker (and part of the last record) must be
+  // detected as truncation, not silently yield fewer records.
+  const Bytes bytes = slurp(golden_path("corpus.pgds"));
+  std::istringstream is(bytes.substr(0, bytes.size() - 20), std::ios::binary);
+  io::DatasetReader reader(is);
+  model::TrainingSample sample;
+  io::Split split = io::Split::kTrain;
+  EXPECT_THROW({
+    while (reader.next(sample, split)) {
+    }
+  }, io::FormatError);
+}
+
+TEST(IoReject, DatasetCorruptRecordMarker) {
+  Bytes bytes = slurp(golden_path("corpus.pgds"));
+  // The first record marker sits right after header+table+meta. Find it by
+  // scanning for "RECD".
+  const auto pos = bytes.find("RECD");
+  ASSERT_NE(pos, Bytes::npos);
+  bytes[pos] = 'X';
+  std::istringstream is(bytes, std::ios::binary);
+  io::DatasetReader reader(is);
+  model::TrainingSample sample;
+  io::Split split = io::Split::kTrain;
+  EXPECT_THROW(reader.next(sample, split), io::FormatError);
+}
+
+TEST(IoReject, SampleRelationCorruptLocalIndex) {
+  // Flip a relation-edge local index deep inside a .psample and verify the
+  // validator refuses it (otherwise it would index out of bounds inside the
+  // RGAT gather). The relations section is last; corrupt a byte inside its
+  // payload that belongs to an edge's dst_local field.
+  const model::TrainingSample sample =
+      io::read_sample_file(golden_path("matvec_cpu.psample"));
+  model::TrainingSample corrupt = sample;
+  // Poison in-memory, re-serialise, and confirm the reader rejects it.
+  auto& rel = corrupt.graph.relations.relations[0];
+  ASSERT_FALSE(rel.edges.empty());
+  rel.edges[0].dst_local = 0xffffff;
+  std::ostringstream os(std::ios::binary);
+  io::write_sample(os, corrupt);
+  std::istringstream is(os.str(), std::ios::binary);
+  EXPECT_THROW(io::read_sample(is), io::FormatError);
+}
+
+TEST(IoReject, FormatErrorsAreNotInternalErrors) {
+  // Corrupt input must never surface as pg::InternalError (which means
+  // "library bug") — the two error channels stay distinct.
+  Bytes bytes = slurp(golden_path("matvec_cpu.pgraph"));
+  bytes[0] = 'X';
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    (void)io::read_graph(is);
+    FAIL() << "expected FormatError";
+  } catch (const io::FormatError&) {
+    SUCCEED();
+  }
+}
+
+TEST(IoReject, MissingFile) {
+  EXPECT_THROW(io::read_graph_file("/nonexistent/never.pgraph"),
+               io::FormatError);
+  EXPECT_THROW(io::probe_file("/nonexistent/never.pgraph"), io::FormatError);
+}
+
+TEST(IoProbe, ReportsKindForAllGoldenKinds) {
+  EXPECT_EQ(io::probe_file(golden_path("matvec_cpu.pgraph")).kind,
+            io::PayloadKind::kGraph);
+  EXPECT_EQ(io::probe_file(golden_path("matvec_cpu.psample")).kind,
+            io::PayloadKind::kSample);
+  EXPECT_EQ(io::probe_file(golden_path("corpus.pgds")).kind,
+            io::PayloadKind::kDataset);
+}
+
+}  // namespace
+}  // namespace pg
