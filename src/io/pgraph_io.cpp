@@ -214,18 +214,26 @@ tensor::Matrix get_sample_features(Source& src) {
   return m;
 }
 
+// The on-disk edge record keeps the legacy array-of-structs shape —
+// (src, dst, src_local, dst_local, gate) per edge — so files written by the
+// pre-CSR code are byte-identical. The redundant global/dst_local fields
+// are re-derived from the CSR arrays on write and re-validated on read.
 template <class Sink>
 void put_sample_relations(Sink& sink, const nn::RelationalGraph& rg) {
   put_u64(sink, rg.num_nodes);
   put_u32(sink, static_cast<std::uint32_t>(rg.relations.size()));
   for (const nn::RelationEdges& rel : rg.relations) {
-    put_u64(sink, rel.edges.size());
-    for (const nn::RelEdge& e : rel.edges) {
-      put_u32(sink, e.src);
-      put_u32(sink, e.dst);
-      put_u32(sink, e.src_local);
-      put_u32(sink, e.dst_local);
-      put_f32(sink, e.gate);
+    put_u64(sink, rel.num_edges());
+    for (std::size_t g = 0; g < rel.num_groups(); ++g) {
+      const std::uint32_t dst_local = rel.group_dst[g];
+      for (std::uint32_t e = rel.group_offsets[g]; e < rel.group_offsets[g + 1];
+           ++e) {
+        put_u32(sink, rel.nodes[rel.src_local[e]]);
+        put_u32(sink, rel.nodes[dst_local]);
+        put_u32(sink, rel.src_local[e]);
+        put_u32(sink, dst_local);
+        put_f32(sink, rel.gate[e]);
+      }
     }
     put_u64(sink, rel.nodes.size());
     for (std::uint32_t v : rel.nodes) put_u32(sink, v);
@@ -238,21 +246,30 @@ void put_sample_relations(Sink& sink, const nn::RelationalGraph& rg) {
 
 /// Reads one relation and verifies every invariant RelationEdges::from_edges
 /// guarantees, so corrupt files cannot smuggle out-of-range indices into the
-/// RGAT gather/scatter kernels.
+/// RGAT gather/scatter kernels. The redundant on-disk per-edge fields
+/// (global src/dst, dst_local) are cross-checked against the CSR arrays and
+/// then dropped — the in-memory target is the flat SoA form.
 nn::RelationEdges get_relation(Source& src, std::uint64_t num_global_nodes) {
   nn::RelationEdges rel;
+  std::vector<std::uint32_t> src_global;
+  std::vector<std::uint32_t> dst_global;
+  std::vector<std::uint32_t> dst_local;
   const std::uint64_t num_edges = get_count(src, "relation edge count", 20);
-  rel.edges.reserve(std::min(num_edges, kMaxPrealloc));
+  const std::uint64_t prealloc = std::min(num_edges, kMaxPrealloc);
+  rel.src_local.reserve(prealloc);
+  rel.gate.reserve(prealloc);
+  src_global.reserve(prealloc);
+  dst_global.reserve(prealloc);
+  dst_local.reserve(prealloc);
   for (std::uint64_t i = 0; i < num_edges; ++i) {
-    nn::RelEdge e;
-    e.src = get_u32(src);
-    e.dst = get_u32(src);
-    e.src_local = get_u32(src);
-    e.dst_local = get_u32(src);
-    e.gate = get_f32(src);
-    if (!std::isfinite(e.gate))
+    src_global.push_back(get_u32(src));
+    dst_global.push_back(get_u32(src));
+    rel.src_local.push_back(get_u32(src));
+    dst_local.push_back(get_u32(src));
+    const float gate = get_f32(src);
+    if (!std::isfinite(gate))
       throw FormatError("corrupt relation: non-finite edge gate");
-    rel.edges.push_back(e);
+    rel.gate.push_back(gate);
   }
   auto read_u32s = [&src](std::vector<std::uint32_t>& out, std::uint64_t n) {
     out.reserve(std::min(n, kMaxPrealloc));
@@ -271,7 +288,7 @@ nn::RelationEdges get_relation(Source& src, std::uint64_t num_global_nodes) {
   if (rel.group_offsets.size() != rel.group_dst.size() + 1)
     throw FormatError("corrupt relation: group table shape mismatch");
   if (rel.group_offsets.front() != 0 ||
-      rel.group_offsets.back() != rel.edges.size())
+      rel.group_offsets.back() != rel.num_edges())
     throw FormatError("corrupt relation: group offsets do not span the edges");
   for (std::size_t g = 0; g + 1 < rel.group_offsets.size(); ++g) {
     if (rel.group_offsets[g] >= rel.group_offsets[g + 1])
@@ -282,12 +299,13 @@ nn::RelationEdges get_relation(Source& src, std::uint64_t num_global_nodes) {
       throw FormatError("corrupt relation: group dst out of range");
     for (std::uint32_t i = rel.group_offsets[g]; i < rel.group_offsets[g + 1];
          ++i) {
-      const nn::RelEdge& e = rel.edges[i];
-      if (e.src_local >= rel.nodes.size() || e.dst_local >= rel.nodes.size())
+      if (rel.src_local[i] >= rel.nodes.size() ||
+          dst_local[i] >= rel.nodes.size())
         throw FormatError("corrupt relation: local index out of range");
-      if (e.dst_local != rel.group_dst[g])
+      if (dst_local[i] != rel.group_dst[g])
         throw FormatError("corrupt relation: edge outside its dst group");
-      if (e.src != rel.nodes[e.src_local] || e.dst != rel.nodes[e.dst_local])
+      if (src_global[i] != rel.nodes[rel.src_local[i]] ||
+          dst_global[i] != rel.nodes[dst_local[i]])
         throw FormatError("corrupt relation: local/global id mismatch");
     }
   }

@@ -1,7 +1,10 @@
-// Batched inference engine over a trained ParaGraphModel: a per-thread
-// pool of grow-only Workspaces plus OpenMP fan-out, so steady-state
-// prediction — the advisor's "rank every candidate variant" loop and the
-// trainer's validation pass — performs zero heap allocations per graph.
+// Batched inference engine over a trained ParaGraphModel: per-thread
+// fused-batch state (grow-only Workspace + GraphBatch packer) plus OpenMP
+// fan-out over batch chunks, so steady-state prediction — the advisor's
+// "rank every candidate variant" loop and the trainer's validation pass —
+// performs zero heap allocations per graph AND amortises per-graph dispatch:
+// each chunk of graphs is packed into one block-diagonal GraphBatch and run
+// through a single fused model forward instead of one forward per graph.
 //
 // The engine does not own the model; keep the model alive for the engine's
 // lifetime. Model parameters may change between calls (the trainer reuses
@@ -12,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "model/graph_batch.hpp"
 #include "model/paragraph_model.hpp"
 #include "model/sample.hpp"
 #include "tensor/workspace.hpp"
@@ -26,18 +30,21 @@ class InferenceEngine {
   [[nodiscard]] double predict_one(const EncodedGraph& graph,
                                    std::span<const float> aux);
 
-  /// Batched scaled-domain predictions, OpenMP-parallel over the graphs.
-  /// graphs/aux/out must have equal lengths. Bitwise-identical to calling
-  /// predict_one per element: predictions are independent, and workspace
-  /// history never leaks into results because every borrowed buffer is
-  /// either zero-filled on acquire or fully overwritten before being read
-  /// (the acquire_uninit contract).
+  /// Batched scaled-domain predictions: graphs are packed into
+  /// block-diagonal GraphBatch chunks and each chunk runs one fused model
+  /// forward (OpenMP-parallel across chunks). graphs/aux/out must have
+  /// equal lengths. Bitwise-identical to calling predict_one per element:
+  /// the fused forward performs the same per-graph FP operations in the
+  /// same order (engine_test pins this), and workspace history never leaks
+  /// into results because every borrowed buffer is either zero-filled on
+  /// acquire or fully overwritten before being read.
   void predict_batch(std::span<const EncodedGraph> graphs,
                      std::span<const std::array<float, 2>> aux,
                      std::span<double> out);
 
   /// Microsecond-domain predictions for a sample list, honouring the set's
-  /// target transform (linear or log) and the physical floor (>= 0).
+  /// target transform (linear or log) and the physical floor (>= 0). Runs
+  /// the same fused chunked path as predict_batch.
   [[nodiscard]] std::vector<double> predict_samples_us(
       std::span<const TrainingSample> samples, const SampleSet& set);
 
@@ -49,10 +56,34 @@ class InferenceEngine {
   [[nodiscard]] std::size_t workspace_bytes() const;
 
  private:
-  tensor::Workspace& workspace_for_current_thread();
+  /// Per-thread fused-batch state; everything grow-only. Top-level entry
+  /// points use the *calling* thread's ptrs/aux_gather as gather buffers, so
+  /// concurrent callers from an enclosing parallel region never share state.
+  struct ThreadState {
+    tensor::Workspace ws;
+    GraphBatch batch;
+    tensor::Matrix aux;                          // [chunk x aux_dim]
+    std::vector<const EncodedGraph*> ptrs;       // batch gather scratch
+    std::vector<std::array<float, 2>> aux_gather;  // predict_samples_us
+    std::size_t arena_baseline = 0;  // ws footprint after last reset's pass
+  };
+
+  ThreadState& state_for_current_thread();
+  /// Packs graphs [lo, hi) and runs one fused forward into out[lo, hi).
+  void run_chunk(std::span<const EncodedGraph* const> graphs,
+                 std::span<const std::array<float, 2>> aux,
+                 std::span<double> out, std::size_t lo, std::size_t hi);
+  /// The shared chunk fan-out: splits [0, n) into kFuseChunk-sized chunks
+  /// and runs them serially (inside an enclosing parallel region, or when
+  /// there is only one chunk) or OpenMP-parallel otherwise. Both public
+  /// batch entry points route through here so the threading policy cannot
+  /// diverge between them.
+  void run_chunked(std::span<const EncodedGraph* const> graphs,
+                   std::span<const std::array<float, 2>> aux,
+                   std::span<double> out);
 
   const ParaGraphModel* model_;
-  std::vector<tensor::Workspace> pool_;  // one per OpenMP thread
+  std::vector<ThreadState> pool_;  // one per OpenMP thread
 };
 
 }  // namespace pg::model

@@ -1,0 +1,61 @@
+// GraphBatch: packs B encoded graphs into one block-diagonal relational
+// graph so the model can run a single fused forward (one projection pass per
+// relation over the concatenated active rows, one segmented softmax/read-out)
+// instead of B small ones.
+//
+// The packing is exact, not approximate: each graph's nodes occupy a
+// contiguous global-id block [node_offsets()[b], node_offsets()[b+1]), and
+// every relation's CSR arrays are the per-graph arrays concatenated with
+// node/row/edge offsets applied. Because the RGAT kernels only ever combine
+// rows reachable through a relation's edges — and no edge crosses a block
+// boundary — the fused forward performs, per graph, exactly the same
+// floating-point operations in exactly the same order as a per-graph
+// forward: predictions are bitwise-identical (engine_test pins this).
+//
+// All buffers are grow-only (vector/Matrix capacity is retained across
+// pack() calls), so a warmed-up pack performs zero heap allocations.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "model/encoding.hpp"
+#include "nn/relational_graph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::model {
+
+class GraphBatch {
+ public:
+  /// Re-fills the batch from `graphs` (pointers stay borrowed only for the
+  /// duration of the call). Every graph must carry the same feature width
+  /// and relation count.
+  void pack(std::span<const EncodedGraph* const> graphs);
+  /// Convenience overload over a contiguous span of graphs.
+  void pack(std::span<const EncodedGraph> graphs);
+
+  [[nodiscard]] std::size_t size() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Concatenated node features, [total_nodes x feature_dim].
+  [[nodiscard]] const tensor::Matrix& features() const { return features_; }
+  /// Block-diagonal relations over the concatenated node numbering.
+  [[nodiscard]] const nn::RelationalGraph& relations() const {
+    return relations_;
+  }
+  /// Per-graph node offsets, size B+1: graph b owns global node ids
+  /// [node_offsets()[b], node_offsets()[b+1]).
+  [[nodiscard]] std::span<const std::uint32_t> node_offsets() const {
+    return offsets_;
+  }
+
+ private:
+  tensor::Matrix features_;
+  nn::RelationalGraph relations_;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<const EncodedGraph*> scratch_;  // for the value-span overload
+};
+
+}  // namespace pg::model

@@ -2,7 +2,9 @@
 // parameter registration for Adam and checkpointing. All intermediates are
 // workspace-borrowed: ForwardState is a plain struct of pointers into the
 // Workspace of the current pass, so the hot path never touches the heap
-// once the arena is warm.
+// once the arena is warm. Both the single-graph and the fused GraphBatch
+// entry points run the same batched core (B=1 vs B=N), which is what keeps
+// their predictions bitwise-identical.
 #include "model/paragraph_model.hpp"
 
 #include <algorithm>
@@ -18,15 +20,16 @@ struct ParaGraphModel::ForwardState {
   const tensor::Matrix* h1 = nullptr;      // conv outputs (post-ReLU)
   const tensor::Matrix* h2 = nullptr;
   const tensor::Matrix* h3 = nullptr;
-  const tensor::Matrix* pooled = nullptr;  // [1 x hidden]
+  const tensor::Matrix* pooled = nullptr;  // [B x hidden]
   const tensor::Matrix* f1_pre = nullptr;  // fc1 pre/post activation
   const tensor::Matrix* f1 = nullptr;
   const tensor::Matrix* f2_pre = nullptr;  // fc2 pre/post activation
   const tensor::Matrix* f2 = nullptr;
-  const tensor::Matrix* aux_in = nullptr;  // [1 x aux_dim]
+  const tensor::Matrix* aux_in = nullptr;  // [B x aux_dim] (borrowed)
   const tensor::Matrix* aux_pre = nullptr; // aux_fc pre/post activation
   const tensor::Matrix* aux = nullptr;
-  const tensor::Matrix* concat = nullptr;  // [1 x hidden + aux_embed]
+  const tensor::Matrix* concat = nullptr;  // [B x hidden + aux_embed]
+  const tensor::Matrix* out = nullptr;     // [B x 1] scaled predictions
 };
 
 ParaGraphModel::ParaGraphModel(const ModelConfig& config)
@@ -63,52 +66,64 @@ ParaGraphModel::ParaGraphModel(const ModelConfig& config)
         return nn::Linear(config.hidden_dim + config.aux_embed_dim, 1, rng);
       }()) {}
 
-double ParaGraphModel::run_forward(const EncodedGraph& graph,
-                                   std::span<const float> aux,
-                                   ForwardState& s,
-                                   tensor::Workspace& ws) const {
-  check(aux.size() == config_.aux_dim, "aux feature size mismatch");
+void ParaGraphModel::run_forward(const tensor::Matrix& features,
+                                 const nn::RelationalGraph& relations,
+                                 std::span<const std::uint32_t> offsets,
+                                 const tensor::Matrix& aux_in,
+                                 ForwardState& s,
+                                 tensor::Workspace& ws) const {
+  check(offsets.size() >= 2, "run_forward: empty batch");
+  const std::size_t batch = offsets.size() - 1;
+  check(aux_in.rows() == batch && aux_in.cols() == config_.aux_dim,
+        "aux feature shape mismatch");
 
-  s.h1 = &conv1_.forward(graph.features, graph.relations, s.c1, ws);
-  s.h2 = &conv2_.forward(*s.h1, graph.relations, s.c2, ws);
-  s.h3 = &conv3_.forward(*s.h2, graph.relations, s.c3, ws);
-  tensor::Matrix& pooled = ws.acquire_uninit(1, config_.hidden_dim);
-  tensor::row_mean_into(pooled, *s.h3);
+  s.h1 = &conv1_.forward(features, relations, s.c1, ws);
+  s.h2 = &conv2_.forward(*s.h1, relations, s.c2, ws);
+  s.h3 = &conv3_.forward(*s.h2, relations, s.c3, ws);
+  tensor::Matrix& pooled = ws.acquire_uninit(batch, config_.hidden_dim);
+  tensor::segment_row_mean_into(pooled, *s.h3, offsets);
   s.pooled = &pooled;
 
   s.f1_pre = &fc1_.forward(pooled, ws);
-  tensor::Matrix& f1 = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::Matrix& f1 = ws.acquire_uninit(batch, config_.hidden_dim);
   nn::relu_into(f1, *s.f1_pre);
   s.f1 = &f1;
   s.f2_pre = &fc2_.forward(f1, ws);
-  tensor::Matrix& f2 = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::Matrix& f2 = ws.acquire_uninit(batch, config_.hidden_dim);
   nn::relu_into(f2, *s.f2_pre);
   s.f2 = &f2;
 
-  tensor::Matrix& aux_in = ws.acquire_uninit(1, config_.aux_dim);
-  std::copy(aux.begin(), aux.end(), aux_in.row_span(0).begin());
   s.aux_in = &aux_in;
   s.aux_pre = &aux_fc_.forward(aux_in, ws);
-  tensor::Matrix& aux_act = ws.acquire_uninit(1, config_.aux_embed_dim);
+  tensor::Matrix& aux_act = ws.acquire_uninit(batch, config_.aux_embed_dim);
   nn::relu_into(aux_act, *s.aux_pre);
   s.aux = &aux_act;
 
   tensor::Matrix& concat =
-      ws.acquire_uninit(1, config_.hidden_dim + config_.aux_embed_dim);
-  for (std::size_t j = 0; j < config_.hidden_dim; ++j) concat(0, j) = f2(0, j);
-  for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
-    concat(0, config_.hidden_dim + j) = aux_act(0, j);
+      ws.acquire_uninit(batch, config_.hidden_dim + config_.aux_embed_dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < config_.hidden_dim; ++j)
+      concat(b, j) = f2(b, j);
+    for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
+      concat(b, config_.hidden_dim + j) = aux_act(b, j);
+  }
   s.concat = &concat;
 
-  return static_cast<double>(out_fc_.forward(concat, ws)(0, 0));
+  s.out = &out_fc_.forward(concat, ws);
 }
 
 double ParaGraphModel::predict(const EncodedGraph& graph,
                                std::span<const float> aux,
                                tensor::Workspace& ws) const {
+  check(aux.size() == config_.aux_dim, "aux feature size mismatch");
   ws.reset();
+  tensor::Matrix& aux_in = ws.acquire_uninit(1, config_.aux_dim);
+  std::copy(aux.begin(), aux.end(), aux_in.row_span(0).begin());
+  const std::uint32_t offsets[2] = {
+      0, static_cast<std::uint32_t>(graph.features.rows())};
   ForwardState s;
-  return run_forward(graph, aux, s, ws);
+  run_forward(graph.features, graph.relations, offsets, aux_in, s, ws);
+  return static_cast<double>((*s.out)(0, 0));
 }
 
 double ParaGraphModel::predict(const EncodedGraph& graph,
@@ -117,16 +132,28 @@ double ParaGraphModel::predict(const EncodedGraph& graph,
   return predict(graph, aux, ws);
 }
 
-double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
-                                            std::span<const float> aux,
-                                            double target, double grad_scale,
-                                            std::span<tensor::Matrix> grads,
-                                            tensor::Workspace& ws) const {
-  check(grads.size() == num_params(), "gradient buffer size mismatch");
+void ParaGraphModel::predict_batch(const GraphBatch& batch,
+                                   const tensor::Matrix& aux,
+                                   std::span<double> out,
+                                   tensor::Workspace& ws) const {
+  check(out.size() == batch.size(), "predict_batch: output span mismatch");
+  if (batch.empty()) return;
   ws.reset();
   ForwardState s;
-  const double prediction = run_forward(graph, aux, s, ws);
-  const double dloss = nn::mse_grad(prediction, target) * grad_scale;
+  run_forward(batch.features(), batch.relations(), batch.node_offsets(), aux,
+              s, ws);
+  for (std::size_t b = 0; b < out.size(); ++b)
+    out[b] = static_cast<double>((*s.out)(b, 0));
+}
+
+void ParaGraphModel::run_backward(const nn::RelationalGraph& relations,
+                                  std::span<const std::uint32_t> offsets,
+                                  const ForwardState& s,
+                                  const tensor::Matrix& dout,
+                                  std::span<tensor::Matrix> grads,
+                                  tensor::Workspace& ws) const {
+  check(grads.size() == num_params(), "gradient buffer size mismatch");
+  const std::size_t batch = offsets.size() - 1;
 
   // Parameter layout: conv1, conv2, conv3, fc1, fc2, aux_fc, out_fc.
   const std::size_t conv_params = conv1_.num_params();
@@ -140,43 +167,69 @@ double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
   auto out_grads = grads.subspan(offset, 2); offset += 2;
   check(offset == grads.size(), "parameter layout mismatch");
 
-  tensor::Matrix& dout = ws.acquire_uninit(1, 1);
-  dout(0, 0) = static_cast<float>(dloss);
   tensor::Matrix& dconcat = out_fc_.backward(*s.concat, dout, out_grads, ws);
 
-  tensor::Matrix& df2 = ws.acquire_uninit(1, config_.hidden_dim);
-  tensor::Matrix& daux = ws.acquire_uninit(1, config_.aux_embed_dim);
-  for (std::size_t j = 0; j < config_.hidden_dim; ++j) df2(0, j) = dconcat(0, j);
-  for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
-    daux(0, j) = dconcat(0, config_.hidden_dim + j);
+  tensor::Matrix& df2 = ws.acquire_uninit(batch, config_.hidden_dim);
+  tensor::Matrix& daux = ws.acquire_uninit(batch, config_.aux_embed_dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t j = 0; j < config_.hidden_dim; ++j)
+      df2(b, j) = dconcat(b, j);
+    for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
+      daux(b, j) = dconcat(b, config_.hidden_dim + j);
+  }
 
   // Aux branch.
-  tensor::Matrix& daux_pre = ws.acquire_uninit(1, config_.aux_embed_dim);
+  tensor::Matrix& daux_pre = ws.acquire_uninit(batch, config_.aux_embed_dim);
   nn::relu_backward_into(daux_pre, daux, *s.aux_pre);
   (void)aux_fc_.backward(*s.aux_in, daux_pre, aux_grads, ws);
 
   // Graph head.
-  tensor::Matrix& df2_pre = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::Matrix& df2_pre = ws.acquire_uninit(batch, config_.hidden_dim);
   nn::relu_backward_into(df2_pre, df2, *s.f2_pre);
   tensor::Matrix& df1 = fc2_.backward(*s.f1, df2_pre, fc2_grads, ws);
-  tensor::Matrix& df1_pre = ws.acquire_uninit(1, config_.hidden_dim);
+  tensor::Matrix& df1_pre = ws.acquire_uninit(batch, config_.hidden_dim);
   nn::relu_backward_into(df1_pre, df1, *s.f1_pre);
   tensor::Matrix& dpooled = fc1_.backward(*s.pooled, df1_pre, fc1_grads, ws);
 
-  // Mean-pool backward: every node row receives dpooled / N.
+  // Segmented mean-pool backward: every node row of graph b receives
+  // dpooled.row(b) / N_b.
   const std::size_t n = s.h3->rows();
   tensor::Matrix& dh3 = ws.acquire_uninit(n, config_.hidden_dim);
-  const float inv_n = 1.0f / static_cast<float>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto row = dh3.row_span(i);
-    auto src = dpooled.row_span(0);
-    for (std::size_t j = 0; j < config_.hidden_dim; ++j) row[j] = src[j] * inv_n;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t lo = offsets[b];
+    const std::size_t hi = offsets[b + 1];
+    const float inv_n = 1.0f / static_cast<float>(hi - lo);
+    auto src = dpooled.row_span(b);
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = dh3.row_span(i);
+      for (std::size_t j = 0; j < config_.hidden_dim; ++j)
+        row[j] = src[j] * inv_n;
+    }
   }
 
-  tensor::Matrix& dh2 = conv3_.backward(dh3, graph.relations, s.c3, conv3_grads, ws);
-  tensor::Matrix& dh1 = conv2_.backward(dh2, graph.relations, s.c2, conv2_grads, ws);
-  (void)conv1_.backward(dh1, graph.relations, s.c1, conv1_grads, ws);
+  tensor::Matrix& dh2 = conv3_.backward(dh3, relations, s.c3, conv3_grads, ws);
+  tensor::Matrix& dh1 = conv2_.backward(dh2, relations, s.c2, conv2_grads, ws);
+  (void)conv1_.backward(dh1, relations, s.c1, conv1_grads, ws);
+}
 
+double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
+                                            std::span<const float> aux,
+                                            double target, double grad_scale,
+                                            std::span<tensor::Matrix> grads,
+                                            tensor::Workspace& ws) const {
+  check(aux.size() == config_.aux_dim, "aux feature size mismatch");
+  ws.reset();
+  tensor::Matrix& aux_in = ws.acquire_uninit(1, config_.aux_dim);
+  std::copy(aux.begin(), aux.end(), aux_in.row_span(0).begin());
+  const std::uint32_t offsets[2] = {
+      0, static_cast<std::uint32_t>(graph.features.rows())};
+  ForwardState s;
+  run_forward(graph.features, graph.relations, offsets, aux_in, s, ws);
+  const double prediction = static_cast<double>((*s.out)(0, 0));
+
+  tensor::Matrix& dout = ws.acquire_uninit(1, 1);
+  dout(0, 0) = static_cast<float>(nn::mse_grad(prediction, target) * grad_scale);
+  run_backward(graph.relations, offsets, s, dout, grads, ws);
   return prediction;
 }
 
@@ -186,6 +239,31 @@ double ParaGraphModel::accumulate_gradients(const EncodedGraph& graph,
                                             std::span<tensor::Matrix> grads) const {
   thread_local tensor::Workspace ws;
   return accumulate_gradients(graph, aux, target, grad_scale, grads, ws);
+}
+
+double ParaGraphModel::accumulate_gradients_batch(
+    const GraphBatch& batch, const tensor::Matrix& aux,
+    std::span<const double> targets, double grad_scale,
+    std::span<tensor::Matrix> grads, tensor::Workspace& ws) const {
+  check(targets.size() == batch.size(),
+        "accumulate_gradients_batch: target span mismatch");
+  if (batch.empty()) return 0.0;
+  ws.reset();
+  ForwardState s;
+  run_forward(batch.features(), batch.relations(), batch.node_offsets(), aux,
+              s, ws);
+
+  tensor::Matrix& dout = ws.acquire_uninit(batch.size(), 1);
+  double loss = 0.0;
+  for (std::size_t b = 0; b < targets.size(); ++b) {
+    const double prediction = static_cast<double>((*s.out)(b, 0));
+    const double d = prediction - targets[b];
+    loss += d * d;
+    dout(b, 0) =
+        static_cast<float>(nn::mse_grad(prediction, targets[b]) * grad_scale);
+  }
+  run_backward(batch.relations(), batch.node_offsets(), s, dout, grads, ws);
+  return loss;
 }
 
 std::vector<tensor::Matrix*> ParaGraphModel::parameters() {

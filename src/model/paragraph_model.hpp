@@ -9,6 +9,15 @@
 // allocations. The Workspace-free overloads are conveniences over a
 // thread-local workspace; hot loops (trainer, InferenceEngine) pass their
 // own per-thread workspaces explicitly.
+//
+// The forward/backward core is batched: it runs over a (possibly
+// block-diagonal) relational graph with per-graph node offsets and a
+// [B x aux_dim] auxiliary matrix, producing B predictions from ONE pass —
+// one projection matmul per relation over the concatenated active rows, one
+// segmented softmax, one segmented mean-pool, and batched FC-head matmuls.
+// The single-graph predict()/accumulate_gradients() are the B=1 case of the
+// same code path, so fused batch predictions are bitwise-identical to
+// per-graph ones.
 #pragma once
 
 #include <array>
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "model/encoding.hpp"
+#include "model/graph_batch.hpp"
 #include "nn/linear.hpp"
 #include "nn/rgat.hpp"
 #include "tensor/workspace.hpp"
@@ -46,6 +56,12 @@ class ParaGraphModel {
   [[nodiscard]] double predict(const EncodedGraph& graph,
                                std::span<const float> aux) const;
 
+  /// Fused batch forward over a packed GraphBatch: one pass produces
+  /// out.size() == batch.size() scaled predictions, bitwise-identical to
+  /// predicting each packed graph on its own. `aux` is [B x aux_dim].
+  void predict_batch(const GraphBatch& batch, const tensor::Matrix& aux,
+                     std::span<double> out, tensor::Workspace& ws) const;
+
   /// Forward + backward for one sample under MSE against `target` (scaled).
   /// Accumulates `grad_scale * dL/dtheta` into `grads` (one Matrix per
   /// parameter, same order as parameters()). Returns the prediction.
@@ -63,6 +79,20 @@ class ParaGraphModel {
                               double grad_scale,
                               std::span<tensor::Matrix> grads) const;
 
+  /// Fused batch forward + backward: one pass accumulates the summed
+  /// per-sample MSE gradients (each scaled by `grad_scale`) into `grads`
+  /// and returns the sum of squared errors over the batch (scaled domain).
+  /// `aux` is [B x aux_dim]; `targets` has batch.size() entries. The
+  /// accumulation order is fixed by the batch contents alone — independent
+  /// of any thread count — which is what makes the trainer's chunked
+  /// reduction bitwise-reproducible across machines.
+  double accumulate_gradients_batch(const GraphBatch& batch,
+                                    const tensor::Matrix& aux,
+                                    std::span<const double> targets,
+                                    double grad_scale,
+                                    std::span<tensor::Matrix> grads,
+                                    tensor::Workspace& ws) const;
+
   [[nodiscard]] std::vector<tensor::Matrix*> parameters();
   [[nodiscard]] std::vector<const tensor::Matrix*> parameters() const;
   [[nodiscard]] std::size_t num_params() const;
@@ -70,8 +100,22 @@ class ParaGraphModel {
 
  private:
   struct ForwardState;
-  double run_forward(const EncodedGraph& graph, std::span<const float> aux,
-                     ForwardState& state, tensor::Workspace& ws) const;
+  /// The batched core: features/relations may be one graph or a
+  /// block-diagonal batch; `offsets` (size B+1) marks per-graph node blocks
+  /// and `aux_in` is [B x aux_dim]. Fills state; predictions are
+  /// state.out(b, 0).
+  void run_forward(const tensor::Matrix& features,
+                   const nn::RelationalGraph& relations,
+                   std::span<const std::uint32_t> offsets,
+                   const tensor::Matrix& aux_in, ForwardState& state,
+                   tensor::Workspace& ws) const;
+  /// Matching batched backward; `dout` is [B x 1] (dL/dprediction per
+  /// graph, already loss-scaled).
+  void run_backward(const nn::RelationalGraph& relations,
+                    std::span<const std::uint32_t> offsets,
+                    const ForwardState& state, const tensor::Matrix& dout,
+                    std::span<tensor::Matrix> grads,
+                    tensor::Workspace& ws) const;
 
   ModelConfig config_;
   nn::RgatConv conv1_;

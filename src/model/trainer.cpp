@@ -1,21 +1,45 @@
-// Mini-batch Adam/MSE training loop, OpenMP-parallel across the graphs of
-// a batch with per-thread gradient accumulation and per-thread workspaces
-// (no per-sample heap traffic once the arenas are warm).
+// Mini-batch Adam/MSE training loop over fused GraphBatch chunks.
+//
+// Determinism: each batch is split into (at most) kGradChunks contiguous
+// chunks whose boundaries depend only on the batch length. A chunk packs
+// its samples into one block-diagonal GraphBatch and accumulates the summed
+// gradient with a single fused forward/backward — a fixed, serial FP order.
+// Chunks run in parallel (they are independent), and the per-chunk buffers
+// are then reduced in chunk order on one thread. No step depends on the
+// OpenMP thread count or schedule, so training is bitwise-reproducible
+// across machines. (The pre-CSR trainer accumulated per *thread*, which was
+// only reproducible for a fixed thread count.)
 #include "model/trainer.hpp"
 
 #include <omp.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
 
 #include "model/engine.hpp"
+#include "model/graph_batch.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
 namespace pg::model {
 namespace {
+
+/// Fixed gradient-accumulation fan-out. Part of the training recipe: the
+/// chunking (and thus the FP reduction order) is the same whether the run
+/// uses 1 thread or 64.
+constexpr std::size_t kGradChunks = 16;
+
+/// Arena bound per gradient chunk. Shuffling re-composes every chunk each
+/// step, so the shape-keyed grow-only Workspace would otherwise accrete a
+/// bucket per never-seen block-diagonal shape for the whole run. The arena
+/// is dropped once it exceeds BOTH this cap and twice its post-reset
+/// single-step footprint (so a legitimately large chunk never thrashes);
+/// the trigger depends only on the (deterministic) shape history, so
+/// training stays bitwise-reproducible.
+constexpr std::size_t kChunkArenaCapBytes = 16u << 20;
 
 double evaluate_rmse_us(InferenceEngine& engine,
                         const std::vector<TrainingSample>& samples,
@@ -29,6 +53,18 @@ double evaluate_rmse_us(InferenceEngine& engine,
   if (predictions_out != nullptr) *predictions_out = std::move(predictions);
   return rmse;
 }
+
+/// Everything one gradient chunk reuses across steps — all grow-only, so
+/// steady-state training does no per-batch heap work.
+struct ChunkState {
+  std::vector<tensor::Matrix> grads;
+  tensor::Workspace ws;
+  GraphBatch batch;
+  tensor::Matrix aux;                     // [chunk x 2]
+  std::vector<const EncodedGraph*> graphs;
+  std::vector<double> targets;
+  std::size_t arena_baseline = 0;  // ws footprint after last reset's step
+};
 
 }  // namespace
 
@@ -48,15 +84,8 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
   adam_config.learning_rate = config.learning_rate;
   nn::Adam adam(model.parameters(), adam_config);
 
-  const int max_threads = omp_get_max_threads();
-  std::vector<std::vector<tensor::Matrix>> thread_grads;
-  thread_grads.reserve(max_threads);
-  for (int t = 0; t < max_threads; ++t)
-    thread_grads.push_back(adam.make_gradient_buffer());
-  // Per-thread arenas: every sample's forward/backward reuses its thread's
-  // grow-only buffers, and the validation engine keeps its own pool warm
-  // across epochs.
-  std::vector<tensor::Workspace> thread_ws(max_threads);
+  std::vector<ChunkState> chunks(kGradChunks);
+  for (auto& chunk : chunks) chunk.grads = adam.make_gradient_buffer();
   InferenceEngine eval_engine(model);
 
   std::vector<std::size_t> order(set.train.size());
@@ -83,37 +112,55 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
          start += static_cast<std::size_t>(config.batch_size)) {
       const std::size_t end =
           std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
-      const double grad_scale = 1.0 / static_cast<double>(end - start);
+      const std::size_t len = end - start;
+      const double grad_scale = 1.0 / static_cast<double>(len);
+      const std::size_t num_chunks = std::min(kGradChunks, len);
 
-      double batch_loss = 0.0;
-      // Static schedule: each thread owns a fixed slice of the batch, so the
-      // per-thread accumulation (and the reduction order below) is identical
-      // across runs with the same thread count — bit-reproducible training.
-#pragma omp parallel reduction(+ : batch_loss)
-      {
-        auto& grads = thread_grads[omp_get_thread_num()];
-        auto& ws = thread_ws[omp_get_thread_num()];
-#pragma omp for schedule(static)
-        for (std::size_t i = start; i < end; ++i) {
-          const TrainingSample& sample = set.train[order[i]];
-          const double pred = model.accumulate_gradients(
-              sample.graph, sample.aux, sample.target_scaled, grad_scale, grads,
-              ws);
-          const double d = pred - sample.target_scaled;
-          batch_loss += d * d;
+      // Chunk boundaries are a pure function of (len, num_chunks):
+      // identical on every machine, whatever omp does with the loop below.
+      std::array<double, kGradChunks> chunk_loss{};
+#pragma omp parallel for schedule(dynamic, 1)
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t lo = start + (len * c) / num_chunks;
+        const std::size_t hi = start + (len * (c + 1)) / num_chunks;
+        ChunkState& chunk = chunks[c];
+        if (chunk.arena_baseline > 0 &&
+            chunk.ws.bytes_reserved() >
+                std::max(kChunkArenaCapBytes, 2 * chunk.arena_baseline)) {
+          chunk.ws = tensor::Workspace();
+          chunk.arena_baseline = 0;
         }
+        chunk.graphs.clear();
+        chunk.targets.clear();
+        chunk.aux.reshape(hi - lo, 2);
+        for (std::size_t i = lo; i < hi; ++i) {
+          const TrainingSample& sample = set.train[order[i]];
+          chunk.graphs.push_back(&sample.graph);
+          chunk.targets.push_back(sample.target_scaled);
+          auto row = chunk.aux.row_span(i - lo);
+          row[0] = sample.aux[0];
+          row[1] = sample.aux[1];
+        }
+        chunk.batch.pack(chunk.graphs);
+        chunk_loss[c] = model.accumulate_gradients_batch(
+            chunk.batch, chunk.aux, chunk.targets, grad_scale, chunk.grads,
+            chunk.ws);
+        if (chunk.arena_baseline == 0)
+          chunk.arena_baseline = chunk.ws.bytes_reserved();
       }
-      epoch_loss += batch_loss;
 
-      // Reduce the per-thread buffers into buffer 0 and take the Adam step.
-      auto& base = thread_grads[0];
-      for (int t = 1; t < max_threads; ++t) {
-        for (std::size_t p = 0; p < base.size(); ++p)
-          base[p].add_(thread_grads[t][p]);
+      // Ordered reduction: chunk 0 hosts the sum; losses and gradient
+      // buffers are folded in ascending chunk index.
+      auto& base = chunks[0].grads;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        epoch_loss += chunk_loss[c];
+        if (c > 0)
+          for (std::size_t p = 0; p < base.size(); ++p)
+            base[p].add_(chunks[c].grads[p]);
       }
       adam.step(base);
-      for (auto& buffer : thread_grads)
-        for (auto& grad : buffer) grad.zero();
+      for (std::size_t c = 0; c < num_chunks; ++c)
+        for (auto& grad : chunks[c].grads) grad.zero();
     }
 
     EpochRecord record;

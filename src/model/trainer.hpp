@@ -1,6 +1,9 @@
-// Mini-batch trainer: Adam + MSE, OpenMP data-parallel over the graphs of a
-// batch with per-thread gradient buffers (deterministic for a fixed thread
-// count).
+// Mini-batch trainer: Adam + MSE over fused GraphBatch chunks. Each batch
+// is split into a fixed number of contiguous chunks (independent of the
+// OpenMP thread count); every chunk runs one fused block-diagonal
+// forward/backward into its own gradient buffer, and the buffers are
+// reduced in chunk order. Training is therefore bitwise-reproducible across
+// machines and thread counts.
 #pragma once
 
 #include <functional>
@@ -36,10 +39,10 @@ struct TrainResult {
 };
 
 /// Predictions (in microseconds) for a sample list; a thin wrapper over a
-/// one-shot InferenceEngine — parallel with per-thread workspaces, clamped
-/// at the physical floor (0), and honouring the set's target transform
-/// (linear or log). Callers predicting repeatedly should hold their own
-/// engine so its workspace pool stays warm.
+/// one-shot InferenceEngine — fused-batch with per-thread workspaces,
+/// clamped at the physical floor (0), and honouring the set's target
+/// transform (linear or log). Callers predicting repeatedly should hold
+/// their own engine so its workspace pool stays warm.
 std::vector<double> predict_all(const ParaGraphModel& model,
                                 const std::vector<TrainingSample>& samples,
                                 const SampleSet& set);

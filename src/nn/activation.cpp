@@ -14,10 +14,10 @@ tensor::Matrix relu(const tensor::Matrix& x) {
 
 void relu_into(tensor::Matrix& y, const tensor::Matrix& x) {
   check(y.same_shape(x), "relu_into: shape mismatch");
-  auto xs = x.data();
-  auto ys = y.data();
-  for (std::size_t i = 0; i < ys.size(); ++i)
-    ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+  const float* __restrict__ xs = x.data().data();
+  float* __restrict__ ys = y.data().data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
 }
 
 tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {
@@ -30,15 +30,11 @@ void relu_backward_into(tensor::Matrix& dx, const tensor::Matrix& dy,
                         const tensor::Matrix& x) {
   check(dy.same_shape(x), "relu_backward: shape mismatch");
   check(dx.same_shape(dy), "relu_backward_into: destination shape mismatch");
-  auto xs = x.data();
-  auto dys = dy.data();
-  auto ds = dx.data();
-  for (std::size_t i = 0; i < ds.size(); ++i)
-    ds[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
+  const float* __restrict__ xs = x.data().data();
+  const float* __restrict__ dys = dy.data().data();
+  float* __restrict__ ds = dx.data().data();
+  const std::size_t n = dx.size();
+  for (std::size_t i = 0; i < n; ++i) ds[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
 }
-
-float leaky_relu(float x, float slope) { return x > 0.0f ? x : slope * x; }
-
-float leaky_relu_grad(float x, float slope) { return x > 0.0f ? 1.0f : slope; }
 
 }  // namespace pg::nn

@@ -16,7 +16,13 @@ void relu_into(tensor::Matrix& y, const tensor::Matrix& x);
 void relu_backward_into(tensor::Matrix& dx, const tensor::Matrix& dy,
                         const tensor::Matrix& x);
 
-float leaky_relu(float x, float slope);
-float leaky_relu_grad(float x, float slope);
+// Inline: these run once per edge inside the RGAT attention loops, where an
+// out-of-line call would dominate the two-instruction body.
+inline float leaky_relu(float x, float slope) {
+  return x > 0.0f ? x : slope * x;
+}
+inline float leaky_relu_grad(float x, float slope) {
+  return x > 0.0f ? 1.0f : slope;
+}
 
 }  // namespace pg::nn

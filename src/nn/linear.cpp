@@ -27,11 +27,11 @@ const tensor::Matrix& Linear::forward(const tensor::Matrix& x,
   check(x.cols() == w_.rows(), "Linear::forward: feature dim mismatch");
   tensor::Matrix& y = ws.acquire_uninit(x.rows(), w_.cols());
   tensor::matmul_into(y, x, w_);
-  for (std::size_t i = 0; i < y.rows(); ++i) {
-    auto row = y.row_span(i);
-    auto bias = b_.row_span(0);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] += bias[j];
-  }
+  float* __restrict__ yp = y.data().data();
+  const float* __restrict__ bias = b_.data().data();
+  const std::size_t cols = y.cols();
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (std::size_t j = 0; j < cols; ++j) yp[i * cols + j] += bias[j];
   return y;
 }
 

@@ -1,4 +1,5 @@
-// Per-relation edge-list grouping and degree normalisation consumed by the
+// CSR/SoA construction for one relation: local numbering over incident
+// nodes, destination grouping, and the flat per-edge arrays consumed by the
 // RGCN/RGAT convolutions.
 #include "nn/relational_graph.hpp"
 
@@ -22,22 +23,45 @@ RelationEdges RelationEdges::from_edges(std::vector<RelEdge> edges) {
         std::lower_bound(out.nodes.begin(), out.nodes.end(), global) -
         out.nodes.begin());
   };
-  for (RelEdge& e : edges) {
-    e.src_local = local_of(e.src);
-    e.dst_local = local_of(e.dst);
-  }
 
-  std::stable_sort(edges.begin(), edges.end(), [](const RelEdge& a, const RelEdge& b) {
-    return a.dst_local < b.dst_local;
-  });
-  out.edges = std::move(edges);
-  for (std::size_t i = 0; i < out.edges.size(); ++i) {
-    if (i == 0 || out.edges[i].dst_local != out.edges[i - 1].dst_local) {
-      out.group_offsets.push_back(static_cast<std::uint32_t>(i));
-      out.group_dst.push_back(out.edges[i].dst_local);
-    }
+  // Group by local destination (stable: ties keep input order) via a sorted
+  // permutation, then shred the records into the flat SoA arrays.
+  std::vector<std::uint32_t> dst_local(edges.size());
+  std::vector<std::uint32_t> order(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    dst_local[i] = local_of(edges[i].dst);
+    order[i] = static_cast<std::uint32_t>(i);
   }
-  out.group_offsets.push_back(static_cast<std::uint32_t>(out.edges.size()));
+  std::stable_sort(order.begin(), order.end(),
+                   [&dst_local](std::uint32_t a, std::uint32_t b) {
+                     return dst_local[a] < dst_local[b];
+                   });
+  out.src_local.reserve(edges.size());
+  out.gate.reserve(edges.size());
+  std::uint32_t prev_dst = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const RelEdge& e = edges[order[i]];
+    const std::uint32_t dst = dst_local[order[i]];
+    if (i == 0 || dst != prev_dst) {
+      out.group_offsets.push_back(static_cast<std::uint32_t>(i));
+      out.group_dst.push_back(dst);
+    }
+    prev_dst = dst;
+    out.src_local.push_back(local_of(e.src));
+    out.gate.push_back(e.gate);
+  }
+  out.group_offsets.push_back(static_cast<std::uint32_t>(edges.size()));
+  return out;
+}
+
+std::vector<RelEdge> RelationEdges::to_edges() const {
+  std::vector<RelEdge> out;
+  out.reserve(num_edges());
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    const std::uint32_t dst = nodes[group_dst[g]];
+    for (std::uint32_t e = group_offsets[g]; e < group_offsets[g + 1]; ++e)
+      out.push_back({nodes[src_local[e]], dst, gate[e]});
+  }
   return out;
 }
 

@@ -1,11 +1,19 @@
-// Model-facing graph encoding: per-relation edge lists grouped by
+// Model-facing graph encoding: per-relation CSR/SoA adjacency grouped by
 // destination, ready for attention softmax over incoming edges.
 //
 // Each relation keeps a compact *local* numbering of the nodes it touches
-// (`nodes`), and edges store local indices. The RGAT layer projects only
-// those rows through W_r — most relations (ForExec, ConTrue, Ref, ...) touch
-// a small fraction of the graph, so this cuts the per-layer matmul cost by
-// roughly the relation's sparsity.
+// (`nodes`), and edge data lives in flat typed arrays (structure-of-arrays)
+// rather than per-edge records: `src_local[e]` and `gate[e]` are contiguous,
+// and a CSR offset table groups edges by destination. The RGAT layer
+// projects only the rows a relation touches through W_r — most relations
+// (ForExec, ConTrue, Ref, ...) touch a small fraction of the graph, so this
+// cuts the per-layer matmul cost by roughly the relation's sparsity — and
+// the SoA layout keeps the gather/softmax/scatter inner loops on dense
+// 4-byte streams instead of 20-byte records.
+//
+// Because local indices are relation-private, two RelationEdges can be
+// concatenated (with node/row/edge offsets) into a valid block-diagonal
+// relation — the basis of model::GraphBatch's fused batch forward.
 #pragma once
 
 #include <cstdint>
@@ -13,31 +21,41 @@
 
 namespace pg::nn {
 
+/// One (src, dst, gate) triple in *global* node ids — the construction-time
+/// input to RelationEdges and the expansion product of to_edges(). The gate
+/// is the message multiplier: 1 for unweighted relations; for ParaGraph
+/// Child edges the MinMax-scaled execution-count weight.
 struct RelEdge {
   std::uint32_t src = 0;  // global node id
   std::uint32_t dst = 0;  // global node id
-  std::uint32_t src_local = 0;
-  std::uint32_t dst_local = 0;
-  /// Message multiplier. 1 for unweighted relations; for ParaGraph Child
-  /// edges this is the MinMax-scaled execution-count weight.
   float gate = 1.0f;
+
+  friend bool operator==(const RelEdge&, const RelEdge&) = default;
 };
 
-/// Edges of one relation, sorted by destination, with group offsets:
-/// edges[group_offsets[g] .. group_offsets[g+1]) all target group_dst[g]
-/// (a *local* index; nodes[group_dst[g]] is the global id).
+/// Edges of one relation in CSR/SoA form, grouped by destination:
+/// edge slots [group_offsets[g], group_offsets[g+1]) all target local node
+/// group_dst[g] (nodes[group_dst[g]] is the global id). src_local/gate are
+/// parallel flat arrays over the same edge slots.
 struct RelationEdges {
-  std::vector<RelEdge> edges;
-  std::vector<std::uint32_t> nodes;          // sorted unique incident globals
+  std::vector<std::uint32_t> src_local;      // per edge: local source index
+  std::vector<float> gate;                   // per edge: message multiplier
+  std::vector<std::uint32_t> nodes;          // local -> global (sorted unique)
   std::vector<std::uint32_t> group_offsets;  // size = num_groups + 1
   std::vector<std::uint32_t> group_dst;      // local dst per group
 
+  [[nodiscard]] std::size_t num_edges() const { return src_local.size(); }
   [[nodiscard]] std::size_t num_groups() const { return group_dst.size(); }
   [[nodiscard]] std::size_t num_active_nodes() const { return nodes.size(); }
-  [[nodiscard]] bool empty() const { return edges.empty(); }
+  [[nodiscard]] bool empty() const { return src_local.empty(); }
 
-  /// Builds the grouped/localised form from (src, dst, gate) triples.
+  /// Builds the grouped/localised CSR form from (src, dst, gate) triples.
+  /// Parallel (duplicate) edges and self-loops are kept as distinct slots.
   static RelationEdges from_edges(std::vector<RelEdge> edges);
+
+  /// Expands back to global (src, dst, gate) triples in storage (grouped)
+  /// order — the legacy array-of-structs view, for serialisation and tests.
+  [[nodiscard]] std::vector<RelEdge> to_edges() const;
 };
 
 struct RelationalGraph {
@@ -46,7 +64,7 @@ struct RelationalGraph {
 
   [[nodiscard]] std::size_t num_edges() const {
     std::size_t total = 0;
-    for (const auto& rel : relations) total += rel.edges.size();
+    for (const auto& rel : relations) total += rel.num_edges();
     return total;
   }
 };

@@ -1,7 +1,17 @@
 // RGAT convolution: per-relation projections, additive attention with
 // LeakyReLU + softmax over incoming edges, and the matching backward — all
 // scratch drawn from the caller's Workspace, gather/scatter fused into the
-// projection loops so no per-relation temporaries are materialised.
+// projection loops so no per-relation temporaries are materialised. The
+// CSR/SoA relation layout keeps the edge loops on contiguous u32/f32
+// streams; a block-diagonal (batched) RelationalGraph runs through the very
+// same code paths, which is what makes the fused GraphBatch forward
+// bitwise-identical to per-graph execution.
+//
+// The hidden width is a template parameter of the hot kernels (dispatched
+// for the common sizes, runtime fallback otherwise): with a compile-time
+// row width the per-row accumulators live in registers across the reduction
+// loops instead of being stored and reloaded every iteration. The FP
+// operation order is identical in every variant.
 #include "nn/rgat.hpp"
 
 #include <cmath>
@@ -13,12 +23,6 @@
 namespace pg::nn {
 namespace {
 
-float dot(std::span<const float> a, std::span<const float> b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += static_cast<double>(a[i]) * b[i];
-  return static_cast<float>(acc);
-}
-
 /// Totals over all relations: edges and locally-active nodes. These define
 /// the concatenated-block layout shared by forward and backward.
 void relation_totals(const RelationalGraph& graph, std::size_t* total_edges,
@@ -26,8 +30,127 @@ void relation_totals(const RelationalGraph& graph, std::size_t* total_edges,
   *total_edges = 0;
   *total_active = 0;
   for (const RelationEdges& rel : graph.relations) {
-    *total_edges += rel.edges.size();
+    *total_edges += rel.num_edges();
     *total_active += rel.num_active_nodes();
+  }
+}
+
+/// Per-relation forward body: fused gather+projection, attention scores,
+/// grouped softmax, gated scatter into `prep`. OUT_C > 0 is a compile-time
+/// row width (accumulators registerise); OUT_C == 0 reads the width from
+/// `out_rt`. Both paths perform identical FP operations in identical order.
+template <int OUT_C>
+void relation_forward(const RelationEdges& rel, const float* xp,
+                      std::size_t in, std::size_t out_rt, const float* wr,
+                      const float* asrc, const float* adst, float slope,
+                      float* gp, float* ss, float* sd, float* rawp,
+                      float* alphap, float* prep, std::size_t row_off) {
+  const std::size_t out = OUT_C > 0 ? static_cast<std::size_t>(OUT_C) : out_rt;
+  const std::size_t na = rel.num_active_nodes();
+  const std::uint32_t* nodes = rel.nodes.data();
+  const std::uint32_t* src_local = rel.src_local.data();
+  const float* gates = rel.gate.data();
+
+  // Project only the rows this relation touches, straight into the
+  // relation's block of the concatenated cache (fused gather + matmul).
+  // Sparse rows (one-hot node features) take the zero-skip loop; dense rows
+  // (post-ReLU hidden activations, with zeros in *data-dependent* places)
+  // take the branchless loop — a skip there mispredicts per element.
+  for (std::size_t i = 0; i < na; ++i) {
+    const float* __restrict__ src = xp + nodes[i] * in;
+    float* __restrict__ dst = gp + (row_off + i) * out;
+    std::size_t nnz = 0;
+    for (std::size_t k = 0; k < in; ++k) nnz += (src[k] != 0.0f);
+    if constexpr (OUT_C > 0) {
+      float acc[OUT_C];
+      for (int j = 0; j < OUT_C; ++j) acc[j] = dst[j];  // zero-filled block
+      if (2 * nnz >= in) {
+        for (std::size_t k = 0; k < in; ++k) {
+          const float aval = src[k];
+          const float* __restrict__ wrow = wr + k * OUT_C;
+          for (int j = 0; j < OUT_C; ++j) acc[j] += aval * wrow[j];
+        }
+      } else {
+        for (std::size_t k = 0; k < in; ++k) {
+          const float aval = src[k];
+          if (aval == 0.0f) continue;
+          const float* __restrict__ wrow = wr + k * OUT_C;
+          for (int j = 0; j < OUT_C; ++j) acc[j] += aval * wrow[j];
+        }
+      }
+      for (int j = 0; j < OUT_C; ++j) dst[j] = acc[j];
+    } else {
+      if (2 * nnz >= in) {
+        for (std::size_t k = 0; k < in; ++k) {
+          const float aval = src[k];
+          const float* __restrict__ wrow = wr + k * out;
+          for (std::size_t j = 0; j < out; ++j) dst[j] += aval * wrow[j];
+        }
+      } else {
+        for (std::size_t k = 0; k < in; ++k) {
+          const float aval = src[k];
+          if (aval == 0.0f) continue;
+          const float* __restrict__ wrow = wr + k * out;
+          for (std::size_t j = 0; j < out; ++j) dst[j] += aval * wrow[j];
+        }
+      }
+    }
+  }
+
+  // Both attention dots in one pass over g (independent accumulators, so
+  // each dot's own FP order is unchanged).
+  for (std::size_t i = 0; i < na; ++i) {
+    const float* __restrict__ g_row = gp + (row_off + i) * out;
+    double acc_src = 0.0;
+    double acc_dst = 0.0;
+    for (std::size_t j = 0; j < out; ++j) {
+      acc_src += static_cast<double>(g_row[j]) * asrc[j];
+      acc_dst += static_cast<double>(g_row[j]) * adst[j];
+    }
+    ss[row_off + i] = static_cast<float>(acc_src);
+    sd[row_off + i] = static_cast<float>(acc_dst);
+  }
+
+  for (std::size_t group = 0; group < rel.num_groups(); ++group) {
+    const std::size_t lo = rel.group_offsets[group];
+    const std::size_t hi = rel.group_offsets[group + 1];
+    const std::uint32_t v_local = rel.group_dst[group];
+    const std::uint32_t v_global = nodes[v_local];
+
+    const float sd_v = sd[row_off + v_local];
+    float max_logit = -1e30f;
+    for (std::size_t e = lo; e < hi; ++e) {
+      rawp[e] = ss[row_off + src_local[e]] + sd_v;
+      const float logit = leaky_relu(rawp[e], slope);
+      // Stash the rectified logit so the exp pass below reads it back
+      // instead of recomputing LeakyReLU (same value, same FP ops).
+      alphap[e] = logit;
+      if (logit > max_logit) max_logit = logit;
+    }
+    double denom = 0.0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      alphap[e] = std::exp(alphap[e] - max_logit);
+      denom += alphap[e];
+    }
+    float* __restrict__ out_row = prep + v_global * out;
+    if constexpr (OUT_C > 0) {
+      float acc[OUT_C];
+      for (int j = 0; j < OUT_C; ++j) acc[j] = out_row[j];
+      for (std::size_t e = lo; e < hi; ++e) {
+        alphap[e] = static_cast<float>(alphap[e] / denom);
+        const float scale = alphap[e] * gates[e];
+        const float* __restrict__ g_row = gp + (row_off + src_local[e]) * OUT_C;
+        for (int j = 0; j < OUT_C; ++j) acc[j] += scale * g_row[j];
+      }
+      for (int j = 0; j < OUT_C; ++j) out_row[j] = acc[j];
+    } else {
+      for (std::size_t e = lo; e < hi; ++e) {
+        alphap[e] = static_cast<float>(alphap[e] / denom);
+        const float scale = alphap[e] * gates[e];
+        const float* __restrict__ g_row = gp + (row_off + src_local[e]) * out;
+        for (std::size_t j = 0; j < out; ++j) out_row[j] += scale * g_row[j];
+      }
+    }
   }
 }
 
@@ -81,73 +204,46 @@ const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
 
   tensor::Matrix& pre = *cache.pre;
   tensor::matmul_into(pre, x, w_self_);
-  for (std::size_t i = 0; i < pre.rows(); ++i) {
-    auto row = pre.row_span(i);
-    auto bias = b_.row_span(0);
-    for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
+  {
+    float* __restrict__ p = pre.data().data();
+    const float* __restrict__ bias = b_.data().data();
+    for (std::size_t i = 0; i < pre.rows(); ++i)
+      for (std::size_t j = 0; j < out_; ++j) p[i * out_ + j] += bias[j];
   }
 
   tensor::Matrix& s_src = ws.acquire_uninit(1, total_active);
   tensor::Matrix& s_dst = ws.acquire_uninit(1, total_active);
-  auto raw = total_edges > 0 ? cache.raw->row_span(0) : std::span<float>{};
-  auto alpha = total_edges > 0 ? cache.alpha->row_span(0) : std::span<float>{};
+
+  const float* xp = x.data().data();
+  float* gp = cache.g->data().data();
+  float* prep = pre.data().data();
+  float* ss = s_src.data().data();
+  float* sd = s_dst.data().data();
+  float* rawp = cache.raw->data().data();
+  float* alphap = cache.alpha->data().data();
 
   std::size_t edge_off = 0;
   std::size_t row_off = 0;
   for (std::size_t r = 0; r < num_relations_; ++r) {
     const RelationEdges& rel = graph.relations[r];
     if (rel.empty()) continue;
-    const std::size_t na = rel.num_active_nodes();
-
-    // Project only the rows this relation touches, straight into the
-    // relation's block of the concatenated cache (fused gather + matmul).
-    for (std::size_t i = 0; i < na; ++i) {
-      auto src = x.row_span(rel.nodes[i]);
-      auto dst = cache.g->row_span(row_off + i);
-      for (std::size_t k = 0; k < in_; ++k) {
-        const float aval = src[k];
-        if (aval == 0.0f) continue;
-        auto wrow = w_rel_[r].row_span(k);
-        for (std::size_t j = 0; j < out_; ++j) dst[j] += aval * wrow[j];
-      }
+    const float* wr = w_rel_[r].data().data();
+    const float* asrc = a_src_[r].data().data();
+    const float* adst = a_dst_[r].data().data();
+    auto run = [&]<int OUT_C>() {
+      relation_forward<OUT_C>(rel, xp, in_, out_, wr, asrc, adst, leaky_slope_,
+                              gp, ss, sd, rawp + edge_off, alphap + edge_off,
+                              prep, row_off);
+    };
+    switch (out_) {
+      case 8: run.template operator()<8>(); break;
+      case 16: run.template operator()<16>(); break;
+      case 24: run.template operator()<24>(); break;
+      case 32: run.template operator()<32>(); break;
+      default: run.template operator()<0>(); break;
     }
-
-    auto ss = s_src.row_span(0);
-    auto sd = s_dst.row_span(0);
-    for (std::size_t i = 0; i < na; ++i) {
-      ss[row_off + i] = dot(cache.g->row_span(row_off + i), a_src_[r].row_span(0));
-      sd[row_off + i] = dot(cache.g->row_span(row_off + i), a_dst_[r].row_span(0));
-    }
-
-    for (std::size_t group = 0; group < rel.num_groups(); ++group) {
-      const std::size_t lo = rel.group_offsets[group];
-      const std::size_t hi = rel.group_offsets[group + 1];
-      const std::uint32_t v_local = rel.group_dst[group];
-      const std::uint32_t v_global = rel.nodes[v_local];
-
-      float max_logit = -1e30f;
-      for (std::size_t e = lo; e < hi; ++e) {
-        raw[edge_off + e] = ss[row_off + rel.edges[e].src_local] + sd[row_off + v_local];
-        const float logit = leaky_relu(raw[edge_off + e], leaky_slope_);
-        if (logit > max_logit) max_logit = logit;
-      }
-      double denom = 0.0;
-      for (std::size_t e = lo; e < hi; ++e) {
-        alpha[edge_off + e] =
-            std::exp(leaky_relu(raw[edge_off + e], leaky_slope_) - max_logit);
-        denom += alpha[edge_off + e];
-      }
-      auto out_row = pre.row_span(v_global);
-      for (std::size_t e = lo; e < hi; ++e) {
-        alpha[edge_off + e] = static_cast<float>(alpha[edge_off + e] / denom);
-        const float scale = alpha[edge_off + e] * rel.edges[e].gate;
-        auto g_row = cache.g->row_span(row_off + rel.edges[e].src_local);
-        for (std::size_t j = 0; j < out_; ++j) out_row[j] += scale * g_row[j];
-      }
-    }
-
-    edge_off += rel.edges.size();
-    row_off += na;
+    edge_off += rel.num_edges();
+    row_off += rel.num_active_nodes();
   }
 
   if (!apply_relu_) return pre;
@@ -202,6 +298,8 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
     auto ds_src = ds_src_m.row_span(0);
     auto ds_dst = ds_dst_m.row_span(0);
     auto dscore = dscore_m.row_span(0);
+    const std::uint32_t* src_local = rel.src_local.data();
+    const float* gates = rel.gate.data();
 
     for (std::size_t group = 0; group < rel.num_groups(); ++group) {
       const std::size_t lo = rel.group_offsets[group];
@@ -214,23 +312,26 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
       // group; message-path gradient back to g_src.
       double weighted_sum = 0.0;  // sum_e alpha_e * dscore_e
       for (std::size_t e = lo; e < hi; ++e) {
-        const RelEdge& edge = rel.edges[e];
-        dscore[edge_off + e] =
-            edge.gate * dot(dpre_row, cache.g->row_span(row_off + edge.src_local));
+        const std::uint32_t src = src_local[e];
+        const float* __restrict__ g_row =
+            cache.g->data().data() + (row_off + src) * out_;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < out_; ++j)
+          acc += static_cast<double>(dpre_row[j]) * g_row[j];
+        dscore[edge_off + e] = gates[e] * static_cast<float>(acc);
         weighted_sum +=
             static_cast<double>(alpha[edge_off + e]) * dscore[edge_off + e];
-        const float scale = alpha[edge_off + e] * edge.gate;
-        auto dg_row = dg.row_span(row_off + edge.src_local);
+        const float scale = alpha[edge_off + e] * gates[e];
+        auto dg_row = dg.row_span(row_off + src);
         for (std::size_t j = 0; j < out_; ++j) dg_row[j] += scale * dpre_row[j];
       }
       for (std::size_t e = lo; e < hi; ++e) {
-        const RelEdge& edge = rel.edges[e];
         const float dlogit =
             alpha[edge_off + e] *
             (dscore[edge_off + e] - static_cast<float>(weighted_sum));
         const float draw =
             dlogit * leaky_relu_grad(raw[edge_off + e], leaky_slope_);
-        ds_src[row_off + edge.src_local] += draw;
+        ds_src[row_off + src_local[e]] += draw;
         ds_dst[row_off + v_local] += draw;
       }
     }
@@ -284,7 +385,7 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
       }
     }
 
-    edge_off += rel.edges.size();
+    edge_off += rel.num_edges();
     row_off += na;
   }
   return dx;

@@ -18,6 +18,11 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return (end == nullptr || *end != '\0') ? fallback : parsed;
 }
 
+std::int64_t env_thread_count() {
+  const std::int64_t threads = env_int("PARAGRAPH_THREADS", 0);
+  return threads > 0 ? threads : 0;
+}
+
 RunScale run_scale_from_env() {
   const std::string raw = env_string("PARAGRAPH_SCALE", "default");
   if (raw == "smoke") return RunScale::kSmoke;

@@ -37,6 +37,12 @@ std::span<const float> Matrix::row_span(std::size_t r) const {
 
 void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);  // vector keeps capacity: grow-only allocation
+}
+
 Matrix& Matrix::add_(const Matrix& other) {
   check(same_shape(other), "add_: shape mismatch");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
@@ -84,29 +90,82 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+namespace {
+
+/// i-k-j matmul body. N_C > 0 is a compile-time row width of B/C — the
+/// per-row accumulators then live in registers across the k loop instead of
+/// being stored and reloaded every iteration; N_C == 0 reads the width from
+/// `n_rt`. Sparse A rows (one-hot features) take the zero-skip loop; dense
+/// rows take the branchless one — a data-dependent skip on ReLU activations
+/// mispredicts per element and costs more than the multiplies it saves.
+/// Every variant performs identical FP operations in identical order.
+template <int N_C>
+void matmul_rows(const float* pa, const float* pb, float* pc, std::size_t m,
+                 std::size_t k, std::size_t n_rt, bool parallel) {
+  const std::size_t n = N_C > 0 ? static_cast<std::size_t>(N_C) : n_rt;
+#pragma omp parallel for if (parallel) schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    float* __restrict__ crow = pc + i * n;
+    const float* __restrict__ arow = pa + i * k;
+    std::size_t nnz = 0;
+    for (std::size_t kk = 0; kk < k; ++kk) nnz += (arow[kk] != 0.0f);
+    if constexpr (N_C > 0) {
+      float acc[N_C];
+      for (int j = 0; j < N_C; ++j) acc[j] = 0.0f;
+      if (2 * nnz >= k) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aval = arow[kk];
+          const float* __restrict__ brow = pb + kk * N_C;
+          for (int j = 0; j < N_C; ++j) acc[j] += aval * brow[j];
+        }
+      } else {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aval = arow[kk];
+          if (aval == 0.0f) continue;
+          const float* __restrict__ brow = pb + kk * N_C;
+          for (int j = 0; j < N_C; ++j) acc[j] += aval * brow[j];
+        }
+      }
+      for (int j = 0; j < N_C; ++j) crow[j] = acc[j];
+    } else {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+      if (2 * nnz >= k) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aval = arow[kk];
+          const float* __restrict__ brow = pb + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      } else {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const float aval = arow[kk];
+          if (aval == 0.0f) continue;
+          const float* __restrict__ brow = pb + kk * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   check(a.cols() == b.rows(), "matmul: inner dimensions differ");
   check(c.rows() == a.rows() && c.cols() == b.cols(),
         "matmul_into: destination shape mismatch");
-  c.zero();
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-
-  // i-k-j: the inner loop is a contiguous saxpy over C's row.
   const bool parallel = m * k * n > (1u << 20);
-#pragma omp parallel for if (parallel) schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* crow = pc + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aval = pa[i * k + kk];
-      if (aval == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
+  switch (n) {
+    case 8: matmul_rows<8>(pa, pb, pc, m, k, n, parallel); break;
+    case 16: matmul_rows<16>(pa, pb, pc, m, k, n, parallel); break;
+    case 24: matmul_rows<24>(pa, pb, pc, m, k, n, parallel); break;
+    case 32: matmul_rows<32>(pa, pb, pc, m, k, n, parallel); break;
+    default: matmul_rows<0>(pa, pb, pc, m, k, n, parallel); break;
   }
 }
 
@@ -123,17 +182,17 @@ void matmul_transpose_a_acc(Matrix& c, const Matrix& a, const Matrix& b) {
   const std::size_t m = a.cols();
   const std::size_t k = a.rows();
   const std::size_t n = b.cols();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+  const float* __restrict__ pa = a.data().data();
+  const float* __restrict__ pb = b.data().data();
+  float* __restrict__ pc = c.data().data();
   // C[i,j] = sum_kk A[kk,i] * B[kk,j]; iterate kk outer for contiguity.
   for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
+    const float* __restrict__ arow = pa + kk * m;
+    const float* __restrict__ brow = pb + kk * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float aval = arow[i];
       if (aval == 0.0f) continue;
-      float* crow = pc + i * n;
+      float* __restrict__ crow = pc + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
     }
   }
@@ -152,14 +211,14 @@ void matmul_transpose_b_into(Matrix& c, const Matrix& a, const Matrix& b) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
+  const float* __restrict__ pa = a.data().data();
+  const float* __restrict__ pb = b.data().data();
+  float* __restrict__ pc = c.data().data();
   for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
+    const float* __restrict__ arow = pa + i * k;
+    float* __restrict__ crow = pc + i * n;
     for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
+      const float* __restrict__ brow = pb + j * k;
       double acc = 0.0;
       for (std::size_t kk = 0; kk < k; ++kk) acc += static_cast<double>(arow[kk]) * brow[kk];
       crow[j] = static_cast<float>(acc);
@@ -201,10 +260,12 @@ Matrix column_sums(const Matrix& a) {
 void column_sums_acc(Matrix& out, const Matrix& a) {
   check(out.rows() == 1 && out.cols() == a.cols(),
         "column_sums_acc: destination shape mismatch");
-  auto sums = out.row_span(0);
+  float* __restrict__ sums = out.data().data();
+  const float* __restrict__ pa = a.data().data();
+  const std::size_t cols = a.cols();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    auto row = a.row_span(i);
-    for (std::size_t j = 0; j < a.cols(); ++j) sums[j] += row[j];
+    const float* __restrict__ row = pa + i * cols;
+    for (std::size_t j = 0; j < cols; ++j) sums[j] += row[j];
   }
 }
 
@@ -219,6 +280,29 @@ void row_mean_into(Matrix& out, const Matrix& a) {
   out.zero();
   column_sums_acc(out, a);
   out.scale_(1.0f / static_cast<float>(a.rows()));
+}
+
+void segment_row_mean_into(Matrix& out, const Matrix& a,
+                           std::span<const std::uint32_t> offsets) {
+  check(offsets.size() >= 1 && out.rows() == offsets.size() - 1 &&
+            out.cols() == a.cols(),
+        "segment_row_mean_into: destination shape mismatch");
+  check(offsets.empty() || offsets.back() == a.rows(),
+        "segment_row_mean_into: offsets do not span the rows");
+  const std::size_t cols = a.cols();
+  for (std::size_t b = 0; b + 1 < offsets.size(); ++b) {
+    const std::size_t lo = offsets[b];
+    const std::size_t hi = offsets[b + 1];
+    check(lo < hi, "segment_row_mean_into: empty segment");
+    auto sums = out.row_span(b);
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = a.row_span(i);
+      for (std::size_t j = 0; j < cols; ++j) sums[j] += row[j];
+    }
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    for (std::size_t j = 0; j < cols; ++j) sums[j] *= inv;
+  }
 }
 
 }  // namespace pg::tensor

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,11 @@ class Matrix {
 
   void fill(float v);
   void zero() { fill(0.0f); }
+
+  /// Re-shapes in place; contents are unspecified afterwards. Grow-only in
+  /// capacity terms: shrinking or re-using a previously seen size performs
+  /// no allocation (the GraphBatch packer's steady-state contract).
+  void reshape(std::size_t rows, std::size_t cols);
 
   // In-place elementwise updates.
   Matrix& add_(const Matrix& other);
@@ -79,6 +85,13 @@ void matmul_transpose_a_acc(Matrix& c, const Matrix& a, const Matrix& b);
 void matmul_transpose_b_into(Matrix& c, const Matrix& a, const Matrix& b);
 void column_sums_acc(Matrix& out, const Matrix& a);
 void row_mean_into(Matrix& out, const Matrix& a);
+/// Per-segment mean over rows: out.row(b) = mean of a rows
+/// [offsets[b], offsets[b+1]). out is [offsets.size()-1 x a.cols()]. Each
+/// segment's sum/scale follows exactly row_mean_into's operation order, so a
+/// one-segment call is bitwise-identical to row_mean_into — the invariant
+/// the fused GraphBatch read-out relies on. Segments must be non-empty.
+void segment_row_mean_into(Matrix& out, const Matrix& a,
+                           std::span<const std::uint32_t> offsets);
 
 Matrix transpose(const Matrix& a);
 Matrix add(const Matrix& a, const Matrix& b);

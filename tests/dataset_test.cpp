@@ -265,8 +265,8 @@ TEST(SampleBuilder, ChildWeightScaleIsGlobalMax) {
   EXPECT_GT(set.child_weight_scale, 1.0);
   // No training-gate exceeds 1 by construction.
   for (const auto& s : set.train)
-    for (const auto& e : s.graph.relations.relations[0].edges)
-      EXPECT_LE(e.gate, 1.0f);
+    for (const float gate : s.graph.relations.relations[0].gate)
+      EXPECT_LE(gate, 1.0f);
 }
 
 TEST(SampleBuilder, RepresentationControlsRelations) {

@@ -1,8 +1,11 @@
-// Tests for the batched InferenceEngine: exact (bitwise) agreement between
-// predict_batch, predict_one, and the model's own predict; span validation;
-// warm-pool steady state; and the microsecond-domain sample path against
-// predict_all.
+// Tests for the batched InferenceEngine and the fused GraphBatch path:
+// exact (bitwise) agreement between the fused block-diagonal forward,
+// predict_one, and the model's own predict; span validation; warm-pool
+// steady state; the microsecond-domain sample path against predict_all;
+// and thread-count-independent training.
 #include <gtest/gtest.h>
+
+#include <omp.h>
 
 #include <array>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "graph/builder.hpp"
 #include "model/encoding.hpp"
 #include "model/engine.hpp"
+#include "model/graph_batch.hpp"
 #include "model/trainer.hpp"
 #include "support/check.hpp"
 
@@ -101,6 +105,118 @@ TEST(InferenceEngine, SpanLengthMismatchThrows) {
   auto [graphs, aux] = make_batch(3);
   std::vector<double> bad(2);
   EXPECT_THROW(engine.predict_batch(graphs, aux, bad), InternalError);
+}
+
+TEST(GraphBatch, FusedForwardIsBitwiseEqualToPerGraphPredict) {
+  // The tentpole invariant: packing B graphs block-diagonally and running
+  // ONE fused forward yields bit-for-bit the predictions of B independent
+  // forwards.
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 11});
+  auto [graphs, aux] = make_batch(5);
+
+  GraphBatch batch;
+  batch.pack(graphs);
+  ASSERT_EQ(batch.size(), graphs.size());
+  tensor::Matrix aux_m(graphs.size(), 2);
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    aux_m(i, 0) = aux[i][0];
+    aux_m(i, 1) = aux[i][1];
+  }
+  std::vector<double> fused(graphs.size());
+  tensor::Workspace ws;
+  m.predict_batch(batch, aux_m, fused, ws);
+
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    EXPECT_EQ(fused[i], m.predict(graphs[i], aux[i])) << i;
+}
+
+TEST(GraphBatch, BlockDiagonalPackingIsExact) {
+  auto [graphs, aux] = make_batch(3);
+  (void)aux;
+  GraphBatch batch;
+  batch.pack(graphs);
+
+  // Node offsets partition the concatenated id space.
+  const auto offsets = batch.node_offsets();
+  ASSERT_EQ(offsets.size(), 4u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[3], batch.features().rows());
+  EXPECT_EQ(batch.relations().num_nodes, batch.features().rows());
+
+  // Every relation is the per-graph relations concatenated with offsets:
+  // expanding the packed CSR must reproduce each graph's triples shifted
+  // into its node block.
+  for (std::size_t r = 0; r < batch.relations().relations.size(); ++r) {
+    std::vector<nn::RelEdge> expected;
+    for (std::size_t b = 0; b < graphs.size(); ++b)
+      for (nn::RelEdge e : graphs[b].relations.relations[r].to_edges()) {
+        e.src += offsets[b];
+        e.dst += offsets[b];
+        expected.push_back(e);
+      }
+    EXPECT_EQ(batch.relations().relations[r].to_edges(), expected) << "rel " << r;
+  }
+
+  // Repacking reuses capacity: no shape drift.
+  batch.pack(graphs);
+  EXPECT_EQ(batch.size(), graphs.size());
+  EXPECT_EQ(batch.node_offsets()[3], offsets[3]);
+}
+
+TEST(InferenceEngine, MultiChunkBatchMatchesPredictOneBitwise) {
+  // More graphs than one fuse chunk (64): exercises the chunked fan-out and
+  // its boundary handling.
+  ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 13});
+  InferenceEngine engine(m);
+  auto [graphs, aux] = make_batch(67);
+  std::vector<double> batched(graphs.size());
+  engine.predict_batch(graphs, aux, batched);
+
+  InferenceEngine sequential(m);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    EXPECT_EQ(batched[i], sequential.predict_one(graphs[i], aux[i])) << i;
+}
+
+TEST(Trainer, TrainingIsIndependentOfThreadCount) {
+  // The fixed-chunk fused gradient accumulation must make train_model
+  // bitwise-reproducible whatever OpenMP does: same history, same final
+  // validation predictions for 1 thread and for several.
+  SampleSet set;
+  set.target_scaler.fit_bounds(0.0, 1000.0);
+  set.teams_scaler.fit_bounds(1.0, 2.0);
+  set.threads_scaler.fit_bounds(1.0, 2.0);
+  const auto g = small_graph();
+  for (std::size_t i = 0; i < 10; ++i) {
+    TrainingSample s;
+    const double t = static_cast<double>(i) / 10.0;
+    s.graph = encode_graph(g, 40.0 + 400.0 * t);
+    s.aux = {static_cast<float>(t), static_cast<float>(1.0 - t)};
+    s.runtime_us = 100.0 + 800.0 * t;
+    s.target_scaled = set.target_scaler.transform(s.runtime_us);
+    (i % 3 == 0 ? set.validation : set.train).push_back(std::move(s));
+  }
+  TrainConfig config;
+  config.epochs = 3;
+  config.batch_size = 4;
+
+  const int saved_threads = omp_get_max_threads();
+  auto run = [&](int threads) {
+    omp_set_num_threads(threads);
+    ParaGraphModel m(ModelConfig{.hidden_dim = 8, .seed = 21});
+    return train_model(m, set, config);
+  };
+  const TrainResult one = run(1);
+  const TrainResult three = run(3);
+  omp_set_num_threads(saved_threads);
+
+  ASSERT_EQ(one.history.size(), three.history.size());
+  for (std::size_t e = 0; e < one.history.size(); ++e) {
+    EXPECT_EQ(one.history[e].train_mse_scaled, three.history[e].train_mse_scaled)
+        << "epoch " << e;
+    EXPECT_EQ(one.history[e].val_rmse_us, three.history[e].val_rmse_us)
+        << "epoch " << e;
+  }
+  EXPECT_EQ(one.val_predictions_us, three.val_predictions_us);
 }
 
 TEST(InferenceEngine, PredictSamplesUsMatchesPredictAll) {

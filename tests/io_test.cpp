@@ -404,18 +404,40 @@ TEST(IoReject, DatasetCorruptRecordMarker) {
 TEST(IoReject, SampleRelationCorruptLocalIndex) {
   // Flip a relation-edge local index deep inside a .psample and verify the
   // validator refuses it (otherwise it would index out of bounds inside the
-  // RGAT gather). The relations section is last; corrupt a byte inside its
-  // payload that belongs to an edge's dst_local field.
+  // RGAT gather). The CSR in-memory form cannot even represent this
+  // corruption (dst_local is re-derived from group_dst on write), so patch
+  // the on-disk bytes: walk header + section table to the relations section
+  // and poison the first edge record's dst_local field.
   const model::TrainingSample sample =
       io::read_sample_file(golden_path("matvec_cpu.psample"));
-  model::TrainingSample corrupt = sample;
-  // Poison in-memory, re-serialise, and confirm the reader rejects it.
-  auto& rel = corrupt.graph.relations.relations[0];
-  ASSERT_FALSE(rel.edges.empty());
-  rel.edges[0].dst_local = 0xffffff;
-  std::ostringstream os(std::ios::binary);
-  io::write_sample(os, corrupt);
-  std::istringstream is(os.str(), std::ios::binary);
+  ASSERT_FALSE(sample.graph.relations.relations[0].empty());
+  Bytes bytes = slurp(golden_path("matvec_cpu.psample"));
+
+  auto u64_at = [&bytes](std::size_t off) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes[off + i]))
+           << (8 * i);
+    return v;
+  };
+  // Header: magic(8) version(2) kind(2) schema(8) section-count(4) = 24,
+  // then 3 section-table entries of u32 id + u64 size. Sections follow in
+  // table order: meta, features, relations.
+  const std::size_t meta_size = u64_at(24 + 4);
+  const std::size_t features_size = u64_at(24 + 12 + 4);
+  const std::size_t relations_start = 24 + 3 * 12 + meta_size + features_size;
+  // Relations payload: u64 num_nodes, u32 num_relations, u64 edge count,
+  // then 20-byte edge records (src, dst, src_local, dst_local, gate); the
+  // first edge's dst_local sits 12 bytes into its record.
+  const std::size_t dst_local_off = relations_start + 8 + 4 + 8 + 12;
+  ASSERT_LT(dst_local_off + 4, bytes.size());
+  bytes[dst_local_off] = '\xff';
+  bytes[dst_local_off + 1] = '\xff';
+  bytes[dst_local_off + 2] = '\xff';
+  bytes[dst_local_off + 3] = '\x00';
+
+  std::istringstream is(bytes, std::ios::binary);
   EXPECT_THROW(io::read_sample(is), io::FormatError);
 }
 

@@ -74,9 +74,9 @@ TEST(Encoding, ChildGatesAreScaledWeights) {
   const auto& child = enc.relations.relations[0];
   float max_gate = 0.0f;
   float min_gate = 2.0f;
-  for (const auto& e : child.edges) {
-    max_gate = std::max(max_gate, e.gate);
-    min_gate = std::min(min_gate, e.gate);
+  for (const float gate : child.gate) {
+    max_gate = std::max(max_gate, gate);
+    min_gate = std::min(min_gate, gate);
   }
   EXPECT_FLOAT_EQ(max_gate, 1.0f);           // the loop-body edges
   EXPECT_NEAR(min_gate, 1.0f / 40.0f, 1e-6); // weight-1 edges
@@ -85,22 +85,22 @@ TEST(Encoding, ChildGatesAreScaledWeights) {
 TEST(Encoding, NonChildGatesAreOne) {
   const auto enc = encode_graph(small_graph(), 40.0);
   for (std::size_t r = 1; r < enc.relations.relations.size(); ++r)
-    for (const auto& e : enc.relations.relations[r].edges)
-      EXPECT_FLOAT_EQ(e.gate, 1.0f);
+    for (const float gate : enc.relations.relations[r].gate)
+      EXPECT_FLOAT_EQ(gate, 1.0f);
 }
 
 TEST(Encoding, GatesClampToOne) {
   // Scale smaller than the max weight: gates clamp at 1.
   const auto enc = encode_graph(small_graph(), 10.0);
-  for (const auto& e : enc.relations.relations[0].edges)
-    EXPECT_LE(e.gate, 1.0f);
+  for (const float gate : enc.relations.relations[0].gate)
+    EXPECT_LE(gate, 1.0f);
 }
 
 TEST(Encoding, RawAstEncodingHasUnitGates) {
   const auto enc =
       encode_graph(small_graph(graph::Representation::kRawAst), 1.0);
-  for (const auto& e : enc.relations.relations[0].edges)
-    EXPECT_FLOAT_EQ(e.gate, 1.0f);
+  for (const float gate : enc.relations.relations[0].gate)
+    EXPECT_FLOAT_EQ(gate, 1.0f);
   // No other relations.
   for (std::size_t r = 1; r < enc.relations.relations.size(); ++r)
     EXPECT_TRUE(enc.relations.relations[r].empty());

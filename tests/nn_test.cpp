@@ -3,7 +3,9 @@
 // (Gradient correctness is covered separately in gradcheck_test.cpp.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "nn/activation.hpp"
 #include "nn/adam.hpp"
@@ -250,32 +252,113 @@ TEST(MseLoss, ValueAndGradient) {
 // ---------------------------------------------------- relational graph ---
 
 TEST(RelationEdges, GroupsByDestination) {
-  std::vector<RelEdge> edges = {{0, 2, 0, 0, 1.0f},
-                                {1, 2, 0, 0, 1.0f},
-                                {0, 1, 0, 0, 1.0f}};
+  std::vector<RelEdge> edges = {{0, 2, 1.0f}, {1, 2, 1.0f}, {0, 1, 1.0f}};
   const RelationEdges rel = RelationEdges::from_edges(edges);
   ASSERT_EQ(rel.num_groups(), 2u);
-  EXPECT_EQ(rel.edges.size(), 3u);
+  EXPECT_EQ(rel.num_edges(), 3u);
   // Groups sorted by local dst; nodes = {0,1,2}.
   ASSERT_EQ(rel.nodes.size(), 3u);
   EXPECT_EQ(rel.group_offsets.front(), 0u);
   EXPECT_EQ(rel.group_offsets.back(), 3u);
+  // SoA arrays are parallel over the edge slots.
+  EXPECT_EQ(rel.src_local.size(), rel.gate.size());
 }
 
 TEST(RelationEdges, LocalIndicesMapBackToGlobals) {
-  std::vector<RelEdge> edges = {{10, 20, 0, 0, 1.0f}, {30, 20, 0, 0, 1.0f}};
+  std::vector<RelEdge> edges = {{10, 20, 1.0f}, {30, 20, 1.0f}};
   const RelationEdges rel = RelationEdges::from_edges(edges);
   ASSERT_EQ(rel.nodes.size(), 3u);
-  for (const RelEdge& e : rel.edges) {
-    EXPECT_EQ(rel.nodes[e.src_local], e.src);
-    EXPECT_EQ(rel.nodes[e.dst_local], e.dst);
-  }
+  const std::vector<RelEdge> back = rel.to_edges();
+  ASSERT_EQ(back.size(), 2u);
+  // Both edges target 20; sources are 10 and 30 in input order.
+  EXPECT_EQ(back[0], (RelEdge{10, 20, 1.0f}));
+  EXPECT_EQ(back[1], (RelEdge{30, 20, 1.0f}));
 }
 
 TEST(RelationEdges, EmptyRelation) {
   const RelationEdges rel = RelationEdges::from_edges({});
   EXPECT_TRUE(rel.empty());
   EXPECT_EQ(rel.num_groups(), 0u);
+  EXPECT_EQ(rel.num_active_nodes(), 0u);
+  ASSERT_EQ(rel.group_offsets.size(), 1u);  // CSR sentinel survives empties
+  EXPECT_EQ(rel.group_offsets[0], 0u);
+  EXPECT_TRUE(rel.to_edges().empty());
+}
+
+TEST(RelationEdges, DuplicateParallelEdgesKeepDistinctSlots) {
+  // Two identical edges plus a differently-gated parallel edge: all three
+  // must survive as separate slots in the same destination group.
+  std::vector<RelEdge> edges = {{0, 1, 0.25f}, {0, 1, 0.25f}, {0, 1, 0.75f}};
+  const RelationEdges rel = RelationEdges::from_edges(edges);
+  EXPECT_EQ(rel.num_edges(), 3u);
+  ASSERT_EQ(rel.num_groups(), 1u);
+  EXPECT_EQ(rel.group_offsets[1] - rel.group_offsets[0], 3u);
+  // Stable grouping preserves input order within the group.
+  EXPECT_FLOAT_EQ(rel.gate[0], 0.25f);
+  EXPECT_FLOAT_EQ(rel.gate[1], 0.25f);
+  EXPECT_FLOAT_EQ(rel.gate[2], 0.75f);
+  EXPECT_EQ(rel.to_edges(), edges);
+}
+
+TEST(RelationEdges, SelfLoop) {
+  const RelationEdges rel = RelationEdges::from_edges({{5, 5, 0.5f}});
+  EXPECT_EQ(rel.num_edges(), 1u);
+  ASSERT_EQ(rel.num_active_nodes(), 1u);  // src == dst collapses to one node
+  EXPECT_EQ(rel.nodes[0], 5u);
+  ASSERT_EQ(rel.num_groups(), 1u);
+  EXPECT_EQ(rel.src_local[0], 0u);
+  EXPECT_EQ(rel.group_dst[0], 0u);
+  EXPECT_EQ(rel.to_edges(), (std::vector<RelEdge>{{5, 5, 0.5f}}));
+}
+
+TEST(RelationEdges, SingleNodeGraph) {
+  // A one-node graph can only carry a self-loop; the degenerate CSR still
+  // holds every invariant the RGAT kernels index by.
+  const RelationEdges rel = RelationEdges::from_edges({{0, 0, 1.0f}});
+  ASSERT_EQ(rel.nodes.size(), 1u);
+  EXPECT_EQ(rel.nodes[0], 0u);
+  ASSERT_EQ(rel.group_offsets.size(), 2u);
+  EXPECT_EQ(rel.group_offsets[0], 0u);
+  EXPECT_EQ(rel.group_offsets[1], 1u);
+}
+
+TEST(RelationEdges, CsrRoundTripsToGroupedFormOnRandomGraphs) {
+  // Property: expanding the CSR back to triples must reproduce the legacy
+  // grouped AoS form — the input triples stably sorted by local destination
+  // — for random multigraphs (duplicates and self-loops included).
+  pg::Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::int64_t n = rng.uniform_int(1, 12);
+    const std::int64_t m = rng.uniform_int(0, 30);
+    std::vector<RelEdge> edges;
+    for (std::int64_t e = 0; e < m; ++e)
+      edges.push_back({static_cast<std::uint32_t>(rng.uniform_int(0, n - 1)),
+                       static_cast<std::uint32_t>(rng.uniform_int(0, n - 1)),
+                       static_cast<float>(rng.uniform(0.0, 1.0))});
+
+    const RelationEdges rel = RelationEdges::from_edges(edges);
+
+    // Reference grouping: stable sort of the triples by destination (global
+    // dst order == local dst order, since the local numbering is sorted).
+    std::vector<RelEdge> expected = edges;
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const RelEdge& a, const RelEdge& b) {
+                       return a.dst < b.dst;
+                     });
+    EXPECT_EQ(rel.to_edges(), expected) << "trial " << trial;
+
+    // CSR invariants the conv kernels rely on.
+    ASSERT_EQ(rel.group_offsets.size(), rel.num_groups() + 1);
+    EXPECT_EQ(rel.group_offsets.back(), rel.num_edges());
+    for (std::size_t g = 0; g < rel.num_groups(); ++g) {
+      EXPECT_LT(rel.group_offsets[g], rel.group_offsets[g + 1]);
+      if (g > 0) {
+        EXPECT_GT(rel.group_dst[g], rel.group_dst[g - 1]);
+      }
+      EXPECT_LT(rel.group_dst[g], rel.nodes.size());
+    }
+    for (std::uint32_t s : rel.src_local) EXPECT_LT(s, rel.nodes.size());
+  }
 }
 
 // ----------------------------------------------------------------- rgat ---
@@ -286,7 +369,7 @@ RelationalGraph line_graph(std::size_t n, std::size_t relations) {
   std::vector<RelEdge> edges;
   for (std::size_t i = 0; i + 1 < n; ++i)
     edges.push_back({static_cast<std::uint32_t>(i),
-                     static_cast<std::uint32_t>(i + 1), 0, 0, 1.0f});
+                     static_cast<std::uint32_t>(i + 1), 1.0f});
   g.relations.push_back(RelationEdges::from_edges(edges));
   for (std::size_t r = 1; r < relations; ++r)
     g.relations.push_back(RelationEdges::from_edges({}));
@@ -339,7 +422,7 @@ TEST(RgatConv, AttentionIsNormalisedPerDestination) {
   RelationalGraph g;
   g.num_nodes = 3;
   g.relations.push_back(
-      RelationEdges::from_edges({{0, 2, 0, 0, 1.0f}, {1, 2, 0, 0, 1.0f}}));
+      RelationEdges::from_edges({{0, 2, 1.0f}, {1, 2, 1.0f}}));
   tensor::Matrix x(3, 3, 0.5f);
   tensor::Workspace ws;
   RgatConv::Cache cache;
@@ -357,7 +440,7 @@ TEST(RgatConv, GateScalesMessages) {
   auto out_with_gate = [&](float gate) -> tensor::Matrix {
     RelationalGraph g;
     g.num_nodes = 2;
-    g.relations.push_back(RelationEdges::from_edges({{0, 1, 0, 0, gate}}));
+    g.relations.push_back(RelationEdges::from_edges({{0, 1, gate}}));
     tensor::Workspace ws;
     RgatConv::Cache cache;
     return conv.forward(x, g, cache, ws);

@@ -13,6 +13,8 @@
 // Exit codes: 0 success, 1 runtime/input failure (bad file, parse error),
 // 2 usage error. All binary-format failures surface as io::FormatError with
 // a one-line message — never a crash.
+#include <omp.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -36,6 +38,7 @@
 #include "model/engine.hpp"
 #include "sim/platform.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace {
 
@@ -52,13 +55,18 @@ int usage() {
           scaler flags: --child-weight-scale S --target-bounds LO,HI
                         --teams-bounds LO,HI --threads-bounds LO,HI
                         [--log-target]
-  predict --checkpoint <ckpt> [--hidden N] [--out <file>]
+  predict --checkpoint <ckpt> [--hidden N] [--out <file>] [--threads N]
           [--log-target (override; normally read from the checkpoint)]
           <sample.psample>...
   dump    <file.pgraph|.psample|.pgds>
-  corpus  --out <dir> (--golden | [--platform power9|v100|epyc|mi50]
+  corpus  --out <dir> [--threads N]
+          (--golden | [--platform power9|v100|epyc|mi50]
           [--scale smoke|default|full] [--seed N]
           [--representation raw|augmented|paragraph] [--log-target])
+
+  predict/corpus worker threads: --threads N, else the PARAGRAPH_THREADS
+  environment variable, else the OpenMP default. (encode's --threads is the
+  kernel launch config, not a worker count.)
 )");
   return 2;
 }
@@ -242,8 +250,18 @@ int cmd_encode(const Args& args) {
 
 // --- predict --------------------------------------------------------------
 
+/// Resolves the worker-thread count for predict/corpus: --threads beats
+/// PARAGRAPH_THREADS beats the OpenMP default. Must run before any engine
+/// or generator is built (their per-thread pools size off the OpenMP max).
+void apply_thread_override(const Args& args) {
+  std::int64_t threads = args.int_option("--threads", 0);
+  if (threads <= 0) threads = env_thread_count();
+  if (threads > 0) omp_set_num_threads(static_cast<int>(threads));
+}
+
 int cmd_predict(const Args& args) {
   if (args.positional.empty()) return usage();
+  apply_thread_override(args);
 
   model::ModelConfig config;
   config.hidden_dim = static_cast<std::size_t>(args.int_option("--hidden", 24));
@@ -316,7 +334,7 @@ void dump_sample_summary(const model::TrainingSample& sample) {
                 std::string(graph::edge_type_name(
                                 static_cast<graph::EdgeType>(t)))
                     .c_str(),
-                sample.graph.relations.relations[t].edges.size());
+                sample.graph.relations.relations[t].num_edges());
 }
 
 int cmd_dump(const Args& args) {
@@ -496,6 +514,7 @@ int cmd_corpus_golden(const std::filesystem::path& dir) {
 
 int cmd_corpus(const Args& args) {
   const std::filesystem::path dir = args.required("--out");
+  apply_thread_override(args);
   if (args.has_flag("--golden")) return cmd_corpus_golden(dir);
 
   const std::string platform_name = args.option("--platform").value_or("v100");
