@@ -1,0 +1,226 @@
+// Per-kernel microbenchmarks for the SIMD dispatch layer: every dispatched
+// kernel timed under PARAGRAPH_SIMD=scalar and under the best level this
+// machine supports (median of 3 timed repetitions each), plus the
+// substrate-level numbers (warm single-graph predict, engine batch
+// throughput) under both levels. Emits BENCH_kernels.json (`--json <path>`
+// overrides) so the per-kernel scalar-vs-SIMD ratios are recorded across
+// PRs, not asserted. Plain main(): no google-benchmark dependency.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dataset/generator.hpp"
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "model/encoding.hpp"
+#include "model/engine.hpp"
+#include "model/paragraph_model.hpp"
+#include "support/rng.hpp"
+#include "tensor/init.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/workspace.hpp"
+
+namespace {
+
+using namespace pg;
+using tensor::Matrix;
+using tensor::simd::KernelTable;
+
+/// Mean ns/call over `iters` calls after one untimed warm-up.
+template <typename Fn>
+double mean_ns(std::size_t iters, Fn&& fn) {
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         static_cast<double>(iters);
+}
+
+/// Median of 3 repetitions of mean_ns.
+template <typename Fn>
+double median_ns(std::size_t iters, Fn&& fn) {
+  std::array<double, 3> runs = {mean_ns(iters, fn), mean_ns(iters, fn),
+                                mean_ns(iters, fn)};
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, pg::Rng& rng) {
+  Matrix m(rows, cols);
+  tensor::uniform_init(m, rng, -1.0f, 1.0f);
+  return m;
+}
+
+/// Adds <name>_ns_scalar / _ns_simd / _speedup (and optional GFLOP/s from
+/// `flops` per call) for one kernel invocation timed under both tables.
+template <typename Fn>
+void report_kernel(bench::JsonReport& report, const std::string& name,
+                   std::size_t iters, double flops, Fn&& run) {
+  const KernelTable& scalar =
+      tensor::simd::kernels_for(tensor::simd::SimdLevel::kScalar);
+  const KernelTable& best =
+      tensor::simd::kernels_for(tensor::simd::max_supported_level());
+  const double scalar_ns = median_ns(iters, [&] { run(scalar); });
+  const double simd_ns = median_ns(iters, [&] { run(best); });
+  report.add(name + "_ns_scalar", scalar_ns);
+  report.add(name + "_ns_simd", simd_ns);
+  report.add(name + "_speedup", scalar_ns / simd_ns);
+  if (flops > 0.0) {
+    report.add(name + "_gflops_scalar", flops / scalar_ns);
+    report.add(name + "_gflops_simd", flops / simd_ns);
+  }
+}
+
+const model::EncodedGraph& mm_encoded() {
+  static const model::EncodedGraph enc = [] {
+    const auto& suite = dataset::benchmark_suite();
+    std::string source;
+    for (const auto& spec : suite)
+      if (spec.kernel == "matmul")
+        source = dataset::instantiate_source(
+            spec, dataset::Variant::kGpuCollapseMem, spec.default_sizes[3],
+            256, 256);
+    const auto parsed = frontend::parse_source(source);
+    const auto g = graph::build_graph(parsed.root(), {});
+    return model::encode_graph(g, g.max_child_weight());
+  }();
+  return enc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  for (int a = 1; a + 1 < argc; ++a)
+    if (std::strcmp(argv[a], "--json") == 0) json_path = argv[a + 1];
+
+  pg::Rng rng(42);
+  bench::JsonReport report("micro_kernels");
+  report.add("simd_max_level",
+             tensor::simd::level_name(tensor::simd::max_supported_level()));
+
+  // matmul at the model's conv shape (99 nodes, feature 32 -> hidden 24)
+  // and at a square generic-width shape.
+  {
+    const Matrix a = random_matrix(99, 32, rng);
+    const Matrix b = random_matrix(32, 24, rng);
+    Matrix c(99, 24);
+    report_kernel(report, "matmul_99x32x24", 20000, 2.0 * 99 * 32 * 24,
+                  [&](const KernelTable& k) {
+                    k.matmul(a.data().data(), b.data().data(),
+                             c.data().data(), 99, 32, 24, false);
+                  });
+  }
+  {
+    const Matrix a = random_matrix(192, 192, rng);
+    const Matrix b = random_matrix(192, 192, rng);
+    Matrix c(192, 192);
+    report_kernel(report, "matmul_192cubed", 300, 2.0 * 192 * 192 * 192,
+                  [&](const KernelTable& k) {
+                    k.matmul(a.data().data(), b.data().data(),
+                             c.data().data(), 192, 192, 192, false);
+                  });
+  }
+  {
+    const Matrix a = random_matrix(99, 24, rng);
+    const Matrix b = random_matrix(99, 24, rng);
+    Matrix c(24, 24);
+    report_kernel(report, "matmul_t_a_acc_24", 20000, 2.0 * 99 * 24 * 24,
+                  [&](const KernelTable& k) {
+                    k.matmul_t_a_acc(a.data().data(), b.data().data(),
+                                     c.data().data(), 24, 99, 24);
+                  });
+  }
+  {
+    // 64 segments of 99 rows: the fused-batch read-out shape.
+    const Matrix a = random_matrix(64 * 99, 24, rng);
+    Matrix out(64, 24);
+    std::vector<std::uint32_t> offsets(65);
+    for (std::size_t s = 0; s < offsets.size(); ++s)
+      offsets[s] = static_cast<std::uint32_t>(99 * s);
+    report_kernel(report, "segment_row_mean_64x99x24", 5000,
+                  static_cast<double>(64 * 99 * 24),
+                  [&](const KernelTable& k) {
+                    k.segment_row_mean(out.data().data(), a.data().data(),
+                                       offsets.data(), 64, 24);
+                  });
+  }
+  {
+    const Matrix bias = random_matrix(1, 24, rng);
+    Matrix y = random_matrix(99, 24, rng);
+    report_kernel(report, "add_bias_rows_99x24", 50000,
+                  static_cast<double>(99 * 24), [&](const KernelTable& k) {
+                    k.add_bias_rows(y.data().data(), bias.data().data(), 99,
+                                    24);
+                  });
+  }
+  {
+    const Matrix x = random_matrix(1, 99 * 24, rng);
+    Matrix y(1, 99 * 24);
+    report_kernel(report, "relu_2376", 50000, 0.0, [&](const KernelTable& k) {
+      k.relu(y.data().data(), x.data().data(), 99 * 24);
+    });
+    report_kernel(report, "leaky_relu_grad_2376", 50000, 0.0,
+                  [&](const KernelTable& k) {
+                    k.leaky_relu_grad(y.data().data(), x.data().data(), 0.2f,
+                                      99 * 24);
+                  });
+  }
+  {
+    const std::size_t n = 24 * 24;
+    Matrix theta = random_matrix(1, n, rng);
+    const Matrix g = random_matrix(1, n, rng);
+    Matrix m(1, n), v(1, n);
+    tensor::simd::AdamStep step;
+    step.bias1 = 0.1;
+    step.bias2 = 0.001;
+    report_kernel(report, "adam_update_576", 20000, 0.0,
+                  [&](const KernelTable& k) {
+                    k.adam_update(theta.data().data(), g.data().data(),
+                                  m.data().data(), v.data().data(), n, step);
+                  });
+  }
+
+  // Substrate numbers under both levels: warm single-graph predict and the
+  // 256-graph engine batch (the BENCH_substrate.json methodology).
+  {
+    const auto& enc = mm_encoded();
+    model::ModelConfig config;
+    config.hidden_dim = 24;
+    model::ParaGraphModel m(config);
+    const std::array<float, 2> aux = {0.5f, 0.5f};
+    constexpr std::size_t kBatch = 256;
+    std::vector<model::EncodedGraph> graphs(kBatch, enc);
+    std::vector<std::array<float, 2>> batch_aux(kBatch, aux);
+    std::vector<double> out(kBatch);
+    volatile double sink = 0.0;
+
+    const auto saved = tensor::simd::active_level();
+    for (const auto& [level, suffix] :
+         {std::pair{tensor::simd::SimdLevel::kScalar, "_scalar"},
+          std::pair{tensor::simd::max_supported_level(), "_simd"}}) {
+      tensor::simd::set_active_level(level);
+      tensor::Workspace warm;
+      report.add(std::string("predict_warm_ns") + suffix,
+                 median_ns(2000, [&] { sink = sink + m.predict(enc, aux, warm); }));
+      model::InferenceEngine engine(m);
+      const double batch_ns =
+          median_ns(32, [&] { engine.predict_batch(graphs, batch_aux, out); });
+      report.add(std::string("engine_batch256_graphs_per_s") + suffix,
+                 1e9 * kBatch / batch_ns);
+    }
+    tensor::simd::set_active_level(saved);
+  }
+
+  report.write(json_path);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

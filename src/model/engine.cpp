@@ -1,5 +1,5 @@
 // InferenceEngine: per-thread GraphBatch/workspace state + chunk-fused
-// batch prediction. Each chunk of up to kFuseChunk graphs becomes one
+// batch prediction. Each chunk of up to fuse_chunk() graphs becomes one
 // block-diagonal batch and one fused model forward; chunks fan out across
 // OpenMP threads. Chunk boundaries adapt to the batch length and thread
 // count (bigger chunks amortise dispatch, more chunks feed more cores) —
@@ -12,14 +12,27 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace pg::model {
 namespace {
 
-/// Graphs fused per chunk: large enough to amortise per-call dispatch and
-/// packing, small enough to keep the per-thread workspace arena modest and
-/// to leave parallelism on the table for multi-core batch calls.
+/// Graphs fused per chunk when PARAGRAPH_CHUNK is unset: large enough to
+/// amortise per-call dispatch and packing, small enough to keep the
+/// per-thread workspace arena modest and to leave parallelism on the table
+/// for multi-core batch calls. The env override (validated and clamped by
+/// env_chunk_size) lets bench sweeps vary the fusion width without a
+/// recompile; the cut never affects values, only throughput.
 constexpr std::size_t kFuseChunk = 64;
+
+/// Cache-footprint cap: a fused chunk's intermediates grow with its total
+/// node-row count (~1.4 KB/node at hidden 24 across the conv stack), so
+/// chunks far beyond a few hundred rows evict the per-core working set and
+/// run *slower* per graph than smaller fusions (a PARAGRAPH_CHUNK sweep on
+/// the 99-node bench graph peaks at 2-4 graphs/chunk on one core). Chunks
+/// therefore also cap at ~this many concatenated rows; tiny graphs keep
+/// fusing deeply (up to kFuseChunk) to amortise dispatch.
+constexpr std::size_t kChunkNodeBudget = 256;
 
 /// Arena bound per thread. Varied traffic (every chunk composition is a new
 /// block-diagonal shape) would otherwise grow the shape-keyed arena for the
@@ -34,7 +47,9 @@ constexpr std::size_t kArenaCapBytes = 64u << 20;
 
 InferenceEngine::InferenceEngine(const ParaGraphModel& model)
     : model_(&model),
-      pool_(static_cast<std::size_t>(omp_get_max_threads())) {}
+      pool_(static_cast<std::size_t>(omp_get_max_threads())),
+      fuse_chunk_(env_chunk_size(kFuseChunk)),
+      chunk_overridden_(env_chunk_size(0) != 0) {}
 
 InferenceEngine::ThreadState& InferenceEngine::state_for_current_thread() {
   const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -75,13 +90,21 @@ void InferenceEngine::run_chunked(std::span<const EncodedGraph* const> graphs,
   // Chunk size balances fusion (bigger chunks amortise pack + dispatch)
   // against core utilisation (enough chunks to feed every thread, 2x
   // oversubscribed for dynamic balance; small batches on many cores degrade
-  // to per-graph chunks, the pre-fusion behaviour). Chunking never affects
-  // values — fused predictions are bitwise-equal per graph however the
-  // batch is cut.
+  // to per-graph chunks, the pre-fusion behaviour) and against cache
+  // footprint (the kChunkNodeBudget row cap — skipped when PARAGRAPH_CHUNK
+  // pins the width explicitly). Chunking never affects values — fused
+  // predictions are bitwise-equal per graph however the batch is cut.
+  std::size_t cap = fuse_chunk_;
+  if (!chunk_overridden_) {
+    std::size_t total_nodes = 0;
+    for (const EncodedGraph* g : graphs) total_nodes += g->features.rows();
+    const std::size_t avg_nodes = std::max<std::size_t>(1, total_nodes / n);
+    cap = std::clamp<std::size_t>(kChunkNodeBudget / avg_nodes, 1, fuse_chunk_);
+  }
   const auto threads =
       omp_in_parallel() ? 1u : static_cast<unsigned>(omp_get_max_threads());
   const std::size_t chunk_size = std::clamp<std::size_t>(
-      (n + 2 * threads - 1) / (2 * threads), 1, kFuseChunk);
+      (n + 2 * threads - 1) / (2 * threads), 1, cap);
   const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
   if (omp_in_parallel() || num_chunks == 1) {
     // Caller already manages threading (or there is nothing to fan out):

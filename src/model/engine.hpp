@@ -50,6 +50,14 @@ class InferenceEngine {
 
   [[nodiscard]] const ParaGraphModel& model() const { return *model_; }
 
+  /// Upper bound on graphs fused per chunk — the compile-time default (64)
+  /// unless PARAGRAPH_CHUNK overrode it at engine construction (validated
+  /// and clamped to [1, kMaxChunkSize] by pg::env_chunk_size). Without an
+  /// explicit override the effective chunk additionally adapts to a
+  /// node-row cache budget (see engine.cpp). Chunking affects throughput
+  /// only, never values.
+  [[nodiscard]] std::size_t fuse_chunk() const { return fuse_chunk_; }
+
   // Aggregate arena statistics over the thread pool — flat counts between
   // two calls mean the steady state (zero allocation) has been reached.
   [[nodiscard]] std::size_t workspace_slots() const;
@@ -73,7 +81,7 @@ class InferenceEngine {
   void run_chunk(std::span<const EncodedGraph* const> graphs,
                  std::span<const std::array<float, 2>> aux,
                  std::span<double> out, std::size_t lo, std::size_t hi);
-  /// The shared chunk fan-out: splits [0, n) into kFuseChunk-sized chunks
+  /// The shared chunk fan-out: splits [0, n) into fuse_chunk()-sized chunks
   /// and runs them serially (inside an enclosing parallel region, or when
   /// there is only one chunk) or OpenMP-parallel otherwise. Both public
   /// batch entry points route through here so the threading policy cannot
@@ -84,6 +92,8 @@ class InferenceEngine {
 
   const ParaGraphModel* model_;
   std::vector<ThreadState> pool_;  // one per OpenMP thread
+  std::size_t fuse_chunk_;         // graphs-per-chunk cap (env-overridable)
+  bool chunk_overridden_;          // PARAGRAPH_CHUNK set: skip the node cap
 };
 
 }  // namespace pg::model

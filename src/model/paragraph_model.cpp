@@ -8,6 +8,7 @@
 #include "model/paragraph_model.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "nn/activation.hpp"
 #include "nn/loss.hpp"
@@ -102,10 +103,12 @@ void ParaGraphModel::run_forward(const tensor::Matrix& features,
   tensor::Matrix& concat =
       ws.acquire_uninit(batch, config_.hidden_dim + config_.aux_embed_dim);
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t j = 0; j < config_.hidden_dim; ++j)
-      concat(b, j) = f2(b, j);
-    for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
-      concat(b, config_.hidden_dim + j) = aux_act(b, j);
+    // Pure copies (no FP ops), so memcpy is bitwise-neutral.
+    auto dst = concat.row_span(b);
+    std::memcpy(dst.data(), f2.row_span(b).data(),
+                config_.hidden_dim * sizeof(float));
+    std::memcpy(dst.data() + config_.hidden_dim, aux_act.row_span(b).data(),
+                config_.aux_embed_dim * sizeof(float));
   }
   s.concat = &concat;
 
@@ -172,10 +175,12 @@ void ParaGraphModel::run_backward(const nn::RelationalGraph& relations,
   tensor::Matrix& df2 = ws.acquire_uninit(batch, config_.hidden_dim);
   tensor::Matrix& daux = ws.acquire_uninit(batch, config_.aux_embed_dim);
   for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t j = 0; j < config_.hidden_dim; ++j)
-      df2(b, j) = dconcat(b, j);
-    for (std::size_t j = 0; j < config_.aux_embed_dim; ++j)
-      daux(b, j) = dconcat(b, config_.hidden_dim + j);
+    // Pure copies (no FP ops), so memcpy is bitwise-neutral.
+    auto src = dconcat.row_span(b);
+    std::memcpy(df2.row_span(b).data(), src.data(),
+                config_.hidden_dim * sizeof(float));
+    std::memcpy(daux.row_span(b).data(), src.data() + config_.hidden_dim,
+                config_.aux_embed_dim * sizeof(float));
   }
 
   // Aux branch.

@@ -1,7 +1,10 @@
-// ReLU / LeakyReLU / softmax forward and backward kernels.
+// ReLU / LeakyReLU / softmax forward and backward kernels. The elementwise
+// `_into` bodies run on the dispatched SIMD layer (lane-parallel blends,
+// bitwise-identical to the scalar path at every level).
 #include "nn/activation.hpp"
 
 #include "support/check.hpp"
+#include "tensor/simd.hpp"
 
 namespace pg::nn {
 
@@ -14,10 +17,7 @@ tensor::Matrix relu(const tensor::Matrix& x) {
 
 void relu_into(tensor::Matrix& y, const tensor::Matrix& x) {
   check(y.same_shape(x), "relu_into: shape mismatch");
-  const float* __restrict__ xs = x.data().data();
-  float* __restrict__ ys = y.data().data();
-  const std::size_t n = y.size();
-  for (std::size_t i = 0; i < n; ++i) ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+  tensor::simd::kernels().relu(y.data().data(), x.data().data(), y.size());
 }
 
 tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {
@@ -30,11 +30,8 @@ void relu_backward_into(tensor::Matrix& dx, const tensor::Matrix& dy,
                         const tensor::Matrix& x) {
   check(dy.same_shape(x), "relu_backward: shape mismatch");
   check(dx.same_shape(dy), "relu_backward_into: destination shape mismatch");
-  const float* __restrict__ xs = x.data().data();
-  const float* __restrict__ dys = dy.data().data();
-  float* __restrict__ ds = dx.data().data();
-  const std::size_t n = dx.size();
-  for (std::size_t i = 0; i < n; ++i) ds[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
+  tensor::simd::kernels().relu_backward(dx.data().data(), dy.data().data(),
+                                        x.data().data(), dx.size());
 }
 
 }  // namespace pg::nn

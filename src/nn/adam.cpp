@@ -1,9 +1,13 @@
-// Bias-corrected Adam update over registered parameter matrices.
+// Bias-corrected Adam update over registered parameter matrices. The
+// per-element update runs on the dispatched SIMD layer (double-precision
+// lanes with the same float rounding points as the scalar loop, so
+// checkpoints are bitwise-identical at every dispatch level).
 #include "nn/adam.hpp"
 
 #include <cmath>
 
 #include "support/check.hpp"
+#include "tensor/simd.hpp"
 
 namespace pg::nn {
 
@@ -21,24 +25,20 @@ Adam::Adam(std::vector<tensor::Matrix*> parameters, AdamConfig config)
 void Adam::step(std::span<tensor::Matrix> grads) {
   check(grads.size() == params_.size(), "Adam::step: gradient count mismatch");
   ++step_count_;
-  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
-  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  tensor::simd::AdamStep step;
+  step.beta1 = config_.beta1;
+  step.beta2 = config_.beta2;
+  step.learning_rate = config_.learning_rate;
+  step.epsilon = config_.epsilon;
+  step.weight_decay = config_.weight_decay;
+  step.bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(step_count_));
+  step.bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(step_count_));
+  const auto& kernels = tensor::simd::kernels();
   for (std::size_t p = 0; p < params_.size(); ++p) {
     check(grads[p].same_shape(*params_[p]), "Adam::step: gradient shape mismatch");
-    auto theta = params_[p]->data();
-    auto g = grads[p].data();
-    auto m = m_[p].data();
-    auto v = v_[p].data();
-    for (std::size_t i = 0; i < theta.size(); ++i) {
-      double grad = g[i];
-      if (config_.weight_decay != 0.0) grad += config_.weight_decay * theta[i];
-      m[i] = static_cast<float>(config_.beta1 * m[i] + (1.0 - config_.beta1) * grad);
-      v[i] = static_cast<float>(config_.beta2 * v[i] + (1.0 - config_.beta2) * grad * grad);
-      const double m_hat = m[i] / bias1;
-      const double v_hat = v[i] / bias2;
-      theta[i] -= static_cast<float>(config_.learning_rate * m_hat /
-                                     (std::sqrt(v_hat) + config_.epsilon));
-    }
+    kernels.adam_update(params_[p]->data().data(), grads[p].data().data(),
+                        m_[p].data().data(), v_[p].data().data(),
+                        params_[p]->size(), step);
   }
 }
 

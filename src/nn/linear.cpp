@@ -3,6 +3,7 @@
 #include "nn/linear.hpp"
 
 #include "support/check.hpp"
+#include "tensor/simd.hpp"
 
 namespace pg::nn {
 
@@ -27,11 +28,8 @@ const tensor::Matrix& Linear::forward(const tensor::Matrix& x,
   check(x.cols() == w_.rows(), "Linear::forward: feature dim mismatch");
   tensor::Matrix& y = ws.acquire_uninit(x.rows(), w_.cols());
   tensor::matmul_into(y, x, w_);
-  float* __restrict__ yp = y.data().data();
-  const float* __restrict__ bias = b_.data().data();
-  const std::size_t cols = y.cols();
-  for (std::size_t i = 0; i < y.rows(); ++i)
-    for (std::size_t j = 0; j < cols; ++j) yp[i * cols + j] += bias[j];
+  tensor::simd::kernels().add_bias_rows(y.data().data(), b_.data().data(),
+                                        y.rows(), y.cols());
   return y;
 }
 

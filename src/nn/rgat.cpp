@@ -7,11 +7,12 @@
 // same code paths, which is what makes the fused GraphBatch forward
 // bitwise-identical to per-graph execution.
 //
-// The hidden width is a template parameter of the hot kernels (dispatched
-// for the common sizes, runtime fallback otherwise): with a compile-time
-// row width the per-row accumulators live in registers across the reduction
-// loops instead of being stored and reloaded every iteration. The FP
-// operation order is identical in every variant.
+// The hot per-relation bodies — the fused gather->project and the grouped
+// attention softmax + gated scatter walking the CSR group_offsets[] /
+// group_dst[] arrays — live in the runtime-dispatched SIMD kernel layer
+// (tensor/simd.hpp): width-templated register accumulators, vector loads
+// across the independent output lanes, reduction order pinned to the scalar
+// reference so every dispatch level is bitwise-identical.
 #include "nn/rgat.hpp"
 
 #include <cmath>
@@ -19,6 +20,7 @@
 #include "nn/activation.hpp"
 #include "support/check.hpp"
 #include "tensor/init.hpp"
+#include "tensor/simd.hpp"
 
 namespace pg::nn {
 namespace {
@@ -32,125 +34,6 @@ void relation_totals(const RelationalGraph& graph, std::size_t* total_edges,
   for (const RelationEdges& rel : graph.relations) {
     *total_edges += rel.num_edges();
     *total_active += rel.num_active_nodes();
-  }
-}
-
-/// Per-relation forward body: fused gather+projection, attention scores,
-/// grouped softmax, gated scatter into `prep`. OUT_C > 0 is a compile-time
-/// row width (accumulators registerise); OUT_C == 0 reads the width from
-/// `out_rt`. Both paths perform identical FP operations in identical order.
-template <int OUT_C>
-void relation_forward(const RelationEdges& rel, const float* xp,
-                      std::size_t in, std::size_t out_rt, const float* wr,
-                      const float* asrc, const float* adst, float slope,
-                      float* gp, float* ss, float* sd, float* rawp,
-                      float* alphap, float* prep, std::size_t row_off) {
-  const std::size_t out = OUT_C > 0 ? static_cast<std::size_t>(OUT_C) : out_rt;
-  const std::size_t na = rel.num_active_nodes();
-  const std::uint32_t* nodes = rel.nodes.data();
-  const std::uint32_t* src_local = rel.src_local.data();
-  const float* gates = rel.gate.data();
-
-  // Project only the rows this relation touches, straight into the
-  // relation's block of the concatenated cache (fused gather + matmul).
-  // Sparse rows (one-hot node features) take the zero-skip loop; dense rows
-  // (post-ReLU hidden activations, with zeros in *data-dependent* places)
-  // take the branchless loop — a skip there mispredicts per element.
-  for (std::size_t i = 0; i < na; ++i) {
-    const float* __restrict__ src = xp + nodes[i] * in;
-    float* __restrict__ dst = gp + (row_off + i) * out;
-    std::size_t nnz = 0;
-    for (std::size_t k = 0; k < in; ++k) nnz += (src[k] != 0.0f);
-    if constexpr (OUT_C > 0) {
-      float acc[OUT_C];
-      for (int j = 0; j < OUT_C; ++j) acc[j] = dst[j];  // zero-filled block
-      if (2 * nnz >= in) {
-        for (std::size_t k = 0; k < in; ++k) {
-          const float aval = src[k];
-          const float* __restrict__ wrow = wr + k * OUT_C;
-          for (int j = 0; j < OUT_C; ++j) acc[j] += aval * wrow[j];
-        }
-      } else {
-        for (std::size_t k = 0; k < in; ++k) {
-          const float aval = src[k];
-          if (aval == 0.0f) continue;
-          const float* __restrict__ wrow = wr + k * OUT_C;
-          for (int j = 0; j < OUT_C; ++j) acc[j] += aval * wrow[j];
-        }
-      }
-      for (int j = 0; j < OUT_C; ++j) dst[j] = acc[j];
-    } else {
-      if (2 * nnz >= in) {
-        for (std::size_t k = 0; k < in; ++k) {
-          const float aval = src[k];
-          const float* __restrict__ wrow = wr + k * out;
-          for (std::size_t j = 0; j < out; ++j) dst[j] += aval * wrow[j];
-        }
-      } else {
-        for (std::size_t k = 0; k < in; ++k) {
-          const float aval = src[k];
-          if (aval == 0.0f) continue;
-          const float* __restrict__ wrow = wr + k * out;
-          for (std::size_t j = 0; j < out; ++j) dst[j] += aval * wrow[j];
-        }
-      }
-    }
-  }
-
-  // Both attention dots in one pass over g (independent accumulators, so
-  // each dot's own FP order is unchanged).
-  for (std::size_t i = 0; i < na; ++i) {
-    const float* __restrict__ g_row = gp + (row_off + i) * out;
-    double acc_src = 0.0;
-    double acc_dst = 0.0;
-    for (std::size_t j = 0; j < out; ++j) {
-      acc_src += static_cast<double>(g_row[j]) * asrc[j];
-      acc_dst += static_cast<double>(g_row[j]) * adst[j];
-    }
-    ss[row_off + i] = static_cast<float>(acc_src);
-    sd[row_off + i] = static_cast<float>(acc_dst);
-  }
-
-  for (std::size_t group = 0; group < rel.num_groups(); ++group) {
-    const std::size_t lo = rel.group_offsets[group];
-    const std::size_t hi = rel.group_offsets[group + 1];
-    const std::uint32_t v_local = rel.group_dst[group];
-    const std::uint32_t v_global = nodes[v_local];
-
-    const float sd_v = sd[row_off + v_local];
-    float max_logit = -1e30f;
-    for (std::size_t e = lo; e < hi; ++e) {
-      rawp[e] = ss[row_off + src_local[e]] + sd_v;
-      const float logit = leaky_relu(rawp[e], slope);
-      // Stash the rectified logit so the exp pass below reads it back
-      // instead of recomputing LeakyReLU (same value, same FP ops).
-      alphap[e] = logit;
-      if (logit > max_logit) max_logit = logit;
-    }
-    double denom = 0.0;
-    for (std::size_t e = lo; e < hi; ++e) {
-      alphap[e] = std::exp(alphap[e] - max_logit);
-      denom += alphap[e];
-    }
-    float* __restrict__ out_row = prep + v_global * out;
-    if constexpr (OUT_C > 0) {
-      float acc[OUT_C];
-      for (int j = 0; j < OUT_C; ++j) acc[j] = out_row[j];
-      for (std::size_t e = lo; e < hi; ++e) {
-        alphap[e] = static_cast<float>(alphap[e] / denom);
-        const float scale = alphap[e] * gates[e];
-        const float* __restrict__ g_row = gp + (row_off + src_local[e]) * OUT_C;
-        for (int j = 0; j < OUT_C; ++j) acc[j] += scale * g_row[j];
-      }
-      for (int j = 0; j < OUT_C; ++j) out_row[j] = acc[j];
-    } else {
-      for (std::size_t e = lo; e < hi; ++e) {
-        alphap[e] = static_cast<float>(alphap[e] / denom);
-        const float scale = alphap[e] * gates[e];
-        const float* __restrict__ g_row = gp + (row_off + src_local[e]) * out;
-        for (std::size_t j = 0; j < out; ++j) out_row[j] += scale * g_row[j];
-      }
-    }
   }
 }
 
@@ -204,12 +87,8 @@ const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
 
   tensor::Matrix& pre = *cache.pre;
   tensor::matmul_into(pre, x, w_self_);
-  {
-    float* __restrict__ p = pre.data().data();
-    const float* __restrict__ bias = b_.data().data();
-    for (std::size_t i = 0; i < pre.rows(); ++i)
-      for (std::size_t j = 0; j < out_; ++j) p[i * out_ + j] += bias[j];
-  }
+  tensor::simd::kernels().add_bias_rows(pre.data().data(), b_.data().data(),
+                                        pre.rows(), out_);
 
   tensor::Matrix& s_src = ws.acquire_uninit(1, total_active);
   tensor::Matrix& s_dst = ws.acquire_uninit(1, total_active);
@@ -222,28 +101,46 @@ const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
   float* rawp = cache.raw->data().data();
   float* alphap = cache.alpha->data().data();
 
+  const tensor::simd::KernelTable& kernels = tensor::simd::kernels();
   std::size_t edge_off = 0;
   std::size_t row_off = 0;
   for (std::size_t r = 0; r < num_relations_; ++r) {
     const RelationEdges& rel = graph.relations[r];
     if (rel.empty()) continue;
-    const float* wr = w_rel_[r].data().data();
+    const std::size_t na = rel.num_active_nodes();
+
+    // Project only the rows this relation touches, straight into the
+    // relation's block of the concatenated cache (fused gather + matmul;
+    // the g block starts zero-filled, the kernel accumulates into it).
+    kernels.rgat_gather_project(rel.nodes.data(), na, xp, in_,
+                                w_rel_[r].data().data(), gp, out_, row_off);
+
+    // Both attention dots in one pass over g (independent double
+    // accumulators; a j-reduction, so it stays in scalar program order at
+    // every dispatch level).
     const float* asrc = a_src_[r].data().data();
     const float* adst = a_dst_[r].data().data();
-    auto run = [&]<int OUT_C>() {
-      relation_forward<OUT_C>(rel, xp, in_, out_, wr, asrc, adst, leaky_slope_,
-                              gp, ss, sd, rawp + edge_off, alphap + edge_off,
-                              prep, row_off);
-    };
-    switch (out_) {
-      case 8: run.template operator()<8>(); break;
-      case 16: run.template operator()<16>(); break;
-      case 24: run.template operator()<24>(); break;
-      case 32: run.template operator()<32>(); break;
-      default: run.template operator()<0>(); break;
+    for (std::size_t i = 0; i < na; ++i) {
+      const float* __restrict__ g_row = gp + (row_off + i) * out_;
+      double acc_src = 0.0;
+      double acc_dst = 0.0;
+      for (std::size_t j = 0; j < out_; ++j) {
+        acc_src += static_cast<double>(g_row[j]) * asrc[j];
+        acc_dst += static_cast<double>(g_row[j]) * adst[j];
+      }
+      ss[row_off + i] = static_cast<float>(acc_src);
+      sd[row_off + i] = static_cast<float>(acc_dst);
     }
+
+    // Grouped softmax + gated scatter over the relation's CSR arrays.
+    kernels.rgat_attention_scatter(
+        rel.group_offsets.data(), rel.group_dst.data(), rel.num_groups(),
+        rel.nodes.data(), rel.src_local.data(), rel.gate.data(), ss, sd,
+        leaky_slope_, rawp + edge_off, alphap + edge_off, gp, prep, out_,
+        row_off);
+
     edge_off += rel.num_edges();
-    row_off += rel.num_active_nodes();
+    row_off += na;
   }
 
   if (!apply_relu_) return pre;
@@ -286,6 +183,12 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
   tensor::Matrix& ds_src_m = ws.acquire(1, total_active);
   tensor::Matrix& ds_dst_m = ws.acquire(1, total_active);
   tensor::Matrix& dscore_m = ws.acquire_uninit(1, total_edges);
+  // LeakyReLU gradients for all edges in one dispatched elementwise pass —
+  // the same values the group loop used to compute one edge at a time.
+  tensor::Matrix& lrg_m = ws.acquire_uninit(1, total_edges);
+  tensor::simd::kernels().leaky_relu_grad(lrg_m.data().data(),
+                                          cache.raw->data().data(),
+                                          leaky_slope_, total_edges);
 
   std::size_t edge_off = 0;
   std::size_t row_off = 0;
@@ -293,7 +196,7 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
     const RelationEdges& rel = graph.relations[r];
     if (rel.empty()) continue;
     const std::size_t na = rel.num_active_nodes();
-    auto raw = cache.raw->row_span(0);
+    auto lrg = lrg_m.row_span(0);
     auto alpha = cache.alpha->row_span(0);
     auto ds_src = ds_src_m.row_span(0);
     auto ds_dst = ds_dst_m.row_span(0);
@@ -329,8 +232,7 @@ tensor::Matrix& RgatConv::backward(const tensor::Matrix& dy,
         const float dlogit =
             alpha[edge_off + e] *
             (dscore[edge_off + e] - static_cast<float>(weighted_sum));
-        const float draw =
-            dlogit * leaky_relu_grad(raw[edge_off + e], leaky_slope_);
+        const float draw = dlogit * lrg[edge_off + e];
         ds_src[row_off + src_local[e]] += draw;
         ds_dst[row_off + v_local] += draw;
       }

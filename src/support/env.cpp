@@ -1,6 +1,7 @@
 // getenv parsing for the PARAGRAPH_* knobs.
 #include "support/env.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace pg {
@@ -21,6 +22,12 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
 std::int64_t env_thread_count() {
   const std::int64_t threads = env_int("PARAGRAPH_THREADS", 0);
   return threads > 0 ? threads : 0;
+}
+
+std::size_t env_chunk_size(std::size_t fallback) {
+  const std::int64_t raw = env_int("PARAGRAPH_CHUNK", 0);
+  if (raw <= 0) return fallback;  // unset, invalid, or nonsense
+  return std::min<std::size_t>(static_cast<std::size_t>(raw), kMaxChunkSize);
 }
 
 RunScale run_scale_from_env() {

@@ -1,6 +1,7 @@
 // Environment-variable knobs shared by benches and examples.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -17,6 +18,16 @@ std::int64_t env_int(const char* name, std::int64_t fallback);
 /// CLI's predict/corpus subcommands) pass a positive value to
 /// omp_set_num_threads before building engines or datasets.
 std::int64_t env_thread_count();
+
+/// Upper bound env_chunk_size clamps to (one fused block-diagonal batch of
+/// this many graphs is already far past the fusion sweet spot).
+inline constexpr std::size_t kMaxChunkSize = 4096;
+
+/// Fused-batch chunk override: `PARAGRAPH_CHUNK` as a positive integer,
+/// clamped to [1, kMaxChunkSize]; unset, zero, negative, or unparsable
+/// values fall back to `fallback`. Lets bench sweeps vary the
+/// InferenceEngine fusion width without recompiling.
+std::size_t env_chunk_size(std::size_t fallback);
 
 /// Dataset scale selector: `PARAGRAPH_SCALE` = "smoke" | "default" | "full".
 /// Controls how many sweep points the dataset generator emits; see

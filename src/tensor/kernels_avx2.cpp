@@ -1,0 +1,24 @@
+// The 256-bit-lane kernel table. This TU is compiled with -mavx2 (and
+// -ffp-contract=off — never -mfma: the bitwise contract forbids fused
+// multiply-add) when the toolchain targets x86; elsewhere it degrades to
+// the scalar implementation and avx2_compiled() reports the level as
+// unavailable, so the dispatch probe never selects it.
+#if defined(__AVX2__)
+#define PG_SIMD_USE_AVX2 1
+#endif
+
+#define PG_SIMD_IMPL_NS avx2_impl
+#define PG_SIMD_IMPL_TABLE table_avx2
+#include "tensor/kernels_impl.inl"
+
+namespace pg::tensor::simd::detail {
+
+bool avx2_compiled() {
+#if defined(PG_SIMD_USE_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace pg::tensor::simd::detail

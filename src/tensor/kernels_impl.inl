@@ -1,0 +1,585 @@
+// Shared kernel bodies, compiled once per dispatch level. The including TU
+// defines:
+//   PG_SIMD_IMPL_NS     implementation namespace (scalar_impl / vec128_impl
+//                       / avx2_impl)
+//   PG_SIMD_IMPL_TABLE  the exported detail:: table function it fills
+//   PG_SIMD_USE_AVX2 / PG_SIMD_USE_SSE2 / PG_SIMD_USE_NEON  (at most one;
+//                       none selects the scalar lane configuration)
+//
+// BITWISE CONTRACT (see simd.hpp): vectorisation is across independent
+// output lanes (`j` columns / elementwise maps) only; reduction axes keep
+// the scalar program order; multiplies and adds stay separate instructions
+// (no FMA — these TUs are built with -ffp-contract=off and without -mfma).
+// With kVF == 1 every "vector" op below degenerates to the exact scalar
+// statement, so the scalar table is the reference implementation and the
+// SIMD tables are lane-parallel transcriptions of it.
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/kernels_detail.hpp"
+#include "tensor/simd.hpp"
+
+#if defined(PG_SIMD_USE_AVX2)
+#include <immintrin.h>
+#elif defined(PG_SIMD_USE_SSE2)
+#include <emmintrin.h>
+#elif defined(PG_SIMD_USE_NEON)
+#include <arm_neon.h>
+#endif
+
+#if defined(PG_SIMD_USE_AVX2) || defined(PG_SIMD_USE_SSE2) || \
+    defined(PG_SIMD_USE_NEON)
+#define PG_SIMD_VECTOR 1
+#endif
+
+namespace pg::tensor::simd::detail {
+namespace PG_SIMD_IMPL_NS {
+namespace {
+
+// ---------------------------------------------------------- lane config ---
+
+#if defined(PG_SIMD_USE_AVX2)
+
+using vf = __m256;  // 8 float lanes
+inline constexpr std::size_t kVF = 8;
+inline vf vload(const float* p) { return _mm256_loadu_ps(p); }
+inline void vstore(float* p, vf v) { _mm256_storeu_ps(p, v); }
+inline vf vset1(float x) { return _mm256_set1_ps(x); }
+inline vf vzero() { return _mm256_setzero_ps(); }
+inline vf vadd(vf a, vf b) { return _mm256_add_ps(a, b); }
+inline vf vmul(vf a, vf b) { return _mm256_mul_ps(a, b); }
+/// Lanewise x > 0 ? a : b.
+inline vf vselect_gt0(vf x, vf a, vf b) {
+  const vf mask = _mm256_cmp_ps(x, _mm256_setzero_ps(), _CMP_GT_OQ);
+  return _mm256_blendv_ps(b, a, mask);
+}
+
+using vd = __m256d;   // 4 double lanes (Adam)
+using hf = __m128;    // the matching 4 float lanes
+inline constexpr std::size_t kVD = 4;
+inline vd vdload_f(const float* p) {
+  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+}
+inline vd vdset1(double x) { return _mm256_set1_pd(x); }
+inline vd vdadd(vd a, vd b) { return _mm256_add_pd(a, b); }
+inline vd vdmul(vd a, vd b) { return _mm256_mul_pd(a, b); }
+inline vd vddiv(vd a, vd b) { return _mm256_div_pd(a, b); }
+inline vd vdsqrt(vd a) { return _mm256_sqrt_pd(a); }
+inline hf vdnarrow(vd a) { return _mm256_cvtpd_ps(a); }  // round-to-nearest
+inline vd vdwiden(hf a) { return _mm256_cvtps_pd(a); }
+inline hf hload(const float* p) { return _mm_loadu_ps(p); }
+inline void hstore(float* p, hf v) { _mm_storeu_ps(p, v); }
+inline hf hsub(hf a, hf b) { return _mm_sub_ps(a, b); }
+
+#elif defined(PG_SIMD_USE_SSE2)
+
+using vf = __m128;  // 4 float lanes
+inline constexpr std::size_t kVF = 4;
+inline vf vload(const float* p) { return _mm_loadu_ps(p); }
+inline void vstore(float* p, vf v) { _mm_storeu_ps(p, v); }
+inline vf vset1(float x) { return _mm_set1_ps(x); }
+inline vf vzero() { return _mm_setzero_ps(); }
+inline vf vadd(vf a, vf b) { return _mm_add_ps(a, b); }
+inline vf vmul(vf a, vf b) { return _mm_mul_ps(a, b); }
+inline vf vselect_gt0(vf x, vf a, vf b) {
+  const vf mask = _mm_cmpgt_ps(x, _mm_setzero_ps());
+  // SSE2 has no blendv; classic and/andnot/or select.
+  return _mm_or_ps(_mm_and_ps(mask, a), _mm_andnot_ps(mask, b));
+}
+
+using vd = __m128d;  // 2 double lanes (Adam)
+using hf = __m128;   // low 2 float lanes in use
+inline constexpr std::size_t kVD = 2;
+inline vd vdload_f(const float* p) {
+  return _mm_cvtps_pd(
+      _mm_castsi128_ps(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))));
+}
+inline vd vdset1(double x) { return _mm_set1_pd(x); }
+inline vd vdadd(vd a, vd b) { return _mm_add_pd(a, b); }
+inline vd vdmul(vd a, vd b) { return _mm_mul_pd(a, b); }
+inline vd vddiv(vd a, vd b) { return _mm_div_pd(a, b); }
+inline vd vdsqrt(vd a) { return _mm_sqrt_pd(a); }
+inline hf vdnarrow(vd a) { return _mm_cvtpd_ps(a); }
+inline vd vdwiden(hf a) { return _mm_cvtps_pd(a); }
+inline hf hload(const float* p) {
+  return _mm_castsi128_ps(_mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)));
+}
+inline void hstore(float* p, hf v) {
+  _mm_storel_epi64(reinterpret_cast<__m128i*>(p), _mm_castps_si128(v));
+}
+inline hf hsub(hf a, hf b) { return _mm_sub_ps(a, b); }
+
+#elif defined(PG_SIMD_USE_NEON)
+
+using vf = float32x4_t;  // 4 float lanes
+inline constexpr std::size_t kVF = 4;
+inline vf vload(const float* p) { return vld1q_f32(p); }
+inline void vstore(float* p, vf v) { vst1q_f32(p, v); }
+inline vf vset1(float x) { return vdupq_n_f32(x); }
+inline vf vzero() { return vdupq_n_f32(0.0f); }
+inline vf vadd(vf a, vf b) { return vaddq_f32(a, b); }
+inline vf vmul(vf a, vf b) { return vmulq_f32(a, b); }
+inline vf vselect_gt0(vf x, vf a, vf b) {
+  return vbslq_f32(vcgtq_f32(x, vdupq_n_f32(0.0f)), a, b);
+}
+
+using vd = float64x2_t;  // 2 double lanes (Adam; aarch64 only)
+using hf = float32x2_t;
+inline constexpr std::size_t kVD = 2;
+inline vd vdload_f(const float* p) { return vcvt_f64_f32(vld1_f32(p)); }
+inline vd vdset1(double x) { return vdupq_n_f64(x); }
+inline vd vdadd(vd a, vd b) { return vaddq_f64(a, b); }
+inline vd vdmul(vd a, vd b) { return vmulq_f64(a, b); }
+inline vd vddiv(vd a, vd b) { return vdivq_f64(a, b); }
+inline vd vdsqrt(vd a) { return vsqrtq_f64(a); }
+inline hf vdnarrow(vd a) { return vcvt_f32_f64(a); }
+inline vd vdwiden(hf a) { return vcvt_f64_f32(a); }
+inline hf hload(const float* p) { return vld1_f32(p); }
+inline void hstore(float* p, hf v) { vst1_f32(p, v); }
+inline hf hsub(hf a, hf b) { return vsub_f32(a, b); }
+
+#else  // scalar reference lanes
+
+using vf = float;
+inline constexpr std::size_t kVF = 1;
+inline vf vload(const float* p) { return *p; }
+inline void vstore(float* p, vf v) { *p = v; }
+inline vf vset1(float x) { return x; }
+inline vf vzero() { return 0.0f; }
+inline vf vadd(vf a, vf b) { return a + b; }
+inline vf vmul(vf a, vf b) { return a * b; }
+inline vf vselect_gt0(vf x, vf a, vf b) { return x > 0.0f ? a : b; }
+
+#endif
+
+// ------------------------------------------------------- shared scalars ---
+
+inline float leaky_scalar(float x, float slope) {
+  return x > 0.0f ? x : slope * x;
+}
+
+/// One Adam element, byte-for-byte the historical nn::Adam::step body. The
+/// vector path reproduces exactly these operations (including the two
+/// double->float->double rounding round-trips through m/v storage).
+inline void adam_element(float& theta, float g, float& m, float& v,
+                         const AdamStep& s, bool use_weight_decay) {
+  double grad = g;
+  if (use_weight_decay) grad += s.weight_decay * theta;
+  m = static_cast<float>(s.beta1 * m + (1.0 - s.beta1) * grad);
+  v = static_cast<float>(s.beta2 * v + (1.0 - s.beta2) * grad * grad);
+  const double m_hat = m / s.bias1;
+  const double v_hat = v / s.bias2;
+  theta -= static_cast<float>(s.learning_rate * m_hat /
+                              (std::sqrt(v_hat) + s.epsilon));
+}
+
+/// dst[j] += a * src[j] for j in [0, n): the j-lane workhorse.
+inline void axpy_row(float* __restrict__ dst, const float* __restrict__ src,
+                     float a, std::size_t n) {
+  const vf av = vset1(a);
+  std::size_t j = 0;
+  for (; j + kVF <= n; j += kVF)
+    vstore(dst + j, vadd(vload(dst + j), vmul(av, vload(src + j))));
+  for (; j < n; ++j) dst[j] += a * src[j];
+}
+
+/// Count of p[i] != 0.0f — integer result, so any evaluation strategy is
+/// exact; the SIMD paths use compare-mask popcounts. (NaN != 0 is true in
+/// both the scalar and the unordered vector compares.)
+inline std::size_t count_nonzero(const float* __restrict__ p, std::size_t n) {
+  std::size_t nnz = 0;
+  std::size_t i = 0;
+#if defined(PG_SIMD_USE_AVX2)
+  for (; i + 8 <= n; i += 8) {
+    const __m256 cmp =
+        _mm256_cmp_ps(_mm256_loadu_ps(p + i), _mm256_setzero_ps(),
+                      _CMP_NEQ_UQ);
+    nnz += std::popcount(static_cast<unsigned>(_mm256_movemask_ps(cmp)));
+  }
+#elif defined(PG_SIMD_USE_SSE2)
+  for (; i + 4 <= n; i += 4) {
+    const __m128 cmp = _mm_cmpneq_ps(_mm_loadu_ps(p + i), _mm_setzero_ps());
+    nnz += std::popcount(static_cast<unsigned>(_mm_movemask_ps(cmp)));
+  }
+#elif defined(PG_SIMD_USE_NEON)
+  for (; i + 4 <= n; i += 4) {
+    // vceq lanes are all-ones for equality; count equal lanes, subtract.
+    const uint32x4_t eq = vceqq_f32(vld1q_f32(p + i), vdupq_n_f32(0.0f));
+    nnz += 4 - vaddvq_u32(vshrq_n_u32(eq, 31));
+  }
+#endif
+  for (; i < n; ++i) nnz += (p[i] != 0.0f);
+  return nnz;
+}
+
+// ------------------------------------------------------------- matmul -----
+
+/// One output row of a row-times-matrix product with the dense/sparse
+/// per-row hybrid: dst[0..n) (+)= src[0..k) * w[k x n]. N_C > 0 is a
+/// compile-time width whose accumulators live in registers across the k
+/// loop; N_C == 0 accumulates in the destination row. kAccFromDst selects
+/// "+=" (the RGAT gather-projection into a zero-filled block) vs "=" (the
+/// matmul destination, fully overwritten). Identical FP operations in
+/// identical order on every path — this one body serves both matmul_rows
+/// and gather_project so the hybrid can never diverge between them.
+template <int N_C, bool kAccFromDst>
+inline void project_row(const float* __restrict__ src,
+                        const float* __restrict__ w, float* __restrict__ dst,
+                        std::size_t k, std::size_t n) {
+  const bool dense = 2 * count_nonzero(src, k) >= k;
+  if constexpr (N_C > 0) {
+    static_assert(N_C % static_cast<int>(kVF) == 0,
+                  "templated widths must be lane multiples");
+    constexpr int kAcc = N_C / static_cast<int>(kVF);
+    vf acc[kAcc];
+    for (int u = 0; u < kAcc; ++u)
+      acc[u] = kAccFromDst ? vload(dst + u * kVF) : vzero();
+    if (dense) {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const vf av = vset1(src[kk]);
+        const float* __restrict__ wrow = w + kk * N_C;
+        for (int u = 0; u < kAcc; ++u)
+          acc[u] = vadd(acc[u], vmul(av, vload(wrow + u * kVF)));
+      }
+    } else {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        if (src[kk] == 0.0f) continue;
+        const vf av = vset1(src[kk]);
+        const float* __restrict__ wrow = w + kk * N_C;
+        for (int u = 0; u < kAcc; ++u)
+          acc[u] = vadd(acc[u], vmul(av, vload(wrow + u * kVF)));
+      }
+    }
+    for (int u = 0; u < kAcc; ++u) vstore(dst + u * kVF, acc[u]);
+  } else {
+    if constexpr (!kAccFromDst)
+      for (std::size_t j = 0; j < n; ++j) dst[j] = 0.0f;
+    if (dense) {
+      for (std::size_t kk = 0; kk < k; ++kk)
+        axpy_row(dst, w + kk * n, src[kk], n);
+    } else {
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        if (src[kk] == 0.0f) continue;
+        axpy_row(dst, w + kk * n, src[kk], n);
+      }
+    }
+  }
+}
+
+/// i-k-j matmul over all rows (see project_row for the per-row body).
+template <int N_C>
+void matmul_rows(const float* pa, const float* pb, float* pc, std::size_t m,
+                 std::size_t k, std::size_t n_rt, bool parallel) {
+  const std::size_t n = N_C > 0 ? static_cast<std::size_t>(N_C) : n_rt;
+#pragma omp parallel for if (parallel) schedule(static)
+  for (std::size_t i = 0; i < m; ++i)
+    project_row<N_C, false>(pa + i * k, pb, pc + i * n, k, n);
+}
+
+void k_matmul(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool parallel) {
+  switch (n) {
+    case 8: matmul_rows<8>(a, b, c, m, k, n, parallel); break;
+    case 16: matmul_rows<16>(a, b, c, m, k, n, parallel); break;
+    case 24: matmul_rows<24>(a, b, c, m, k, n, parallel); break;
+    case 32: matmul_rows<32>(a, b, c, m, k, n, parallel); break;
+    default: matmul_rows<0>(a, b, c, m, k, n, parallel); break;
+  }
+}
+
+void k_matmul_t_a_acc(const float* pa, const float* pb, float* pc,
+                      std::size_t m, std::size_t k, std::size_t n) {
+  // C[i,j] += sum_kk A[kk,i] * B[kk,j]; kk outer for contiguity.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* __restrict__ arow = pa + kk * m;
+    const float* __restrict__ brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aval = arow[i];
+      if (aval == 0.0f) continue;
+      axpy_row(pc + i * n, brow, aval, n);
+    }
+  }
+}
+
+// ------------------------------------------------------- row reductions ---
+
+void k_column_sums_acc(float* sums, const float* a, std::size_t rows,
+                       std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* __restrict__ row = a + i * cols;
+    std::size_t j = 0;
+    for (; j + kVF <= cols; j += kVF)
+      vstore(sums + j, vadd(vload(sums + j), vload(row + j)));
+    for (; j < cols; ++j) sums[j] += row[j];
+  }
+}
+
+void k_segment_row_mean(float* out, const float* a,
+                        const std::uint32_t* offsets, std::size_t num_segments,
+                        std::size_t cols) {
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    const std::size_t lo = offsets[s];
+    const std::size_t hi = offsets[s + 1];
+    float* __restrict__ sums = out + s * cols;
+    for (std::size_t j = 0; j < cols; ++j) sums[j] = 0.0f;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const float* __restrict__ row = a + i * cols;
+      std::size_t j = 0;
+      for (; j + kVF <= cols; j += kVF)
+        vstore(sums + j, vadd(vload(sums + j), vload(row + j)));
+      for (; j < cols; ++j) sums[j] += row[j];
+    }
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    const vf vinv = vset1(inv);
+    std::size_t j = 0;
+    for (; j + kVF <= cols; j += kVF)
+      vstore(sums + j, vmul(vload(sums + j), vinv));
+    for (; j < cols; ++j) sums[j] *= inv;
+  }
+}
+
+void k_add_bias_rows(float* y, const float* bias, std::size_t rows,
+                     std::size_t cols) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    float* __restrict__ row = y + i * cols;
+    std::size_t j = 0;
+    for (; j + kVF <= cols; j += kVF)
+      vstore(row + j, vadd(vload(row + j), vload(bias + j)));
+    for (; j < cols; ++j) row[j] += bias[j];
+  }
+}
+
+// --------------------------------------------------------- activations ----
+
+void k_relu(float* y, const float* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVF <= n; i += kVF) {
+    const vf xv = vload(x + i);
+    vstore(y + i, vselect_gt0(xv, xv, vzero()));
+  }
+  for (; i < n; ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+void k_relu_backward(float* dx, const float* dy, const float* x,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + kVF <= n; i += kVF) {
+    vstore(dx + i, vselect_gt0(vload(x + i), vload(dy + i), vzero()));
+  }
+  for (; i < n; ++i) dx[i] = x[i] > 0.0f ? dy[i] : 0.0f;
+}
+
+void k_leaky_relu(float* y, const float* x, float slope, std::size_t n) {
+  const vf vslope = vset1(slope);
+  std::size_t i = 0;
+  for (; i + kVF <= n; i += kVF) {
+    const vf xv = vload(x + i);
+    vstore(y + i, vselect_gt0(xv, xv, vmul(vslope, xv)));
+  }
+  for (; i < n; ++i) y[i] = leaky_scalar(x[i], slope);
+}
+
+void k_leaky_relu_grad(float* g, const float* x, float slope, std::size_t n) {
+  const vf vone = vset1(1.0f);
+  const vf vslope = vset1(slope);
+  std::size_t i = 0;
+  for (; i + kVF <= n; i += kVF)
+    vstore(g + i, vselect_gt0(vload(x + i), vone, vslope));
+  for (; i < n; ++i) g[i] = x[i] > 0.0f ? 1.0f : slope;
+}
+
+// ---------------------------------------------------------------- Adam ----
+
+void k_adam_update(float* theta, const float* g, float* m, float* v,
+                   std::size_t n, const AdamStep& s) {
+  const bool use_weight_decay = s.weight_decay != 0.0;
+  std::size_t i = 0;
+#if defined(PG_SIMD_VECTOR)
+  const vd vbeta1 = vdset1(s.beta1);
+  const vd vomb1 = vdset1(1.0 - s.beta1);
+  const vd vbeta2 = vdset1(s.beta2);
+  const vd vomb2 = vdset1(1.0 - s.beta2);
+  const vd vwd = vdset1(s.weight_decay);
+  const vd vbias1 = vdset1(s.bias1);
+  const vd vbias2 = vdset1(s.bias2);
+  const vd vlr = vdset1(s.learning_rate);
+  const vd veps = vdset1(s.epsilon);
+  for (; i + kVD <= n; i += kVD) {
+    vd grad = vdload_f(g + i);
+    if (use_weight_decay)
+      grad = vdadd(grad, vdmul(vwd, vdload_f(theta + i)));
+    // m/v round through their float storage exactly like the scalar path:
+    // narrow (round-to-nearest), store, and re-widen the rounded value.
+    vd mm = vdadd(vdmul(vbeta1, vdload_f(m + i)), vdmul(vomb1, grad));
+    const hf m32 = vdnarrow(mm);
+    hstore(m + i, m32);
+    mm = vdwiden(m32);
+    vd vv = vdadd(vdmul(vbeta2, vdload_f(v + i)),
+                  vdmul(vomb2, vdmul(grad, grad)));
+    const hf v32 = vdnarrow(vv);
+    hstore(v + i, v32);
+    vv = vdwiden(v32);
+    const vd m_hat = vddiv(mm, vbias1);
+    const vd v_hat = vddiv(vv, vbias2);
+    const vd delta = vddiv(vdmul(vlr, m_hat), vdadd(vdsqrt(v_hat), veps));
+    hstore(theta + i, hsub(hload(theta + i), vdnarrow(delta)));
+  }
+#endif
+  for (; i < n; ++i)
+    adam_element(theta[i], g[i], m[i], v[i], s, use_weight_decay);
+}
+
+// ------------------------------------------------------------- RGAT -------
+
+/// Fused gather->project (see KernelTable::rgat_gather_project): the shared
+/// project_row body with node-indirected source rows, accumulating into the
+/// zero-filled destination block ("+=" initialisation from dst is part of
+/// the contract).
+template <int OUT_C>
+void gather_project(const std::uint32_t* nodes, std::size_t na, const float* x,
+                    std::size_t in, const float* w, float* gbuf,
+                    std::size_t out_rt, std::size_t row_off) {
+  const std::size_t out = OUT_C > 0 ? static_cast<std::size_t>(OUT_C) : out_rt;
+  for (std::size_t i = 0; i < na; ++i)
+    project_row<OUT_C, true>(x + nodes[i] * in, w,
+                             gbuf + (row_off + i) * out, in, out);
+}
+
+void k_rgat_gather_project(const std::uint32_t* nodes, std::size_t na,
+                           const float* x, std::size_t in, const float* w,
+                           float* gbuf, std::size_t out, std::size_t row_off) {
+  switch (out) {
+    case 8: gather_project<8>(nodes, na, x, in, w, gbuf, out, row_off); break;
+    case 16: gather_project<16>(nodes, na, x, in, w, gbuf, out, row_off); break;
+    case 24: gather_project<24>(nodes, na, x, in, w, gbuf, out, row_off); break;
+    case 32: gather_project<32>(nodes, na, x, in, w, gbuf, out, row_off); break;
+    default: gather_project<0>(nodes, na, x, in, w, gbuf, out, row_off); break;
+  }
+}
+
+/// Grouped attention softmax + gated scatter (KernelTable contract). The
+/// logit/exp/denominator passes are scalar by design — they are reductions
+/// whose FP order is pinned — while the per-edge alpha*gate message
+/// accumulation vectorises across the out lanes with register accumulators
+/// held across the group's edges.
+template <int OUT_C>
+void attention_scatter(const std::uint32_t* group_offsets,
+                       const std::uint32_t* group_dst, std::size_t num_groups,
+                       const std::uint32_t* nodes,
+                       const std::uint32_t* src_local, const float* gates,
+                       const float* ss, const float* sd, float slope,
+                       float* raw, float* alpha, const float* gbuf, float* pre,
+                       std::size_t out_rt, std::size_t row_off) {
+  const std::size_t out = OUT_C > 0 ? static_cast<std::size_t>(OUT_C) : out_rt;
+  for (std::size_t group = 0; group < num_groups; ++group) {
+    const std::size_t lo = group_offsets[group];
+    const std::size_t hi = group_offsets[group + 1];
+    const std::uint32_t v_local = group_dst[group];
+    const std::uint32_t v_global = nodes[v_local];
+
+    const float sd_v = sd[row_off + v_local];
+    for (std::size_t e = lo; e < hi; ++e)
+      raw[e] = ss[row_off + src_local[e]] + sd_v;
+    // Rectify the whole group with the lane-parallel LeakyReLU forward
+    // kernel, stashing the logits so the exp pass reads them back instead
+    // of recomputing (same value per element, same FP ops); the max scan
+    // keeps its scalar e-order.
+    k_leaky_relu(alpha + lo, raw + lo, slope, hi - lo);
+    float max_logit = -1e30f;
+    for (std::size_t e = lo; e < hi; ++e)
+      if (alpha[e] > max_logit) max_logit = alpha[e];
+    double denom = 0.0;
+    for (std::size_t e = lo; e < hi; ++e) {
+      alpha[e] = std::exp(alpha[e] - max_logit);
+      denom += alpha[e];
+    }
+    float* __restrict__ out_row = pre + v_global * out;
+    if constexpr (OUT_C > 0) {
+      static_assert(OUT_C % static_cast<int>(kVF) == 0,
+                    "templated widths must be lane multiples");
+      constexpr int kAcc = OUT_C / static_cast<int>(kVF);
+      vf acc[kAcc];
+      for (int u = 0; u < kAcc; ++u) acc[u] = vload(out_row + u * kVF);
+      for (std::size_t e = lo; e < hi; ++e) {
+        alpha[e] = static_cast<float>(alpha[e] / denom);
+        const vf scale = vset1(alpha[e] * gates[e]);
+        const float* __restrict__ g_row =
+            gbuf + (row_off + src_local[e]) * OUT_C;
+        for (int u = 0; u < kAcc; ++u)
+          acc[u] = vadd(acc[u], vmul(scale, vload(g_row + u * kVF)));
+      }
+      for (int u = 0; u < kAcc; ++u) vstore(out_row + u * kVF, acc[u]);
+    } else {
+      for (std::size_t e = lo; e < hi; ++e) {
+        alpha[e] = static_cast<float>(alpha[e] / denom);
+        const float scale = alpha[e] * gates[e];
+        axpy_row(out_row, gbuf + (row_off + src_local[e]) * out, scale, out);
+      }
+    }
+  }
+}
+
+void k_rgat_attention_scatter(const std::uint32_t* group_offsets,
+                              const std::uint32_t* group_dst,
+                              std::size_t num_groups,
+                              const std::uint32_t* nodes,
+                              const std::uint32_t* src_local,
+                              const float* gates, const float* ss,
+                              const float* sd, float slope, float* raw,
+                              float* alpha, const float* gbuf, float* pre,
+                              std::size_t out, std::size_t row_off) {
+  switch (out) {
+    case 8:
+      attention_scatter<8>(group_offsets, group_dst, num_groups, nodes,
+                           src_local, gates, ss, sd, slope, raw, alpha, gbuf,
+                           pre, out, row_off);
+      break;
+    case 16:
+      attention_scatter<16>(group_offsets, group_dst, num_groups, nodes,
+                            src_local, gates, ss, sd, slope, raw, alpha, gbuf,
+                            pre, out, row_off);
+      break;
+    case 24:
+      attention_scatter<24>(group_offsets, group_dst, num_groups, nodes,
+                            src_local, gates, ss, sd, slope, raw, alpha, gbuf,
+                            pre, out, row_off);
+      break;
+    case 32:
+      attention_scatter<32>(group_offsets, group_dst, num_groups, nodes,
+                            src_local, gates, ss, sd, slope, raw, alpha, gbuf,
+                            pre, out, row_off);
+      break;
+    default:
+      attention_scatter<0>(group_offsets, group_dst, num_groups, nodes,
+                           src_local, gates, ss, sd, slope, raw, alpha, gbuf,
+                           pre, out, row_off);
+      break;
+  }
+}
+
+}  // namespace
+}  // namespace PG_SIMD_IMPL_NS
+
+const KernelTable& PG_SIMD_IMPL_TABLE() {
+  static const KernelTable table = {
+      &PG_SIMD_IMPL_NS::k_matmul,
+      &PG_SIMD_IMPL_NS::k_matmul_t_a_acc,
+      &PG_SIMD_IMPL_NS::k_column_sums_acc,
+      &PG_SIMD_IMPL_NS::k_segment_row_mean,
+      &PG_SIMD_IMPL_NS::k_add_bias_rows,
+      &PG_SIMD_IMPL_NS::k_relu,
+      &PG_SIMD_IMPL_NS::k_relu_backward,
+      &PG_SIMD_IMPL_NS::k_leaky_relu,
+      &PG_SIMD_IMPL_NS::k_leaky_relu_grad,
+      &PG_SIMD_IMPL_NS::k_adam_update,
+      &PG_SIMD_IMPL_NS::k_rgat_gather_project,
+      &PG_SIMD_IMPL_NS::k_rgat_attention_scatter,
+  };
+  return table;
+}
+
+}  // namespace pg::tensor::simd::detail
+
+#undef PG_SIMD_VECTOR

@@ -1,0 +1,34 @@
+// The 128-bit-lane kernel table: SSE2 on x86 (baseline ISA of x86-64, so no
+// extra compiler flags are needed), NEON on aarch64. On any other target the
+// TU degrades to the scalar implementation so the symbols always exist; the
+// dispatch probe then reports the level as unavailable (vec128_compiled()).
+#if defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define PG_SIMD_USE_SSE2 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define PG_SIMD_USE_NEON 1
+#endif
+
+#define PG_SIMD_IMPL_NS vec128_impl
+#define PG_SIMD_IMPL_TABLE table_vec128
+#include "tensor/kernels_impl.inl"
+
+namespace pg::tensor::simd::detail {
+
+bool vec128_compiled() {
+#if defined(PG_SIMD_USE_SSE2) || defined(PG_SIMD_USE_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+const char* vec128_isa_name() {
+#if defined(PG_SIMD_USE_NEON)
+  return "neon";
+#else
+  return "sse2";
+#endif
+}
+
+}  // namespace pg::tensor::simd::detail

@@ -1,13 +1,20 @@
-// Row-major float32 matrix ops; matmul is OpenMP-parallel above a size
+// Row-major float32 matrix ops; the vectorisable bodies (matmul,
+// transpose-A accumulate, column sums, segmented mean) live in the
+// runtime-dispatched SIMD kernel layer — see tensor/simd.hpp for the
+// bitwise-determinism contract. matmul is OpenMP-parallel above a size
 // threshold.
 #include "tensor/matrix.hpp"
 
 #include "support/check.hpp"
+#include "tensor/simd.hpp"
 
 namespace pg::tensor {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
-    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+    : rows_(rows), cols_(cols) {
+  data_.reserve(simd::padded_floats(rows * cols));
+  data_.resize(rows * cols, fill);
+}
 
 Matrix Matrix::row(std::span<const float> values) {
   Matrix m(1, values.size());
@@ -40,7 +47,10 @@ void Matrix::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 void Matrix::reshape(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
-  data_.resize(rows * cols);  // vector keeps capacity: grow-only allocation
+  // vector keeps capacity: grow-only allocation, padded per the simd
+  // alignment contract so growth lands on whole-vector boundaries.
+  data_.reserve(simd::padded_floats(rows * cols));
+  data_.resize(rows * cols);
 }
 
 Matrix& Matrix::add_(const Matrix& other) {
@@ -90,65 +100,6 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-namespace {
-
-/// i-k-j matmul body. N_C > 0 is a compile-time row width of B/C — the
-/// per-row accumulators then live in registers across the k loop instead of
-/// being stored and reloaded every iteration; N_C == 0 reads the width from
-/// `n_rt`. Sparse A rows (one-hot features) take the zero-skip loop; dense
-/// rows take the branchless one — a data-dependent skip on ReLU activations
-/// mispredicts per element and costs more than the multiplies it saves.
-/// Every variant performs identical FP operations in identical order.
-template <int N_C>
-void matmul_rows(const float* pa, const float* pb, float* pc, std::size_t m,
-                 std::size_t k, std::size_t n_rt, bool parallel) {
-  const std::size_t n = N_C > 0 ? static_cast<std::size_t>(N_C) : n_rt;
-#pragma omp parallel for if (parallel) schedule(static)
-  for (std::size_t i = 0; i < m; ++i) {
-    float* __restrict__ crow = pc + i * n;
-    const float* __restrict__ arow = pa + i * k;
-    std::size_t nnz = 0;
-    for (std::size_t kk = 0; kk < k; ++kk) nnz += (arow[kk] != 0.0f);
-    if constexpr (N_C > 0) {
-      float acc[N_C];
-      for (int j = 0; j < N_C; ++j) acc[j] = 0.0f;
-      if (2 * nnz >= k) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aval = arow[kk];
-          const float* __restrict__ brow = pb + kk * N_C;
-          for (int j = 0; j < N_C; ++j) acc[j] += aval * brow[j];
-        }
-      } else {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aval = arow[kk];
-          if (aval == 0.0f) continue;
-          const float* __restrict__ brow = pb + kk * N_C;
-          for (int j = 0; j < N_C; ++j) acc[j] += aval * brow[j];
-        }
-      }
-      for (int j = 0; j < N_C; ++j) crow[j] = acc[j];
-    } else {
-      for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0f;
-      if (2 * nnz >= k) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aval = arow[kk];
-          const float* __restrict__ brow = pb + kk * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        }
-      } else {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const float aval = arow[kk];
-          if (aval == 0.0f) continue;
-          const float* __restrict__ brow = pb + kk * n;
-          for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
 void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   check(a.cols() == b.rows(), "matmul: inner dimensions differ");
   check(c.rows() == a.rows() && c.cols() == b.cols(),
@@ -156,17 +107,11 @@ void matmul_into(Matrix& c, const Matrix& a, const Matrix& b) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
   const bool parallel = m * k * n > (1u << 20);
-  switch (n) {
-    case 8: matmul_rows<8>(pa, pb, pc, m, k, n, parallel); break;
-    case 16: matmul_rows<16>(pa, pb, pc, m, k, n, parallel); break;
-    case 24: matmul_rows<24>(pa, pb, pc, m, k, n, parallel); break;
-    case 32: matmul_rows<32>(pa, pb, pc, m, k, n, parallel); break;
-    default: matmul_rows<0>(pa, pb, pc, m, k, n, parallel); break;
-  }
+  // Dense/sparse-hybrid i-k-j body lives in the dispatched kernel layer;
+  // every level performs identical FP operations in identical order.
+  simd::kernels().matmul(a.data().data(), b.data().data(), c.data().data(), m,
+                         k, n, parallel);
 }
 
 Matrix matmul_transpose_a(const Matrix& a, const Matrix& b) {
@@ -179,23 +124,10 @@ void matmul_transpose_a_acc(Matrix& c, const Matrix& a, const Matrix& b) {
   check(a.rows() == b.rows(), "matmul_transpose_a: row counts differ");
   check(c.rows() == a.cols() && c.cols() == b.cols(),
         "matmul_transpose_a_acc: destination shape mismatch");
-  const std::size_t m = a.cols();
-  const std::size_t k = a.rows();
-  const std::size_t n = b.cols();
-  const float* __restrict__ pa = a.data().data();
-  const float* __restrict__ pb = b.data().data();
-  float* __restrict__ pc = c.data().data();
-  // C[i,j] = sum_kk A[kk,i] * B[kk,j]; iterate kk outer for contiguity.
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* __restrict__ arow = pa + kk * m;
-    const float* __restrict__ brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aval = arow[i];
-      if (aval == 0.0f) continue;
-      float* __restrict__ crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
-    }
-  }
+  // C[i,j] = sum_kk A[kk,i] * B[kk,j]; kk-outer body in the kernel layer.
+  simd::kernels().matmul_t_a_acc(a.data().data(), b.data().data(),
+                                 c.data().data(), a.cols(), a.rows(),
+                                 b.cols());
 }
 
 Matrix matmul_transpose_b(const Matrix& a, const Matrix& b) {
@@ -260,13 +192,8 @@ Matrix column_sums(const Matrix& a) {
 void column_sums_acc(Matrix& out, const Matrix& a) {
   check(out.rows() == 1 && out.cols() == a.cols(),
         "column_sums_acc: destination shape mismatch");
-  float* __restrict__ sums = out.data().data();
-  const float* __restrict__ pa = a.data().data();
-  const std::size_t cols = a.cols();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* __restrict__ row = pa + i * cols;
-    for (std::size_t j = 0; j < cols; ++j) sums[j] += row[j];
-  }
+  simd::kernels().column_sums_acc(out.data().data(), a.data().data(), a.rows(),
+                                  a.cols());
 }
 
 Matrix row_mean(const Matrix& a) {
@@ -289,20 +216,13 @@ void segment_row_mean_into(Matrix& out, const Matrix& a,
         "segment_row_mean_into: destination shape mismatch");
   check(offsets.empty() || offsets.back() == a.rows(),
         "segment_row_mean_into: offsets do not span the rows");
-  const std::size_t cols = a.cols();
-  for (std::size_t b = 0; b + 1 < offsets.size(); ++b) {
-    const std::size_t lo = offsets[b];
-    const std::size_t hi = offsets[b + 1];
-    check(lo < hi, "segment_row_mean_into: empty segment");
-    auto sums = out.row_span(b);
-    std::fill(sums.begin(), sums.end(), 0.0f);
-    for (std::size_t i = lo; i < hi; ++i) {
-      auto row = a.row_span(i);
-      for (std::size_t j = 0; j < cols; ++j) sums[j] += row[j];
-    }
-    const float inv = 1.0f / static_cast<float>(hi - lo);
-    for (std::size_t j = 0; j < cols; ++j) sums[j] *= inv;
-  }
+  for (std::size_t b = 0; b + 1 < offsets.size(); ++b)
+    check(offsets[b] < offsets[b + 1], "segment_row_mean_into: empty segment");
+  // Per-segment sum then scale, row order preserved — the kernel keeps a
+  // one-segment call bitwise-identical to row_mean_into at every level.
+  simd::kernels().segment_row_mean(out.data().data(), a.data().data(),
+                                   offsets.data(), offsets.size() - 1,
+                                   a.cols());
 }
 
 }  // namespace pg::tensor

@@ -4,15 +4,21 @@
 //  * float32 storage (matches the PyTorch default the paper trained with);
 //    accumulations happen in double where it matters (reductions).
 //  * matmul uses an i-k-j loop order so the inner loop is a contiguous
-//    saxpy that auto-vectorises; an OpenMP split over rows kicks in for
-//    large products. Model training parallelises over *graphs*, so the
-//    per-graph matmuls here stay serial unless used standalone.
+//    saxpy, executed by the runtime-dispatched SIMD kernel layer
+//    (tensor/simd.hpp); an OpenMP split over rows kicks in for large
+//    products. Model training parallelises over *graphs*, so the per-graph
+//    matmuls here stay serial unless used standalone.
+//  * Storage is 32-byte aligned with capacity padded to whole 8-float
+//    vectors (the simd.hpp alignment contract), so vector kernels get
+//    aligned row starts whenever the row width is a lane multiple.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "tensor/align.hpp"
 
 namespace pg::tensor {
 
@@ -67,7 +73,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  std::vector<float, simd::AlignedAllocator<float>> data_;
 };
 
 /// C = A * B.

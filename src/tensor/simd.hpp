@@ -1,0 +1,135 @@
+// Runtime-dispatched SIMD kernel layer under the tensor/nn hot paths.
+//
+// Design contract — BITWISE determinism across dispatch levels:
+//   * Every kernel vectorises across *independent output lanes* only (the
+//     `j` columns of a row-major destination, or independent elements of an
+//     elementwise map). Reduction axes (`k` in matmuls, edge groups in the
+//     RGAT softmax) always run in the scalar program order.
+//   * Multiplies and adds are issued as separate instructions — never FMA —
+//     and the kernel translation units are compiled with -ffp-contract=off,
+//     so each lane performs exactly the float operations of the scalar
+//     reference. A prediction, gradient, or trained checkpoint is therefore
+//     byte-identical whether it ran under scalar, SSE2/NEON, or AVX2
+//     (pinned by kernels_test).
+//
+// Dispatch: the best level is probed once at startup (compile-time ISA
+// availability + cpuid) and can be overridden with PARAGRAPH_SIMD=
+// scalar|sse2|avx2 ("neon" names the 128-bit level on aarch64). Unknown
+// names fall back to the probe; known-but-unsupported levels clamp down to
+// the best supported one. Tests, benches, and the CLI's --simd flag may
+// re-select with set_active_level(); that setter is not thread-safe against
+// concurrently running kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "tensor/align.hpp"
+
+namespace pg::tensor::simd {
+
+/// Dispatch levels, ordered by preference. kSse2 is the 128-bit lane level
+/// (SSE2 on x86, NEON on aarch64); kAvx2 the 256-bit one (x86 only).
+enum class SimdLevel : int { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Adam hyper-parameters + per-step bias corrections for the fused update.
+struct AdamStep {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double learning_rate = 1e-3;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+  double bias1 = 1.0;  // 1 - beta1^t
+  double bias2 = 1.0;  // 1 - beta2^t
+};
+
+/// One dispatch level's kernel entry points. All pointers are non-null in
+/// every table; raw-pointer signatures so nn/ and tensor/ call sites can
+/// pass workspace-backed storage without shape re-validation (callers check
+/// shapes before dispatch).
+struct KernelTable {
+  /// C = A * B, i-k-j order with the dense/sparse per-row hybrid (zero-skip
+  /// for mostly-zero rows, branchless otherwise). C is fully written.
+  void (*matmul)(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool parallel);
+  /// C += A^T * B without materialising the transpose (kk-outer loop over
+  /// A's rows, zero-skip on A entries). m = A.cols, k = A.rows, n = B.cols.
+  void (*matmul_t_a_acc)(const float* a, const float* b, float* c,
+                         std::size_t m, std::size_t k, std::size_t n);
+  /// sums[j] += sum_i a[i,j] (bias-gradient reduction; row order preserved).
+  void (*column_sums_acc)(float* sums, const float* a, std::size_t rows,
+                          std::size_t cols);
+  /// out[s,:] = mean of a rows [offsets[s], offsets[s+1]); per-segment sum
+  /// then scale, row order preserved. Segments must be non-empty (checked
+  /// by the tensor::segment_row_mean_into wrapper).
+  void (*segment_row_mean)(float* out, const float* a,
+                           const std::uint32_t* offsets,
+                           std::size_t num_segments, std::size_t cols);
+  /// y[i,:] += bias for every row (the Linear/RGAT bias broadcast).
+  void (*add_bias_rows)(float* y, const float* bias, std::size_t rows,
+                        std::size_t cols);
+  void (*relu)(float* y, const float* x, std::size_t n);
+  void (*relu_backward)(float* dx, const float* dy, const float* x,
+                        std::size_t n);
+  void (*leaky_relu)(float* y, const float* x, float slope, std::size_t n);
+  void (*leaky_relu_grad)(float* g, const float* x, float slope,
+                          std::size_t n);
+  /// One parameter tensor's Adam update (double-lane math, float storage),
+  /// element order and rounding points identical to the scalar reference.
+  void (*adam_update)(float* theta, const float* g, float* m, float* v,
+                      std::size_t n, const AdamStep& step);
+  /// RGAT fused gather->project: for i in [0, na),
+  ///   gbuf[(row_off + i) * out + :] += x[nodes[i] * in + :] * w
+  /// with the same dense/sparse hybrid as matmul. gbuf rows start zeroed.
+  void (*rgat_gather_project)(const std::uint32_t* nodes, std::size_t na,
+                              const float* x, std::size_t in, const float* w,
+                              float* gbuf, std::size_t out,
+                              std::size_t row_off);
+  /// RGAT grouped attention + gated scatter over one relation's CSR arrays:
+  /// per destination group, raw logits (score gather), LeakyReLU, max-shifted
+  /// exp/softmax (scalar, order-pinned) and the alpha*gate-weighted scatter
+  /// of source projections into pre[group_dst_global]. raw/alpha are the
+  /// relation's edge blocks (already offset by the caller).
+  void (*rgat_attention_scatter)(const std::uint32_t* group_offsets,
+                                 const std::uint32_t* group_dst,
+                                 std::size_t num_groups,
+                                 const std::uint32_t* nodes,
+                                 const std::uint32_t* src_local,
+                                 const float* gates, const float* ss,
+                                 const float* sd, float slope, float* raw,
+                                 float* alpha, const float* gbuf, float* pre,
+                                 std::size_t out, std::size_t row_off);
+};
+
+/// Best level this binary + CPU can run (probed once).
+[[nodiscard]] SimdLevel max_supported_level();
+/// True when `level` would actually execute its own code path here.
+[[nodiscard]] bool level_supported(SimdLevel level);
+
+/// The level kernels() dispatches to. Resolved once at first use:
+/// PARAGRAPH_SIMD override (resolve_level semantics) over the probe.
+[[nodiscard]] SimdLevel active_level();
+/// Re-selects the active level (clamped to max_supported_level()). For
+/// tests, benches, and the CLI — not thread-safe against running kernels.
+void set_active_level(SimdLevel level);
+
+/// Parses "scalar" | "sse2" | "neon" | "avx2" (nullopt otherwise).
+[[nodiscard]] std::optional<SimdLevel> level_from_name(std::string_view name);
+/// Display name of a level on this architecture.
+[[nodiscard]] const char* level_name(SimdLevel level);
+/// Env/CLI resolution: unknown names -> `fallback`; known names clamp to
+/// max_supported_level(). Never fails — the dispatch probe degrades cleanly.
+[[nodiscard]] SimdLevel resolve_level(std::string_view name,
+                                      SimdLevel fallback);
+
+/// Kernel table of the active level / of an explicit level.
+[[nodiscard]] const KernelTable& kernels();
+[[nodiscard]] const KernelTable& kernels_for(SimdLevel level);
+
+// The storage alignment contract (kAlignBytes, padded_floats,
+// AlignedAllocator) lives in tensor/align.hpp so Matrix doesn't depend on
+// this dispatch header.
+
+}  // namespace pg::tensor::simd

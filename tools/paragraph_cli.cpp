@@ -39,6 +39,7 @@
 #include "sim/platform.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
+#include "tensor/simd.hpp"
 
 namespace {
 
@@ -56,10 +57,11 @@ int usage() {
                         --teams-bounds LO,HI --threads-bounds LO,HI
                         [--log-target]
   predict --checkpoint <ckpt> [--hidden N] [--out <file>] [--threads N]
+          [--simd scalar|sse2|avx2]
           [--log-target (override; normally read from the checkpoint)]
           <sample.psample>...
   dump    <file.pgraph|.psample|.pgds>
-  corpus  --out <dir> [--threads N]
+  corpus  --out <dir> [--threads N] [--simd scalar|sse2|avx2]
           (--golden | [--platform power9|v100|epyc|mi50]
           [--scale smoke|default|full] [--seed N]
           [--representation raw|augmented|paragraph] [--log-target])
@@ -67,6 +69,9 @@ int usage() {
   predict/corpus worker threads: --threads N, else the PARAGRAPH_THREADS
   environment variable, else the OpenMP default. (encode's --threads is the
   kernel launch config, not a worker count.)
+  predict/corpus kernel dispatch: --simd LEVEL, else the PARAGRAPH_SIMD
+  environment variable, else the best level the CPU supports. Results are
+  bitwise-identical at every level; dump prints the active one.
 )");
   return 2;
 }
@@ -110,7 +115,7 @@ Args parse_args(int argc, char** argv, int first) {
       "--text",      "--meta",           "--teams",        "--threads",
       "--runtime-us", "--app",           "--app-id",       "--variant",
       "--checkpoint", "--hidden",        "--out",          "--platform",
-      "--scale",     "--seed",           "--child-weight-scale",
+      "--scale",     "--seed",           "--simd",         "--child-weight-scale",
       "--target-bounds", "--teams-bounds", "--threads-bounds"};
   Args args;
   for (int a = first; a < argc; ++a) {
@@ -259,9 +264,30 @@ void apply_thread_override(const Args& args) {
   if (threads > 0) omp_set_num_threads(static_cast<int>(threads));
 }
 
+/// Resolves the kernel dispatch level for predict/corpus: --simd beats
+/// PARAGRAPH_SIMD (already folded into the startup probe) beats the CPU
+/// probe. An explicitly named but unsupported level clamps down to the best
+/// supported one (same fallback the env var gets); an unknown name is a
+/// usage error. Results are bitwise-identical at every level, so this knob
+/// is for benchmarking and for pinning the parity contract in CI.
+void apply_simd_override(const Args& args) {
+  const auto level = args.option("--simd");
+  if (!level) return;
+  const auto parsed = tensor::simd::level_from_name(*level);
+  if (!parsed)
+    throw std::runtime_error("unknown SIMD level '" + *level +
+                             "' (scalar|sse2|avx2)");
+  tensor::simd::set_active_level(*parsed);
+}
+
 int cmd_predict(const Args& args) {
   if (args.positional.empty()) return usage();
   apply_thread_override(args);
+  apply_simd_override(args);
+  // Diagnostics to stderr so --out/stdout prediction bytes stay stable
+  // across dispatch levels (cli_test compares them against the engine).
+  std::fprintf(stderr, "simd: %s\n",
+               tensor::simd::level_name(tensor::simd::active_level()));
 
   model::ModelConfig config;
   config.hidden_dim = static_cast<std::size_t>(args.int_option("--hidden", 24));
@@ -345,6 +371,9 @@ int cmd_dump(const Args& args) {
               path.c_str(), std::string(io::payload_kind_name(info.kind)).c_str(),
               info.version,
               static_cast<unsigned long long>(info.schema_hash));
+  std::printf("simd: %s (max %s)\n",
+              tensor::simd::level_name(tensor::simd::active_level()),
+              tensor::simd::level_name(tensor::simd::max_supported_level()));
   switch (info.kind) {
     case io::PayloadKind::kGraph:
       dump_graph_summary(io::read_graph_file(path));
@@ -515,6 +544,9 @@ int cmd_corpus_golden(const std::filesystem::path& dir) {
 int cmd_corpus(const Args& args) {
   const std::filesystem::path dir = args.required("--out");
   apply_thread_override(args);
+  apply_simd_override(args);
+  std::fprintf(stderr, "simd: %s\n",
+               tensor::simd::level_name(tensor::simd::active_level()));
   if (args.has_flag("--golden")) return cmd_corpus_golden(dir);
 
   const std::string platform_name = args.option("--platform").value_or("v100");
