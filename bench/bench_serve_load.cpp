@@ -1,0 +1,282 @@
+// Load generator for paragraph-serve (docs/SERVING.md): C client threads
+// hammer the daemon with predict requests for S seconds and the bench
+// reports p50/p99 request latency and sustained graphs/s into
+// BENCH_serve.json. Any failed request makes the bench exit non-zero, so CI
+// uses it directly as the soak gate.
+//
+// Modes:
+//   --emit-fixture DIR   write a deterministic serve fixture (serve.ckpt +
+//                        req_<i>.psample request files, built from the
+//                        simulated suite corpus — no golden-dir dependency)
+//                        and exit.
+//   default              start an in-process Server over the same fixture
+//                        data (generated in memory) and load it.
+//   --port P             skip the in-process server and load an externally
+//                        started paragraph-serve daemon instead (start it
+//                        with --checkpoint DIR/serve.ckpt from a fixture so
+//                        request bytes and checkpoint match).
+//
+// Knobs: --fixture DIR (read request bytes from an emitted fixture),
+// --clients C (default 4), --seconds S (default 5), --json PATH (default
+// BENCH_serve.json next to the binary).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "io/pgraph_io.hpp"
+#include "model/checkpoint.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace pg;
+
+const char* option_value(int argc, char** argv, const char* name) {
+  for (int a = 1; a + 1 < argc; ++a)
+    if (std::strcmp(argv[a], name) == 0) return argv[a + 1];
+  return nullptr;
+}
+
+std::int64_t int_option(int argc, char** argv, const char* name,
+                        std::int64_t fallback) {
+  const char* value = option_value(argc, argv, name);
+  return value != nullptr ? std::stoll(value) : fallback;
+}
+
+/// The deterministic serve corpus: simulated suite samples (first platform,
+/// bench scale/seed) plus a fresh fixed-init model — the same recipe the
+/// serve tests use with the golden corpus, but self-contained.
+struct ServeFixture {
+  model::ModelConfig model_config;
+  std::shared_ptr<model::ParaGraphModel> model;
+  model::CheckpointScalers scalers;
+  std::vector<std::string> request_bytes;  // serialised .psample containers
+};
+
+ServeFixture build_fixture(const bench::BenchConfig& config,
+                           std::size_t max_requests) {
+  ServeFixture fx;
+  const sim::Platform platform = sim::all_platforms().front();
+
+  dataset::GenerationConfig gen;
+  gen.scale = config.scale;
+  gen.seed = config.seed;
+  const auto points = dataset::generate_dataset(platform, gen);
+
+  dataset::SampleBuildConfig build;
+  dataset::CorpusKey key;
+  key.platform_name = platform.name;
+  key.scale = config.scale;
+  key.representation = build.representation;
+  key.seed = config.seed;
+  key.log_target = build.log_target;
+  const model::SampleSet set = dataset::load_or_build_sample_set(
+      env_string("PARAGRAPH_CORPUS_DIR", ""), key, points, build);
+
+  fx.model_config.hidden_dim = config.hidden_dim;
+  fx.model = std::make_shared<model::ParaGraphModel>(fx.model_config);
+  fx.scalers = model::CheckpointScalers::from_sample_set(set);
+
+  const std::size_t count = std::min(max_requests, set.train.size());
+  fx.request_bytes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    fx.request_bytes.push_back(serve::Client::sample_bytes(set.train[i]));
+  return fx;
+}
+
+int emit_fixture(const std::string& dir, const bench::BenchConfig& config) {
+  const ServeFixture fx = build_fixture(config, 8);
+  model::save_checkpoint_file(dir + "/serve.ckpt", *fx.model, fx.scalers);
+  for (std::size_t i = 0; i < fx.request_bytes.size(); ++i) {
+    const std::string path = dir + "/req_" + std::to_string(i) + ".psample";
+    std::ofstream os(path, std::ios::binary);
+    os.write(fx.request_bytes[i].data(),
+             static_cast<std::streamsize>(fx.request_bytes[i].size()));
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %s/serve.ckpt and %zu request files\n", dir.c_str(),
+              fx.request_bytes.size());
+  return 0;
+}
+
+std::vector<std::string> read_fixture_requests(const std::string& dir) {
+  std::vector<std::string> requests;
+  for (std::size_t i = 0;; ++i) {
+    std::ifstream is(dir + "/req_" + std::to_string(i) + ".psample",
+                     std::ios::binary);
+    if (!is) break;
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    requests.push_back(buffer.str());
+  }
+  return requests;
+}
+
+struct ClientTotals {
+  std::vector<double> latencies_us;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy_retries = 0;
+};
+
+void run_client(std::uint16_t port, const std::vector<std::string>& requests,
+                std::size_t offset, std::chrono::steady_clock::time_point until,
+                ClientTotals& totals) {
+  try {
+    serve::Client client(port, 30000);
+    std::size_t next = offset;
+    while (std::chrono::steady_clock::now() < until) {
+      const std::string& request = requests[next++ % requests.size()];
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto response =
+          client.predict_until_served(request, &totals.busy_retries);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!response.has_value() ||
+          response->kind != serve::FrameKind::kPredictReply) {
+        ++totals.errors;
+        continue;
+      }
+      ++totals.ok;
+      totals.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  } catch (const serve::SocketError& e) {
+    std::fprintf(stderr, "client: %s\n", e.what());
+    ++totals.errors;
+  }
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config;
+
+  if (const char* dir = option_value(argc, argv, "--emit-fixture"))
+    return emit_fixture(dir, config);
+
+  const std::int64_t clients = int_option(argc, argv, "--clients", 4);
+  const std::int64_t seconds = int_option(argc, argv, "--seconds", 5);
+  const char* fixture_dir = option_value(argc, argv, "--fixture");
+  const std::int64_t external_port = int_option(argc, argv, "--port", 0);
+
+  bench::print_header("paragraph-serve load", config);
+
+  // Request bytes: from an emitted fixture, or the same data in memory.
+  std::optional<ServeFixture> fx;
+  std::vector<std::string> requests;
+  if (fixture_dir != nullptr) {
+    requests = read_fixture_requests(fixture_dir);
+    if (requests.empty()) {
+      std::fprintf(stderr, "no req_*.psample under %s\n", fixture_dir);
+      return 1;
+    }
+  } else {
+    fx = build_fixture(config, 8);
+    requests = fx->request_bytes;
+  }
+
+  // The target: an external daemon, or an in-process server over the
+  // fixture model (env knobs PARAGRAPH_SERVE_* still apply).
+  std::unique_ptr<serve::Server> server;
+  std::uint16_t port = static_cast<std::uint16_t>(external_port);
+  if (external_port == 0) {
+    if (!fx) fx = build_fixture(config, 1);  // model + scalers only
+    server = std::make_unique<serve::Server>(*fx->model, fx->scalers,
+                                             serve::serve_config_from_env());
+    server->start();
+    port = server->port();
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto until = started + std::chrono::seconds(seconds);
+  std::vector<ClientTotals> totals(static_cast<std::size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(totals.size());
+  for (std::size_t c = 0; c < totals.size(); ++c)
+    threads.emplace_back(
+        [&, c] { run_client(port, requests, c, until, totals[c]); });
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  std::vector<double> latencies;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy_retries = 0;
+  for (ClientTotals& t : totals) {
+    latencies.insert(latencies.end(), t.latencies_us.begin(),
+                     t.latencies_us.end());
+    ok += t.ok;
+    errors += t.errors;
+    busy_retries += t.busy_retries;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double throughput = elapsed_s > 0.0 ? static_cast<double>(ok) / elapsed_s : 0.0;
+
+  std::printf("clients=%lld seconds=%lld target=%s\n",
+              static_cast<long long>(clients), static_cast<long long>(seconds),
+              external_port != 0 ? "external daemon" : "in-process server");
+  std::printf("requests ok        %llu\n", static_cast<unsigned long long>(ok));
+  std::printf("errors             %llu\n",
+              static_cast<unsigned long long>(errors));
+  std::printf("busy retries       %llu\n",
+              static_cast<unsigned long long>(busy_retries));
+  std::printf("latency p50        %.1f us\n", p50);
+  std::printf("latency p99        %.1f us\n", p99);
+  std::printf("sustained          %.1f graphs/s\n", throughput);
+
+  if (server != nullptr) {
+    server->stop();
+    const serve::ServerStats stats = server->stats();
+    std::printf("server batches     %llu (%.2f graphs/batch)\n",
+                static_cast<unsigned long long>(stats.batches),
+                stats.batches > 0 ? static_cast<double>(stats.requests_ok) /
+                                        static_cast<double>(stats.batches)
+                                  : 0.0);
+  }
+
+  bench::JsonReport report("serve_load");
+  report.add("scale", to_string(config.scale));
+  report.add("mode", external_port != 0 ? "external" : "in-process");
+  report.add("clients", static_cast<int>(clients));
+  report.add("seconds", static_cast<int>(seconds));
+  report.add("requests_ok", static_cast<std::size_t>(ok));
+  report.add("errors", static_cast<std::size_t>(errors));
+  report.add("busy_retries", static_cast<std::size_t>(busy_retries));
+  report.add("latency_p50_us", p50);
+  report.add("latency_p99_us", p99);
+  report.add("graphs_per_s", throughput);
+  std::string json = bench::json_path_from_args(argc, argv);
+  if (json.empty()) json = "BENCH_serve.json";
+  if (!report.write(json)) return 1;
+
+  if (errors > 0) {
+    std::fprintf(stderr, "FAIL: %llu request errors\n",
+                 static_cast<unsigned long long>(errors));
+    return 1;
+  }
+  if (ok == 0) {
+    std::fprintf(stderr, "FAIL: no successful requests\n");
+    return 1;
+  }
+  return 0;
+}

@@ -623,14 +623,24 @@ bool DatasetReader::next(model::TrainingSample& sample, Split& split) {
     throw FormatError("corrupt dataset file: bad record marker");
   const std::uint64_t body = get_u64(src);
   if (body > kMaxSectionBytes)
-    throw FormatError("corrupt dataset file: implausible record size");
-  src.push_budget(body);
-  const std::uint8_t split_raw = get_u8(src);
-  if (split_raw > static_cast<std::uint8_t>(Split::kValidation))
-    throw FormatError("corrupt dataset record: bad split tag");
-  split = static_cast<Split>(split_raw);
-  sample = get_sample_body(src);
-  src.pop_budget();
+    throw FormatError("corrupt dataset file: implausible record size in "
+                      "record " + std::to_string(records_) + "'s frame");
+  // Decode failures inside the record body (truncation, budget over/underrun,
+  // corrupt counts) carry the record index — "which sample of the million"
+  // is the first thing a corpus-corruption report needs.
+  try {
+    src.push_budget(body);
+    const std::uint8_t split_raw = get_u8(src);
+    if (split_raw > static_cast<std::uint8_t>(Split::kValidation))
+      throw FormatError("bad split tag");
+    split = static_cast<Split>(split_raw);
+    sample = get_sample_body(src);
+    src.pop_budget();
+  } catch (const FormatError& e) {
+    throw FormatError("corrupt dataset record " + std::to_string(records_) +
+                      " (" + std::to_string(body) + "-byte frame): " +
+                      e.what());
+  }
   ++records_;
   return true;
 }

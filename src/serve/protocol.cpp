@@ -1,0 +1,147 @@
+// Frame header/payload codecs for the serve protocol. Byte order is
+// assembled with the pg::io little-endian primitives over an in-memory
+// sink/source, so the wire format shares one endianness implementation with
+// the on-disk containers.
+#include "serve/protocol.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "io/binary.hpp"
+
+namespace pg::serve {
+namespace {
+
+/// Sink writing into a caller-provided byte vector (appends). resize+memcpy
+/// instead of insert(end, p, p+n): range-insert of tiny constant spans trips
+/// a GCC 12 -Wstringop-overflow false positive under -O2.
+struct VectorSink {
+  std::vector<std::uint8_t>& out;
+  void bytes(const void* data, std::size_t n) {
+    const std::size_t old_size = out.size();
+    out.resize(old_size + n);
+    std::memcpy(out.data() + old_size, data, n);
+  }
+};
+
+}  // namespace
+
+std::string_view frame_kind_name(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kPredictRequest: return "predict-request";
+    case FrameKind::kPing: return "ping";
+    case FrameKind::kPredictReply: return "predict-reply";
+    case FrameKind::kErrorReply: return "error-reply";
+    case FrameKind::kBusyReply: return "busy-reply";
+    case FrameKind::kPongReply: return "pong-reply";
+  }
+  return "unknown";
+}
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kMalformedFrame: return "malformed-frame";
+    case ErrorCode::kBadVersion: return "bad-version";
+    case ErrorCode::kBadKind: return "bad-kind";
+    case ErrorCode::kBadPayload: return "bad-payload";
+    case ErrorCode::kShuttingDown: return "shutting-down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+void encode_header(const FrameHeader& header,
+                   std::uint8_t out[kFrameHeaderBytes]) {
+  std::vector<std::uint8_t> buffer;
+  buffer.reserve(kFrameHeaderBytes);
+  VectorSink sink{buffer};
+  sink.bytes(kFrameMagic, sizeof kFrameMagic);
+  io::put_u16(sink, header.version);
+  io::put_u16(sink, static_cast<std::uint16_t>(header.kind));
+  io::put_u64(sink, header.request_id);
+  io::put_u64(sink, header.payload_bytes);
+  std::memcpy(out, buffer.data(), kFrameHeaderBytes);
+}
+
+HeaderVerdict decode_header(const std::uint8_t bytes[kFrameHeaderBytes],
+                            FrameHeader& out) {
+  if (std::memcmp(bytes, kFrameMagic, sizeof kFrameMagic) != 0)
+    return HeaderVerdict::kBadMagic;
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(bytes) + sizeof kFrameMagic,
+                  kFrameHeaderBytes - sizeof kFrameMagic));
+  io::Source src(is);
+  out.version = io::get_u16(src);
+  out.kind = static_cast<FrameKind>(io::get_u16(src));
+  out.request_id = io::get_u64(src);
+  out.payload_bytes = io::get_u64(src);
+  if (out.version != kProtocolVersion) return HeaderVerdict::kBadVersion;
+  if (out.payload_bytes > kMaxFramePayload) return HeaderVerdict::kOversized;
+  return HeaderVerdict::kOk;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind, std::uint64_t request_id,
+                                       const void* payload,
+                                       std::size_t payload_bytes) {
+  FrameHeader header;
+  header.kind = kind;
+  header.request_id = request_id;
+  header.payload_bytes = payload_bytes;
+  std::vector<std::uint8_t> frame(kFrameHeaderBytes + payload_bytes);
+  encode_header(header, frame.data());
+  if (payload_bytes > 0)
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload, payload_bytes);
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_predict_reply_payload(
+    const PredictReply& reply) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  VectorSink sink{out};
+  io::put_f64(sink, reply.scaled);
+  io::put_f64(sink, reply.runtime_us);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_error_reply_payload(const ErrorReply& reply) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + 4 + reply.message.size());
+  VectorSink sink{out};
+  io::put_u16(sink, static_cast<std::uint16_t>(reply.code));
+  io::put_string(sink, reply.message);
+  return out;
+}
+
+std::optional<PredictReply> decode_predict_reply_payload(
+    const std::uint8_t* payload, std::size_t payload_bytes) {
+  if (payload_bytes != 16) return std::nullopt;
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(payload), payload_bytes));
+  io::Source src(is);
+  PredictReply reply;
+  reply.scaled = io::get_f64(src);
+  reply.runtime_us = io::get_f64(src);
+  return reply;
+}
+
+std::optional<ErrorReply> decode_error_reply_payload(
+    const std::uint8_t* payload, std::size_t payload_bytes) {
+  if (payload_bytes < 6 || payload_bytes > kMaxFramePayload)
+    return std::nullopt;
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(payload), payload_bytes));
+  io::Source src(is);
+  ErrorReply reply;
+  try {
+    src.push_budget(payload_bytes);
+    reply.code = static_cast<ErrorCode>(io::get_u16(src));
+    reply.message = io::get_string(src);
+    src.pop_budget();
+  } catch (const io::FormatError&) {
+    return std::nullopt;
+  }
+  return reply;
+}
+
+}  // namespace pg::serve

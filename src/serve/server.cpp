@@ -1,0 +1,336 @@
+// Server implementation: accept/reader threads feeding a bounded admission
+// queue, worker threads coalescing requests through the dynamic batching
+// window into fused InferenceEngine batches.
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "io/pgraph_io.hpp"
+#include "support/env.hpp"
+
+namespace pg::serve {
+namespace {
+
+std::int64_t clamped_env(const char* name, std::int64_t fallback,
+                         std::int64_t lo, std::int64_t hi) {
+  return std::clamp(env_int(name, fallback), lo, hi);
+}
+
+}  // namespace
+
+ServeConfig serve_config_from_env(ServeConfig base) {
+  base.port = static_cast<std::uint16_t>(
+      clamped_env("PARAGRAPH_SERVE_PORT", base.port, 0, 65535));
+  base.workers = static_cast<std::size_t>(clamped_env(
+      "PARAGRAPH_SERVE_WORKERS", static_cast<std::int64_t>(base.workers), 1, 256));
+  base.queue_depth = static_cast<std::size_t>(
+      clamped_env("PARAGRAPH_SERVE_QUEUE",
+                  static_cast<std::int64_t>(base.queue_depth), 1, 1 << 20));
+  base.batch_max = static_cast<std::size_t>(
+      clamped_env("PARAGRAPH_SERVE_BATCH",
+                  static_cast<std::int64_t>(base.batch_max), 1,
+                  static_cast<std::int64_t>(kMaxChunkSize)));
+  base.batch_window_us = static_cast<std::uint32_t>(
+      clamped_env("PARAGRAPH_SERVE_WINDOW_US", base.batch_window_us, 0,
+                  10'000'000));
+  base.idle_timeout_ms = static_cast<int>(clamped_env(
+      "PARAGRAPH_SERVE_IDLE_TIMEOUT_MS", base.idle_timeout_ms, 0, 3'600'000));
+  return base;
+}
+
+Server::Server(const model::ParaGraphModel& model,
+               const model::CheckpointScalers& scalers, ServeConfig config)
+    : model_(&model), config_(config) {
+  scalers.apply_to(scaler_set_);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  listener_.listen(config_.port, config_.backlog);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  worker_threads_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w)
+    worker_threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void Server::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  stopping_.store(true);
+
+  // 1. No new connections: close the listener, reap the accept thread.
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // 2. No new requests: end-of-stream every reader and reap them. Replies
+  //    in flight still go out (only the read side is shut down).
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const ConnectionPtr& conn : connections_) conn->socket.shutdown_read();
+  }
+  for (std::thread& t : reader_threads_)
+    if (t.joinable()) t.join();
+
+  // 3. Drain: workers finish everything admitted, then exit on the empty
+  //    queue (pop_batch returns empty once stopping_ && queue empty).
+  queue_cv_.notify_all();
+  for (std::thread& t : worker_threads_)
+    if (t.joinable()) t.join();
+
+  // 4. Any request admitted in the shutdown race after its worker exited
+  //    still gets an answer — the drain contract is "every admitted request
+  //    is replied to", even if the reply is shutting-down.
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    while (!queue_.empty()) {
+      Pending pending = std::move(queue_.front());
+      queue_.pop_front();
+      send_error(pending.conn, pending.request_id, ErrorCode::kShuttingDown,
+                 "server shutting down");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  connections_.clear();  // closes the sockets
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections = stat_connections_.load(std::memory_order_relaxed);
+  s.requests_ok = stat_requests_ok_.load(std::memory_order_relaxed);
+  s.requests_error = stat_requests_error_.load(std::memory_order_relaxed);
+  s.busy_rejected = stat_busy_.load(std::memory_order_relaxed);
+  s.batches = stat_batches_.load(std::memory_order_relaxed);
+  s.pings = stat_pings_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- accept / read --------------------------------------------------------
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    Socket accepted = listener_.accept();
+    if (!accepted.valid()) {
+      if (stopping_.load() || !listener_.valid()) break;
+      continue;  // transient accept failure
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->socket = std::move(accepted);
+    if (config_.idle_timeout_ms > 0)
+      conn->socket.set_recv_timeout_ms(config_.idle_timeout_ms);
+    stat_connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (stopping_.load()) break;  // raced with stop(): drop the connection
+    connections_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(const ConnectionPtr& conn) {
+  try {
+    while (serve_frame(conn)) {
+    }
+  } catch (const SocketError&) {
+    // Peer vanished / timed out mid-message: clean disconnect.
+  }
+  conn->socket.shutdown_read();
+  // Reap: drop the server's reference so the descriptor closes as soon as
+  // the last in-flight reply (workers hold their own ConnectionPtr) is
+  // written. Without this a churn of short-lived connections — the fuzz
+  // suite opens ~1000 — would hold every fd until stop().
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  std::erase(connections_, conn);
+}
+
+bool Server::serve_frame(const ConnectionPtr& conn) {
+  std::uint8_t header_bytes[kFrameHeaderBytes];
+  if (!conn->socket.read_exact(header_bytes, sizeof header_bytes))
+    return false;  // clean end-of-stream between frames
+
+  FrameHeader header;
+  switch (decode_header(header_bytes, header)) {
+    case HeaderVerdict::kOk:
+      break;
+    case HeaderVerdict::kBadMagic:
+      // The stream's framing cannot be trusted any more: answer, then close.
+      send_error(conn, 0, ErrorCode::kMalformedFrame,
+                 "bad frame magic (expected PGSV)");
+      return false;
+    case HeaderVerdict::kBadVersion:
+      send_error(conn, header.request_id, ErrorCode::kBadVersion,
+                 "unsupported protocol version " +
+                     std::to_string(header.version) + " (this server speaks " +
+                     std::to_string(kProtocolVersion) + ")");
+      return false;
+    case HeaderVerdict::kOversized:
+      send_error(conn, header.request_id, ErrorCode::kMalformedFrame,
+                 "frame payload larger than the protocol cap");
+      return false;
+  }
+
+  switch (header.kind) {
+    case FrameKind::kPing:
+      conn->socket.discard_exact(header.payload_bytes);
+      stat_pings_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(conn, FrameKind::kPongReply, header.request_id, nullptr, 0);
+      return true;
+
+    case FrameKind::kPredictRequest: {
+      if (header.payload_bytes == 0) {
+        send_error(conn, header.request_id, ErrorCode::kBadPayload,
+                   "zero-length predict payload (expected a .psample "
+                   "container)");
+        return true;  // request-scoped failure: the connection lives on
+      }
+      std::string payload(static_cast<std::size_t>(header.payload_bytes), '\0');
+      if (!conn->socket.read_exact(payload.data(), payload.size()))
+        throw SocketError("connection closed mid-payload");
+
+      Pending pending;
+      pending.conn = conn;
+      pending.request_id = header.request_id;
+      try {
+        std::istringstream is(std::move(payload));
+        model::TrainingSample sample = io::read_sample(is);
+        pending.graph = std::move(sample.graph);
+        pending.aux = sample.aux;
+      } catch (const io::FormatError& e) {
+        // Per-request error isolation: one malformed sample answers with an
+        // error reply and never disturbs the process or this connection.
+        send_error(conn, header.request_id, ErrorCode::kBadPayload, e.what());
+        return true;
+      }
+
+      if (stopping_.load()) {
+        send_error(conn, header.request_id, ErrorCode::kShuttingDown,
+                   "server shutting down");
+        return true;
+      }
+      if (!try_enqueue(std::move(pending))) {
+        stat_busy_.fetch_add(1, std::memory_order_relaxed);
+        send_frame(conn, FrameKind::kBusyReply, header.request_id, nullptr, 0);
+      }
+      return true;
+    }
+
+    default:
+      // Unknown or reply-direction kind; the length field is trusted, so
+      // skip the payload and keep the connection.
+      conn->socket.discard_exact(header.payload_bytes);
+      send_error(conn, header.request_id, ErrorCode::kBadKind,
+                 "unexpected frame kind " +
+                     std::to_string(static_cast<unsigned>(header.kind)));
+      return true;
+  }
+}
+
+// --- queue / workers ------------------------------------------------------
+
+bool Server::try_enqueue(Pending&& pending) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (queue_.size() >= config_.queue_depth) return false;
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+std::vector<Server::Pending> Server::pop_batch() {
+  std::vector<Pending> batch;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this] { return !queue_.empty() || stopping_.load(); });
+  if (queue_.empty()) return batch;  // stopping and fully drained
+
+  batch.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.batch_window_us);
+  while (batch.size() < config_.batch_max) {
+    if (!queue_.empty()) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      continue;
+    }
+    // Draining: never sit out the window on an empty queue during shutdown.
+    if (stopping_.load()) break;
+    if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+  }
+  return batch;
+}
+
+void Server::worker_loop(std::size_t /*worker_index*/) {
+  // Each worker owns its engine shard: InferenceEngine keys its per-thread
+  // state by OpenMP thread ids, which distinct std::threads share — one
+  // engine per worker keeps the workspace arenas disjoint.
+  model::InferenceEngine engine(*model_);
+
+  std::vector<model::EncodedGraph> graphs;
+  std::vector<std::array<float, 2>> aux;
+  std::vector<double> scaled;
+  while (true) {
+    std::vector<Pending> batch = pop_batch();
+    if (batch.empty()) return;
+
+    graphs.clear();
+    aux.clear();
+    graphs.reserve(batch.size());
+    aux.reserve(batch.size());
+    for (Pending& p : batch) {
+      graphs.push_back(std::move(p.graph));
+      aux.push_back(p.aux);
+    }
+    scaled.assign(batch.size(), 0.0);
+    try {
+      engine.predict_batch(graphs, aux, scaled);
+    } catch (const std::exception& e) {
+      for (const Pending& p : batch)
+        send_error(p.conn, p.request_id, ErrorCode::kInternal, e.what());
+      continue;
+    }
+    stat_batches_.fetch_add(1, std::memory_order_relaxed);
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PredictReply reply;
+      reply.scaled = scaled[i];
+      reply.runtime_us = scaler_set_.from_target(scaled[i]);
+      const auto payload = encode_predict_reply_payload(reply);
+      // Count before writing: a client that reads stats() right after its
+      // reply must already see this request.
+      stat_requests_ok_.fetch_add(1, std::memory_order_relaxed);
+      send_frame(batch[i].conn, FrameKind::kPredictReply, batch[i].request_id,
+                 payload.data(), payload.size());
+    }
+  }
+}
+
+// --- replies --------------------------------------------------------------
+
+void Server::send_frame(const ConnectionPtr& conn, FrameKind kind,
+                        std::uint64_t request_id, const void* payload,
+                        std::size_t payload_bytes) {
+  const auto frame = encode_frame(kind, request_id, payload, payload_bytes);
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  try {
+    conn->socket.write_all(frame.data(), frame.size());
+  } catch (const SocketError&) {
+    // The peer is gone; dropping its reply is the correct outcome.
+  }
+}
+
+void Server::send_error(const ConnectionPtr& conn, std::uint64_t request_id,
+                        ErrorCode code, const std::string& message) {
+  ErrorReply reply;
+  reply.code = code;
+  reply.message = message;
+  const auto payload = encode_error_reply_payload(reply);
+  stat_requests_error_.fetch_add(1, std::memory_order_relaxed);
+  send_frame(conn, FrameKind::kErrorReply, request_id, payload.data(),
+             payload.size());
+}
+
+}  // namespace pg::serve

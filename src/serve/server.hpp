@@ -1,0 +1,157 @@
+// paragraph-serve core: a resident prediction service over the frame
+// protocol in serve/protocol.hpp.
+//
+// Request flow:
+//
+//   accept thread ──▶ one reader thread per connection
+//        reader: read frame, decode the .psample payload (in parallel
+//                across connections), try_push into the admission queue
+//                — full queue => immediate kBusyReply (backpressure)
+//   admission queue (bounded, FIFO)
+//        worker threads: pop the first request, then keep collecting until
+//                batch_max requests are in hand or batch_window_us has
+//                elapsed since the first pop (the dynamic batching window),
+//                run ONE InferenceEngine::predict_batch over the coalesced
+//                graphs, write each reply back on its own connection.
+//
+// Each worker owns a private InferenceEngine shard (engine per-thread state
+// is keyed by OpenMP thread ids, which std::threads share — sharding keeps
+// the arenas disjoint). Because the fused engine is bitwise-identical to
+// predict_one regardless of how graphs are coalesced, every reply is
+// bitwise-equal to a single-threaded in-process prediction no matter how
+// the batching window cut the traffic (tests/serve_test.cpp pins this).
+//
+// Shutdown (stop()): close the listener, shut the read side of every
+// connection (readers drain out), let workers finish everything already
+// admitted, then join all threads. One malformed frame never takes down
+// the process: framing errors answer with kErrorReply and at worst close
+// that one connection.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "model/checkpoint.hpp"
+#include "model/engine.hpp"
+#include "model/paragraph_model.hpp"
+#include "model/sample.hpp"
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace pg::serve {
+
+struct ServeConfig {
+  std::uint16_t port = 0;  // 0 = kernel-chosen ephemeral; see Server::port()
+  int backlog = 64;
+  std::size_t queue_depth = 256;  // admission-queue bound (backpressure)
+  std::size_t batch_max = 16;     // flush the batching window at N graphs...
+  std::uint32_t batch_window_us = 200;  // ...or T microseconds, whichever first
+  std::size_t workers = 1;        // InferenceEngine shards
+  int idle_timeout_ms = 0;        // per-connection recv timeout; 0 = none
+};
+
+/// Env-knob layer (documented in docs/SERVING.md): PARAGRAPH_SERVE_PORT,
+/// _WORKERS, _QUEUE, _BATCH, _WINDOW_US, _IDLE_TIMEOUT_MS override the
+/// defaults; out-of-range values are clamped to sane bounds.
+ServeConfig serve_config_from_env(ServeConfig base = {});
+
+/// Monotonic counters; safe to read while the server runs.
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests_ok = 0;      // predict requests answered
+  std::uint64_t requests_error = 0;   // error replies sent
+  std::uint64_t busy_rejected = 0;    // kBusyReply backpressure responses
+  std::uint64_t batches = 0;          // fused predict_batch calls
+  std::uint64_t pings = 0;
+};
+
+class Server {
+ public:
+  /// The model must stay alive (and unmodified) for the server's lifetime;
+  /// scalers are copied. Construction does not open any socket.
+  Server(const model::ParaGraphModel& model,
+         const model::CheckpointScalers& scalers, ServeConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens and spawns the accept/worker threads.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain the admission queue, join all
+  /// threads. Idempotent; also run by the destructor.
+  void stop();
+
+  /// The actual bound port (after start(); resolves config port 0).
+  [[nodiscard]] std::uint16_t port() const { return listener_.bound_port(); }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Connection {
+    Socket socket;
+    std::mutex write_mutex;  // replies interleave from workers + reader
+  };
+  using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct Pending {
+    ConnectionPtr conn;
+    std::uint64_t request_id = 0;
+    model::EncodedGraph graph;
+    std::array<float, 2> aux{};
+  };
+
+  void accept_loop();
+  void reader_loop(const ConnectionPtr& conn);
+  /// One protocol frame: returns false when the connection should close.
+  bool serve_frame(const ConnectionPtr& conn);
+  void worker_loop(std::size_t worker_index);
+
+  void send_frame(const ConnectionPtr& conn, FrameKind kind,
+                  std::uint64_t request_id, const void* payload,
+                  std::size_t payload_bytes);
+  void send_error(const ConnectionPtr& conn, std::uint64_t request_id,
+                  ErrorCode code, const std::string& message);
+
+  bool try_enqueue(Pending&& pending);
+  /// Pops a coalesced batch honouring batch_max/batch_window_us. Empty
+  /// result means the server is draining and fully drained.
+  std::vector<Pending> pop_batch();
+
+  const model::ParaGraphModel* model_;
+  model::SampleSet scaler_set_;  // from_target() for microsecond replies
+  ServeConfig config_;
+
+  Listener listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::mutex conn_mutex_;
+  std::vector<ConnectionPtr> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Stats counters (relaxed; read via stats()).
+  std::atomic<std::uint64_t> stat_connections_{0};
+  std::atomic<std::uint64_t> stat_requests_ok_{0};
+  std::atomic<std::uint64_t> stat_requests_error_{0};
+  std::atomic<std::uint64_t> stat_busy_{0};
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_pings_{0};
+};
+
+}  // namespace pg::serve

@@ -1,0 +1,161 @@
+// POSIX implementation of the loopback socket wrappers.
+#include "serve/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace pg::serve {
+namespace {
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool Socket::read_exact(void* out, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return false;  // clean end-of-stream between messages
+      throw SocketError("connection closed mid-message");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Receive timeout: idle between messages reads as a clean
+        // disconnect, a stall mid-message is an error.
+        if (got == 0) return false;
+        throw SocketError("receive timeout mid-message");
+      }
+      throw SocketError(errno_text("recv failed"));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::discard_exact(std::uint64_t n) {
+  std::array<std::uint8_t, 4096> scratch;
+  while (n > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(n, scratch.size()));
+    if (!read_exact(scratch.data(), chunk))
+      throw SocketError("connection closed mid-message");
+    n -= chunk;
+  }
+}
+
+void Socket::write_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(errno_text("send failed"));
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+}
+
+void Socket::set_recv_timeout_ms(int ms) {
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0)
+    throw SocketError(errno_text("setsockopt(SO_RCVTIMEO) failed"));
+}
+
+void Listener::listen(std::uint16_t port, int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw SocketError(errno_text("socket failed"));
+
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    throw SocketError(errno_text("bind failed"));
+  if (::listen(sock.fd(), backlog) != 0)
+    throw SocketError(errno_text("listen failed"));
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    throw SocketError(errno_text("getsockname failed"));
+  port_ = ntohs(addr.sin_port);
+  socket_ = std::move(sock);
+}
+
+void Listener::close() {
+  // shutdown(2) before close: on Linux, close() alone does NOT wake a
+  // thread blocked in accept(2) on the same descriptor — the accept loop
+  // would sleep forever and stop() would deadlock joining it. shutdown
+  // forces every blocked accept to return with an error first.
+  if (socket_.valid()) ::shutdown(socket_.fd(), SHUT_RDWR);
+  socket_.close();
+}
+
+Socket Listener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  return Socket(fd);  // invalid on failure; the caller checks
+}
+
+Socket connect_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw SocketError(errno_text("socket failed"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0)
+    throw SocketError(errno_text("connect failed"));
+
+  // Request/reply traffic is latency-bound; coalescing tiny frames behind
+  // Nagle's algorithm would serialise the batching window on 40ms ACK delays.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return sock;
+}
+
+}  // namespace pg::serve

@@ -1,0 +1,85 @@
+// Minimal RAII wrappers over POSIX loopback TCP sockets, shared by the
+// server, the client library, the load generator, and the serve tests.
+// Failures surface as SocketError (an environmental condition, like
+// io::FormatError for files) — never errno-checking boilerplate at every
+// call site, never a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pg::serve {
+
+class SocketError : public std::runtime_error {
+ public:
+  explicit SocketError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Owning file descriptor; closes on destruction, move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  void close();
+  /// shutdown(2) the read side: a thread blocked reading this socket wakes
+  /// with end-of-stream. Replies in flight may still be written.
+  void shutdown_read();
+  /// shutdown(2) the write side: signals end-of-requests to the peer while
+  /// keeping the read side open for remaining replies.
+  void shutdown_write();
+
+  /// Reads exactly `n` bytes. Returns false on clean end-of-stream before
+  /// the first byte; throws SocketError on mid-message EOF, timeout, or a
+  /// socket error. (A timeout while idle between messages also reads as
+  /// end-of-stream=false, so idle-timeout handling stays one code path.)
+  bool read_exact(void* out, std::size_t n);
+
+  /// Discards exactly `n` bytes (unwanted payloads of known length).
+  void discard_exact(std::uint64_t n);
+
+  /// Writes all `n` bytes (MSG_NOSIGNAL: a vanished peer raises
+  /// SocketError, never SIGPIPE).
+  void write_all(const void* data, std::size_t n);
+
+  /// Receive timeout for read_exact/discard_exact; 0 disables.
+  void set_recv_timeout_ms(int ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1:`port` (0 = kernel-chosen ephemeral
+/// port; bound_port() reports the actual one).
+class Listener {
+ public:
+  Listener() = default;
+  void listen(std::uint16_t port, int backlog);
+  /// Blocks for the next connection. Returns an invalid Socket once the
+  /// listener has been closed (the shutdown path) or on transient failure.
+  [[nodiscard]] Socket accept();
+  /// Wakes any thread blocked in accept() (shutdown(2) first — plain close
+  /// would leave it sleeping forever on Linux), then closes.
+  void close();
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  [[nodiscard]] std::uint16_t bound_port() const { return port_; }
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port);
+
+}  // namespace pg::serve

@@ -401,6 +401,46 @@ TEST(IoReject, DatasetCorruptRecordMarker) {
   EXPECT_THROW(reader.next(sample, split), io::FormatError);
 }
 
+TEST(IoReject, DatasetRecordErrorsCarryRecordIndex) {
+  // A decode failure deep inside a record body must name which record died:
+  // "which sample of the million" is the first thing a corpus-corruption
+  // report needs, and a bare FormatError used to lose it.
+  Bytes bytes = slurp(golden_path("corpus.pgds"));
+  // Poison the split tag of the third record. Each record is framed as
+  // "RECD" + u64 body size + body, and the split tag is the body's first
+  // byte (offset marker + 4 + 8). Walk frame-by-frame from the first marker
+  // (a bytewise search past it could false-match "RECD" inside a body).
+  std::size_t marker = bytes.find("RECD");
+  ASSERT_NE(marker, Bytes::npos);
+  auto u64_at = [&bytes](std::size_t off) {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[off + i]))
+           << (8 * i);
+    return v;
+  };
+  for (int skipped = 0; skipped < 2; ++skipped) {
+    marker += 12 + u64_at(marker + 4);
+    ASSERT_LT(marker + 12, bytes.size());
+    ASSERT_EQ(bytes.compare(marker, 4, "RECD"), 0);
+  }
+  bytes[marker + 12] = '\xff';
+
+  std::istringstream is(bytes, std::ios::binary);
+  io::DatasetReader reader(is);
+  model::TrainingSample sample;
+  io::Split split = io::Split::kTrain;
+  try {
+    while (reader.next(sample, split)) {
+    }
+    FAIL() << "expected FormatError";
+  } catch (const io::FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("dataset record 2"),
+              std::string::npos)
+        << "error message lost the record index: " << e.what();
+  }
+}
+
 TEST(IoReject, SampleRelationCorruptLocalIndex) {
   // Flip a relation-edge local index deep inside a .psample and verify the
   // validator refuses it (otherwise it would index out of bounds inside the

@@ -1,0 +1,389 @@
+// Serve-layer regression suite (docs/SERVING.md): frame codec round trips,
+// header rejection (bad magic / version / oversized), the error severity
+// contract (request-scoped failures keep the connection, framing failures
+// close it), and a loopback end-to-end pass over the golden corpus pinned
+// bitwise against the in-process InferenceEngine — the daemon's dynamic
+// batching must never change a single bit of any prediction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/pgraph_io.hpp"
+#include "model/checkpoint.hpp"
+#include "model/engine.hpp"
+#include "model/paragraph_model.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/socket.hpp"
+
+#ifndef PG_GOLDEN_DIR
+#error "PG_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace pg {
+namespace {
+
+const char* kGoldenNames[] = {"matvec_cpu", "matmul_gpu_collapse_mem",
+                              "corr_gpu_mem", "gauss_seidel_cpu_collapse"};
+
+std::string golden_path(const std::string& name) {
+  return std::string(PG_GOLDEN_DIR) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(is)) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+// --- frame codec ----------------------------------------------------------
+
+TEST(ServeProtocol, HeaderRoundTrip) {
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPredictRequest;
+  header.request_id = 0x0123456789abcdefull;
+  header.payload_bytes = 4096;
+
+  std::uint8_t bytes[serve::kFrameHeaderBytes];
+  serve::encode_header(header, bytes);
+  EXPECT_EQ(std::memcmp(bytes, serve::kFrameMagic, 4), 0);
+
+  serve::FrameHeader decoded;
+  ASSERT_EQ(serve::decode_header(bytes, decoded), serve::HeaderVerdict::kOk);
+  EXPECT_EQ(decoded.version, serve::kProtocolVersion);
+  EXPECT_EQ(decoded.kind, header.kind);
+  EXPECT_EQ(decoded.request_id, header.request_id);
+  EXPECT_EQ(decoded.payload_bytes, header.payload_bytes);
+}
+
+TEST(ServeProtocol, HeaderRejectsBadMagicVersionAndOversize) {
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPing;
+  std::uint8_t bytes[serve::kFrameHeaderBytes];
+  serve::encode_header(header, bytes);
+
+  std::uint8_t mangled[serve::kFrameHeaderBytes];
+  serve::FrameHeader out;
+
+  std::memcpy(mangled, bytes, sizeof bytes);
+  mangled[0] = 'X';
+  EXPECT_EQ(serve::decode_header(mangled, out),
+            serve::HeaderVerdict::kBadMagic);
+
+  std::memcpy(mangled, bytes, sizeof bytes);
+  mangled[4] = 0x7f;  // version little-endian low byte
+  EXPECT_EQ(serve::decode_header(mangled, out),
+            serve::HeaderVerdict::kBadVersion);
+
+  std::memcpy(mangled, bytes, sizeof bytes);
+  mangled[23] = 0x7f;  // payload length's top byte: ~2^62 bytes
+  EXPECT_EQ(serve::decode_header(mangled, out),
+            serve::HeaderVerdict::kOversized);
+  // The length field itself decodes before validation (the caller may echo
+  // the request id from such a header).
+  EXPECT_GT(out.payload_bytes, serve::kMaxFramePayload);
+}
+
+TEST(ServeProtocol, PredictReplyPayloadRoundTrip) {
+  serve::PredictReply reply;
+  reply.scaled = -0.123456789012345;
+  reply.runtime_us = 1.5e6;
+  const auto payload = serve::encode_predict_reply_payload(reply);
+  ASSERT_EQ(payload.size(), 16u);
+  const auto decoded =
+      serve::decode_predict_reply_payload(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.has_value());
+  // Bitwise, not approximate: the wire must not perturb a single ULP.
+  EXPECT_EQ(std::memcmp(&decoded->scaled, &reply.scaled, 8), 0);
+  EXPECT_EQ(std::memcmp(&decoded->runtime_us, &reply.runtime_us, 8), 0);
+
+  EXPECT_FALSE(serve::decode_predict_reply_payload(payload.data(), 15));
+  EXPECT_FALSE(serve::decode_predict_reply_payload(payload.data(), 0));
+}
+
+TEST(ServeProtocol, ErrorReplyPayloadRoundTrip) {
+  serve::ErrorReply reply;
+  reply.code = serve::ErrorCode::kBadPayload;
+  reply.message = "sample decode failed: corrupt section table";
+  const auto payload = serve::encode_error_reply_payload(reply);
+  const auto decoded =
+      serve::decode_error_reply_payload(payload.data(), payload.size());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->code, reply.code);
+  EXPECT_EQ(decoded->message, reply.message);
+
+  // Truncated string payloads must decode to nullopt, never throw.
+  for (std::size_t n = 0; n < payload.size(); ++n)
+    EXPECT_FALSE(serve::decode_error_reply_payload(payload.data(), n))
+        << "truncated to " << n << " bytes";
+}
+
+// --- loopback end-to-end --------------------------------------------------
+
+/// Shared server over a deterministic checkpoint: fresh model (fixed init
+/// seed) + the golden corpus scalers — the same recipe cli_test uses.
+class ServeLoopback : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stored_ = io::read_sample_set_file(golden_path("corpus.pgds"));
+    scalers_ = model::CheckpointScalers::from_sample_set(stored_.set);
+    model_ = std::make_unique<model::ParaGraphModel>(config_);
+
+    serve::ServeConfig serve_config;
+    serve_config.workers = 2;
+    serve_config.batch_max = 4;
+    serve_config.batch_window_us = 200;
+    server_ = std::make_unique<serve::Server>(*model_, scalers_, serve_config);
+    server_->start();
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  model::ModelConfig config_;
+  io::StoredSampleSet stored_;
+  model::CheckpointScalers scalers_;
+  std::unique_ptr<model::ParaGraphModel> model_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServeLoopback, PingPong) {
+  serve::Client client(server_->port(), 5000);
+  const auto pong = client.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->kind, serve::FrameKind::kPongReply);
+}
+
+TEST_F(ServeLoopback, PredictionsBitwiseEqualInProcessEngine) {
+  // In-process reference: predict_one per golden sample, single-threaded.
+  model::InferenceEngine engine(*model_);
+  model::SampleSet scaler_set;
+  scalers_.apply_to(scaler_set);
+
+  serve::Client client(server_->port(), 5000);
+  for (const char* name : kGoldenNames) {
+    const model::TrainingSample sample =
+        io::read_sample_file(golden_path(std::string(name) + ".psample"));
+    const double expected = engine.predict_one(sample.graph, sample.aux);
+    const double expected_us = scaler_set.from_target(expected);
+
+    const auto response =
+        client.predict_bytes(slurp(golden_path(std::string(name) + ".psample")));
+    ASSERT_TRUE(response.has_value()) << name;
+    ASSERT_EQ(response->kind, serve::FrameKind::kPredictReply)
+        << name << ": " << response->error.message;
+    EXPECT_EQ(std::memcmp(&response->prediction.scaled, &expected, 8), 0)
+        << name << ": served " << response->prediction.scaled
+        << " != in-process " << expected;
+    EXPECT_EQ(std::memcmp(&response->prediction.runtime_us, &expected_us, 8), 0)
+        << name;
+  }
+}
+
+TEST_F(ServeLoopback, RequestIdsAreEchoedAcrossPipelinedRequests) {
+  // Write three predict frames back-to-back, then collect three replies:
+  // every reply's id must be one of the requests', each exactly once, so
+  // coalesced/pipelined traffic can always be matched to its answers.
+  const std::string psample = slurp(golden_path("matvec_cpu.psample"));
+  serve::Socket socket = serve::connect_loopback(server_->port());
+  socket.set_recv_timeout_ms(5000);
+
+  const std::uint64_t ids[] = {11, 22, 33};
+  for (const std::uint64_t id : ids) {
+    const auto frame =
+        serve::encode_frame(serve::FrameKind::kPredictRequest, id,
+                            psample.data(), psample.size());
+    socket.write_all(frame.data(), frame.size());
+  }
+
+  std::vector<std::uint64_t> seen;
+  for (int i = 0; i < 3; ++i) {
+    std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+    ASSERT_TRUE(socket.read_exact(header_bytes, sizeof header_bytes));
+    serve::FrameHeader header;
+    ASSERT_EQ(serve::decode_header(header_bytes, header),
+              serve::HeaderVerdict::kOk);
+    EXPECT_EQ(header.kind, serve::FrameKind::kPredictReply);
+    socket.discard_exact(header.payload_bytes);
+    seen.push_back(header.request_id);
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{11, 22, 33}));
+}
+
+TEST_F(ServeLoopback, ZeroLengthPredictIsRequestScoped) {
+  serve::Client client(server_->port(), 5000);
+  const auto response = client.predict_bytes("");
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->kind, serve::FrameKind::kErrorReply);
+  EXPECT_EQ(response->error.code, serve::ErrorCode::kBadPayload);
+
+  // Per-request isolation: the same connection still answers pings.
+  const auto pong = client.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->kind, serve::FrameKind::kPongReply);
+}
+
+TEST_F(ServeLoopback, CorruptSamplePayloadIsRequestScoped) {
+  std::string psample = slurp(golden_path("matvec_cpu.psample"));
+  psample[0] = 'X';  // bad container magic -> io::FormatError on decode
+  serve::Client client(server_->port(), 5000);
+  const auto response = client.predict_bytes(psample);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->kind, serve::FrameKind::kErrorReply);
+  EXPECT_EQ(response->error.code, serve::ErrorCode::kBadPayload);
+  EXPECT_FALSE(response->error.message.empty());
+
+  // ...and a well-formed request on the same connection still predicts.
+  const auto good =
+      client.predict_bytes(slurp(golden_path("matvec_cpu.psample")));
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->kind, serve::FrameKind::kPredictReply);
+}
+
+TEST_F(ServeLoopback, UnknownKindIsRequestScoped) {
+  serve::Client client(server_->port(), 5000);
+  const char junk[] = "whatever";
+  const auto response =
+      client.roundtrip(static_cast<serve::FrameKind>(0x7777), junk, sizeof junk);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->kind, serve::FrameKind::kErrorReply);
+  EXPECT_EQ(response->error.code, serve::ErrorCode::kBadKind);
+
+  const auto pong = client.ping();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->kind, serve::FrameKind::kPongReply);
+}
+
+/// Reads one raw reply frame; returns nullopt on end-of-stream.
+std::optional<serve::ErrorReply> read_error_reply(serve::Socket& socket) {
+  std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+  if (!socket.read_exact(header_bytes, sizeof header_bytes)) return std::nullopt;
+  serve::FrameHeader header;
+  EXPECT_EQ(serve::decode_header(header_bytes, header),
+            serve::HeaderVerdict::kOk);
+  EXPECT_EQ(header.kind, serve::FrameKind::kErrorReply);
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(header.payload_bytes));
+  EXPECT_TRUE(socket.read_exact(payload.data(), payload.size()));
+  auto reply = serve::decode_error_reply_payload(payload.data(), payload.size());
+  EXPECT_TRUE(reply.has_value());
+  return reply;
+}
+
+TEST_F(ServeLoopback, BadMagicIsFatal) {
+  serve::Socket socket = serve::connect_loopback(server_->port());
+  socket.set_recv_timeout_ms(5000);
+  std::uint8_t garbage[serve::kFrameHeaderBytes] = {'J', 'U', 'N', 'K'};
+  socket.write_all(garbage, sizeof garbage);
+
+  const auto reply = read_error_reply(socket);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->code, serve::ErrorCode::kMalformedFrame);
+  // Fatal: the server closes the stream after the reply — our next read
+  // sees end-of-stream, not another answer.
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(socket.read_exact(&byte, 1));
+}
+
+TEST_F(ServeLoopback, VersionMismatchIsFatalAndEchoesId) {
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPing;
+  header.request_id = 77;
+  std::uint8_t bytes[serve::kFrameHeaderBytes];
+  serve::encode_header(header, bytes);
+  bytes[4] = 0x63;  // version 0x63 != kProtocolVersion
+
+  serve::Socket socket = serve::connect_loopback(server_->port());
+  socket.set_recv_timeout_ms(5000);
+  socket.write_all(bytes, sizeof bytes);
+
+  std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+  ASSERT_TRUE(socket.read_exact(header_bytes, sizeof header_bytes));
+  serve::FrameHeader reply_header;
+  ASSERT_EQ(serve::decode_header(header_bytes, reply_header),
+            serve::HeaderVerdict::kOk);
+  EXPECT_EQ(reply_header.kind, serve::FrameKind::kErrorReply);
+  EXPECT_EQ(reply_header.request_id, 77u);  // trusted even on version skew
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(reply_header.payload_bytes));
+  ASSERT_TRUE(socket.read_exact(payload.data(), payload.size()));
+  const auto reply =
+      serve::decode_error_reply_payload(payload.data(), payload.size());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->code, serve::ErrorCode::kBadVersion);
+}
+
+TEST_F(ServeLoopback, OversizedFrameIsFatal) {
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPredictRequest;
+  header.request_id = 5;
+  header.payload_bytes = serve::kMaxFramePayload + 1;
+  std::uint8_t bytes[serve::kFrameHeaderBytes];
+  serve::encode_header(header, bytes);
+
+  serve::Socket socket = serve::connect_loopback(server_->port());
+  socket.set_recv_timeout_ms(5000);
+  socket.write_all(bytes, sizeof bytes);
+
+  const auto reply = read_error_reply(socket);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->code, serve::ErrorCode::kMalformedFrame);
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(socket.read_exact(&byte, 1));
+}
+
+TEST_F(ServeLoopback, StatsCountTraffic) {
+  serve::Client client(server_->port(), 5000);
+  ASSERT_TRUE(client.ping().has_value());
+  const auto response =
+      client.predict_bytes(slurp(golden_path("matvec_cpu.psample")));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->kind, serve::FrameKind::kPredictReply);
+
+  const serve::ServerStats stats = server_->stats();
+  EXPECT_GE(stats.connections, 1u);
+  EXPECT_GE(stats.pings, 1u);
+  EXPECT_GE(stats.requests_ok, 1u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST_F(ServeLoopback, ClientSampleBytesMatchWireFormat) {
+  // The client's serialisation IS the on-disk .psample format — one format,
+  // two transports.
+  const model::TrainingSample sample =
+      io::read_sample_file(golden_path("matvec_cpu.psample"));
+  EXPECT_EQ(serve::Client::sample_bytes(sample),
+            slurp(golden_path("matvec_cpu.psample")));
+}
+
+TEST(ServeConfigEnv, KnobsAreReadAndClamped) {
+  struct Restore {
+    ~Restore() {
+      unsetenv("PARAGRAPH_SERVE_WORKERS");
+      unsetenv("PARAGRAPH_SERVE_QUEUE");
+      unsetenv("PARAGRAPH_SERVE_WINDOW_US");
+    }
+  } restore;
+  setenv("PARAGRAPH_SERVE_WORKERS", "3", 1);
+  setenv("PARAGRAPH_SERVE_QUEUE", "0", 1);  // below the floor of 1 -> clamped
+  setenv("PARAGRAPH_SERVE_WINDOW_US", "500", 1);
+  const serve::ServeConfig config = serve::serve_config_from_env();
+  EXPECT_EQ(config.workers, 3u);
+  EXPECT_EQ(config.queue_depth, 1u);
+  EXPECT_EQ(config.batch_window_us, 500u);
+}
+
+}  // namespace
+}  // namespace pg

@@ -9,6 +9,9 @@
 //   corpus   batch-generate the paper's kernel/variant sweep into a
 //            directory (--golden emits the small pinned regression corpus
 //            under tests/golden/)
+//   client   .psample* -> predictions served by a running paragraph-serve
+//            daemon (the serve protocol's reference client; retries on
+//            backpressure)
 //
 // Exit codes: 0 success, 1 runtime/input failure (bad file, parse error),
 // 2 usage error. All binary-format failures surface as io::FormatError with
@@ -36,6 +39,7 @@
 #include "io/pgraph_io.hpp"
 #include "model/checkpoint.hpp"
 #include "model/engine.hpp"
+#include "serve/client.hpp"
 #include "sim/platform.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
@@ -61,6 +65,8 @@ int usage() {
           [--log-target (override; normally read from the checkpoint)]
           <sample.psample>...
   dump    <file.pgraph|.psample|.pgds>
+  client  --port P [--timeout-ms T] [--ping] [--out <file>]
+          <sample.psample>...
   corpus  --out <dir> [--threads N] [--simd scalar|sse2|avx2]
           (--golden | [--platform power9|v100|epyc|mi50]
           [--scale smoke|default|full] [--seed N]
@@ -116,7 +122,8 @@ Args parse_args(int argc, char** argv, int first) {
       "--runtime-us", "--app",           "--app-id",       "--variant",
       "--checkpoint", "--hidden",        "--out",          "--platform",
       "--scale",     "--seed",           "--simd",         "--child-weight-scale",
-      "--target-bounds", "--teams-bounds", "--threads-bounds"};
+      "--target-bounds", "--teams-bounds", "--threads-bounds",
+      "--port",      "--timeout-ms"};
   Args args;
   for (int a = first; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -157,6 +164,14 @@ std::pair<double, double> bounds_from(const std::string& text) {
 
 std::string read_text_file(const std::string& path) {
   std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string read_text_file_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -328,6 +343,55 @@ int cmd_predict(const Args& args) {
                  scaled[i], set.from_target(scaled[i]));
   if (out != stdout) std::fclose(out);
   return 0;
+}
+
+// --- client ---------------------------------------------------------------
+
+/// Reference client for a running paragraph-serve daemon: sends each
+/// .psample over the serve protocol and prints the same TSV as `predict`
+/// (path, scaled prediction, microseconds) — the bytes on the wire are the
+/// bytes on disk, and the daemon's fused-batch replies are bitwise-equal to
+/// the local predict path (tests/serve_test.cpp pins this).
+int cmd_client(const Args& args) {
+  const std::int64_t port = args.int_option("--port", 0);
+  if (port <= 0 || port > 65535) return usage();
+  const auto timeout_ms =
+      static_cast<int>(args.int_option("--timeout-ms", 30'000));
+
+  serve::Client client(static_cast<std::uint16_t>(port), timeout_ms);
+  if (args.has_flag("--ping")) {
+    const auto pong = client.ping();
+    if (!pong || pong->kind != serve::FrameKind::kPongReply)
+      throw std::runtime_error("server did not answer the ping");
+    std::printf("pong\n");
+    if (args.positional.empty()) return 0;
+  }
+  if (args.positional.empty()) return usage();
+
+  std::FILE* out = stdout;
+  if (const auto out_path = args.option("--out")) {
+    out = std::fopen(out_path->c_str(), "w");
+    if (out == nullptr) throw std::runtime_error("cannot open " + *out_path);
+  }
+  int failures = 0;
+  for (const std::string& path : args.positional) {
+    const std::string bytes = read_text_file_binary(path);
+    const auto response = client.predict_until_served(bytes);
+    if (!response)
+      throw std::runtime_error("server closed the connection");
+    if (response->kind == serve::FrameKind::kPredictReply) {
+      std::fprintf(out, "%s\t%.17g\t%.17g\n", path.c_str(),
+                   response->prediction.scaled, response->prediction.runtime_us);
+    } else {
+      std::fprintf(stderr, "%s: server error (%s): %s\n", path.c_str(),
+                   std::string(serve::error_code_name(response->error.code))
+                       .c_str(),
+                   response->error.message.c_str());
+      ++failures;
+    }
+  }
+  if (out != stdout) std::fclose(out);
+  return failures == 0 ? 0 : 1;
 }
 
 // --- dump -----------------------------------------------------------------
@@ -600,6 +664,7 @@ int main(int argc, char** argv) {
     if (subcommand == "encode") return cmd_encode(args);
     if (subcommand == "predict") return cmd_predict(args);
     if (subcommand == "dump") return cmd_dump(args);
+    if (subcommand == "client") return cmd_client(args);
     if (subcommand == "corpus") return cmd_corpus(args);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     return usage();

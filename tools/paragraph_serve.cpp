@@ -1,0 +1,163 @@
+// paragraph-serve: long-lived prediction daemon over the serve protocol
+// (docs/SERVING.md). Loads a checkpoint once, listens on loopback TCP, and
+// coalesces concurrent predict requests into fused InferenceEngine batches
+// through a bounded admission queue and a dynamic batching window.
+//
+// Shutdown: SIGINT/SIGTERM (or --duration-s for scripted soak runs) drains
+// the queue gracefully and prints the final service counters. Exit codes:
+// 0 clean shutdown, 1 startup/runtime failure, 2 usage error.
+#include <omp.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "model/checkpoint.hpp"
+#include "model/paragraph_model.hpp"
+#include "serve/server.hpp"
+#include "support/env.hpp"
+#include "tensor/simd.hpp"
+
+namespace {
+
+using namespace pg;
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr, R"(usage: paragraph-serve --checkpoint <ckpt> [options]
+
+  --checkpoint <file>   trained model checkpoint (required)
+  --hidden N            model hidden dim (default 24; must match the ckpt)
+  --port P              listen port on 127.0.0.1 (default 0 = ephemeral)
+  --port-file <file>    write the bound port as one line (for scripts)
+  --workers N           InferenceEngine shards (default 2)
+  --queue-depth N       admission queue bound (default 256)
+  --batch-max N         batching window flushes at N graphs (default 16)
+  --window-us T         ...or after T microseconds (default 200)
+  --idle-timeout-ms T   per-connection receive timeout (default 0 = none)
+  --duration-s S        exit after S seconds (default 0 = run until signal)
+  --threads N           OpenMP threads per engine shard (PARAGRAPH_THREADS)
+  --simd LEVEL          kernel dispatch: scalar|sse2|avx2 (PARAGRAPH_SIMD)
+
+  Environment defaults (overridden by the flags above): PARAGRAPH_SERVE_PORT,
+  PARAGRAPH_SERVE_WORKERS, PARAGRAPH_SERVE_QUEUE, PARAGRAPH_SERVE_BATCH,
+  PARAGRAPH_SERVE_WINDOW_US, PARAGRAPH_SERVE_IDLE_TIMEOUT_MS.
+)");
+  return 2;
+}
+
+/// "--flag value" scanner (the CLI's Args helper is private to it; the
+/// daemon's surface is small enough for a direct loop).
+const char* option_value(int argc, char** argv, const char* name) {
+  for (int a = 1; a + 1 < argc; ++a)
+    if (std::string(argv[a]) == name) return argv[a + 1];
+  return nullptr;
+}
+
+std::int64_t int_option(int argc, char** argv, const char* name,
+                        std::int64_t fallback) {
+  const char* value = option_value(argc, argv, name);
+  return value != nullptr ? std::stoll(value) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const char* ckpt_path = option_value(argc, argv, "--checkpoint");
+    if (ckpt_path == nullptr) return usage();
+
+    const std::int64_t threads = int_option(argc, argv, "--threads", 0);
+    if (threads > 0)
+      omp_set_num_threads(static_cast<int>(threads));
+    else if (env_thread_count() > 0)
+      omp_set_num_threads(static_cast<int>(env_thread_count()));
+    if (const char* level = option_value(argc, argv, "--simd")) {
+      const auto parsed = tensor::simd::level_from_name(level);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown SIMD level '%s' (scalar|sse2|avx2)\n",
+                     level);
+        return 2;
+      }
+      tensor::simd::set_active_level(*parsed);
+    }
+
+    model::ModelConfig config;
+    config.hidden_dim =
+        static_cast<std::size_t>(int_option(argc, argv, "--hidden", 24));
+    model::ParaGraphModel model(config);
+    const model::CheckpointScalers scalers =
+        model::load_checkpoint_file(ckpt_path, model);
+
+    serve::ServeConfig serve_config = serve::serve_config_from_env();
+    serve_config.port = static_cast<std::uint16_t>(
+        int_option(argc, argv, "--port", serve_config.port));
+    serve_config.workers = static_cast<std::size_t>(int_option(
+        argc, argv, "--workers",
+        static_cast<std::int64_t>(std::max<std::size_t>(serve_config.workers, 2))));
+    serve_config.queue_depth = static_cast<std::size_t>(
+        int_option(argc, argv, "--queue-depth",
+                   static_cast<std::int64_t>(serve_config.queue_depth)));
+    serve_config.batch_max = static_cast<std::size_t>(
+        int_option(argc, argv, "--batch-max",
+                   static_cast<std::int64_t>(serve_config.batch_max)));
+    serve_config.batch_window_us = static_cast<std::uint32_t>(
+        int_option(argc, argv, "--window-us", serve_config.batch_window_us));
+    serve_config.idle_timeout_ms = static_cast<int>(int_option(
+        argc, argv, "--idle-timeout-ms", serve_config.idle_timeout_ms));
+    const std::int64_t duration_s = int_option(argc, argv, "--duration-s", 0);
+
+    serve::Server server(model, scalers, serve_config);
+    server.start();
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::printf("paragraph-serve: listening on 127.0.0.1:%u (simd %s, "
+                "%zu workers, queue %zu, batch %zu@%uus)\n",
+                server.port(),
+                tensor::simd::level_name(tensor::simd::active_level()),
+                serve_config.workers, serve_config.queue_depth,
+                serve_config.batch_max, serve_config.batch_window_us);
+    std::fflush(stdout);
+    if (const char* port_file = option_value(argc, argv, "--port-file")) {
+      std::ofstream os(port_file);
+      os << server.port() << "\n";
+      if (!os) {
+        std::fprintf(stderr, "error: cannot write %s\n", port_file);
+        return 1;
+      }
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    while (!g_stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      if (duration_s > 0 && std::chrono::steady_clock::now() - started >=
+                                std::chrono::seconds(duration_s))
+        break;
+    }
+
+    server.stop();
+    const serve::ServerStats stats = server.stats();
+    std::printf("paragraph-serve: drained and stopped — %llu connections, "
+                "%llu predictions in %llu batches, %llu errors, %llu busy, "
+                "%llu pings\n",
+                static_cast<unsigned long long>(stats.connections),
+                static_cast<unsigned long long>(stats.requests_ok),
+                static_cast<unsigned long long>(stats.batches),
+                static_cast<unsigned long long>(stats.requests_error),
+                static_cast<unsigned long long>(stats.busy_rejected),
+                static_cast<unsigned long long>(stats.pings));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
