@@ -1,9 +1,11 @@
 // InferenceEngine: per-thread GraphBatch/workspace state + chunk-fused
-// batch prediction. Each chunk of up to fuse_chunk() graphs becomes one
-// block-diagonal batch and one fused model forward; chunks fan out across
-// OpenMP threads. Chunk boundaries adapt to the batch length and thread
-// count (bigger chunks amortise dispatch, more chunks feed more cores) —
-// results never depend on the cut, because the fused forward is
+// batch prediction. Chunk boundaries come from the deterministic cost model
+// in model/schedule.hpp (policy kCost, the default) or from the legacy
+// fixed-width cut (policy kFixed / a PARAGRAPH_CHUNK override). Cheap
+// chunks fan out across OpenMP threads with dynamic stealing; an oversized
+// chunk — a single graph past the intra threshold — runs in a serial phase
+// where the fused forward's intra-batch split points use the whole
+// machine. Results never depend on the cut, because the fused forward is
 // bitwise-equal per graph.
 #include "model/engine.hpp"
 
@@ -11,6 +13,7 @@
 
 #include <algorithm>
 
+#include "model/schedule.hpp"
 #include "support/check.hpp"
 #include "support/env.hpp"
 
@@ -21,18 +24,39 @@ namespace {
 /// amortise per-call dispatch and packing, small enough to keep the
 /// per-thread workspace arena modest and to leave parallelism on the table
 /// for multi-core batch calls. The env override (validated and clamped by
-/// env_chunk_size) lets bench sweeps vary the fusion width without a
+/// env_chunk_override) lets bench sweeps vary the fusion width without a
 /// recompile; the cut never affects values, only throughput.
 constexpr std::size_t kFuseChunk = 64;
 
-/// Cache-footprint cap: a fused chunk's intermediates grow with its total
-/// node-row count (~1.4 KB/node at hidden 24 across the conv stack), so
-/// chunks far beyond a few hundred rows evict the per-core working set and
-/// run *slower* per graph than smaller fusions (a PARAGRAPH_CHUNK sweep on
-/// the 99-node bench graph peaks at 2-4 graphs/chunk on one core). Chunks
-/// therefore also cap at ~this many concatenated rows; tiny graphs keep
-/// fusing deeply (up to kFuseChunk) to amortise dispatch.
+/// Cache-footprint cap for the kFixed policy: a fused chunk's intermediates
+/// grow with its total node-row count (~1.4 KB/node at hidden 24 across the
+/// conv stack), so chunks far beyond a few hundred rows evict the per-core
+/// working set and run *slower* per graph than smaller fusions (a
+/// PARAGRAPH_CHUNK sweep on the 99-node bench graph peaks at 2-4
+/// graphs/chunk on one core). Chunks therefore also cap at ~this many
+/// concatenated rows; tiny graphs keep fusing deeply (up to kFuseChunk) to
+/// amortise dispatch.
 constexpr std::size_t kChunkNodeBudget = 256;
+
+/// The same cache budget for the kCost policy, in cost units
+/// (nodes + 2*edges + overhead — roughly 2048 cost per ~256 rows at the
+/// corpus's typical edge density). A chunk's cost never exceeds this unless
+/// a single graph does.
+constexpr std::uint64_t kChunkCostBudget = 2048;
+
+/// Smallest cost target the planner aims at: below this, packing overhead
+/// dominates and per-graph chunks stop paying for their dispatch.
+constexpr std::uint64_t kChunkCostFloor = 512;
+
+/// Chunks per thread the cost planner aims for (when the budget allows):
+/// oversubscription gives schedule(dynamic) room to steal around the tail.
+constexpr std::uint64_t kChunkOversubscribe = 4;
+
+/// A chunk at least this costly (only a single giant graph can exceed the
+/// budget) is excluded from the chunk-parallel phase and run serially, so
+/// the intra-batch split points inside the fused forward can fan its rows
+/// out instead — one big graph must scale past one core.
+constexpr std::uint64_t kIntraCostThreshold = 4 * kChunkCostBudget;
 
 /// Arena bound per thread. Varied traffic (every chunk composition is a new
 /// block-diagonal shape) would otherwise grow the shape-keyed arena for the
@@ -48,8 +72,10 @@ constexpr std::size_t kArenaCapBytes = 64u << 20;
 InferenceEngine::InferenceEngine(const ParaGraphModel& model)
     : model_(&model),
       pool_(static_cast<std::size_t>(omp_get_max_threads())),
-      fuse_chunk_(env_chunk_size(kFuseChunk)),
-      chunk_overridden_(env_chunk_size(0) != 0) {}
+      chunk_override_(env_chunk_override()),
+      fuse_chunk_(chunk_override_.value_or(kFuseChunk)),
+      policy_(chunk_override_ ? SchedPolicy::kFixed
+                              : sched_policy_from_env()) {}
 
 InferenceEngine::ThreadState& InferenceEngine::state_for_current_thread() {
   const auto tid = static_cast<std::size_t>(omp_get_thread_num());
@@ -87,37 +113,101 @@ void InferenceEngine::run_chunked(std::span<const EncodedGraph* const> graphs,
                                   std::span<const std::array<float, 2>> aux,
                                   std::span<double> out) {
   const std::size_t n = graphs.size();
-  // Chunk size balances fusion (bigger chunks amortise pack + dispatch)
-  // against core utilisation (enough chunks to feed every thread, 2x
-  // oversubscribed for dynamic balance; small batches on many cores degrade
-  // to per-graph chunks, the pre-fusion behaviour) and against cache
-  // footprint (the kChunkNodeBudget row cap — skipped when PARAGRAPH_CHUNK
-  // pins the width explicitly). Chunking never affects values — fused
-  // predictions are bitwise-equal per graph however the batch is cut.
-  std::size_t cap = fuse_chunk_;
-  if (!chunk_overridden_) {
-    std::size_t total_nodes = 0;
-    for (const EncodedGraph* g : graphs) total_nodes += g->features.rows();
-    const std::size_t avg_nodes = std::max<std::size_t>(1, total_nodes / n);
-    cap = std::clamp<std::size_t>(kChunkNodeBudget / avg_nodes, 1, fuse_chunk_);
+  ThreadState& caller = state_for_current_thread();
+
+  // Per-graph cost model (known at pack time). Cheap relative to a
+  // forward: one pass over the relation headers per graph.
+  auto& costs = caller.costs;
+  costs.clear();
+  std::uint64_t total_cost = 0;
+  std::uint64_t total_rows = 0;
+  for (const EncodedGraph* g : graphs) {
+    const std::uint64_t c = schedule::graph_cost(*g);
+    costs.push_back(c);
+    total_cost += c;
+    total_rows += g->features.rows();
   }
+
+  const bool nested = omp_in_parallel();
   const auto threads =
-      omp_in_parallel() ? 1u : static_cast<unsigned>(omp_get_max_threads());
-  const std::size_t chunk_size = std::clamp<std::size_t>(
-      (n + 2 * threads - 1) / (2 * threads), 1, cap);
-  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
-  if (omp_in_parallel() || num_chunks == 1) {
-    // Caller already manages threading (or there is nothing to fan out):
-    // stay serial on this thread, with its own state.
+      nested ? std::uint64_t{1}
+             : static_cast<std::uint64_t>(omp_get_max_threads());
+
+  // Plan the cut. Boundaries are a pure function of (batch, policy, thread
+  // *count*) — never of thread timing — and the cut never affects values.
+  auto& bounds = caller.bounds;
+  if (policy_ == SchedPolicy::kFixed) {
+    // Legacy equal-width cut: chunk size balances fusion against feeding
+    // every thread (2x oversubscribed), capped by the node-row cache
+    // budget unless PARAGRAPH_CHUNK pinned the width explicitly.
+    std::size_t cap = fuse_chunk_;
+    if (!chunk_override_) {
+      const std::size_t avg_nodes =
+          std::max<std::size_t>(1, static_cast<std::size_t>(total_rows) / n);
+      cap = std::clamp<std::size_t>(kChunkNodeBudget / avg_nodes, 1,
+                                    fuse_chunk_);
+    }
+    const std::size_t chunk_size = std::clamp<std::size_t>(
+        (n + 2 * threads - 1) / (2 * threads), 1, cap);
+    bounds.clear();
+    for (std::size_t lo = 0; lo < n; lo += chunk_size)
+      bounds.push_back(static_cast<std::uint32_t>(lo));
+    bounds.push_back(static_cast<std::uint32_t>(n));
+  } else {
+    // Cost-balanced cut: aim for kChunkOversubscribe chunks per thread so
+    // dynamic stealing can absorb the tail, bounded below by the packing-
+    // overhead floor and above by the cache budget.
+    const std::uint64_t target =
+        std::min(kChunkCostBudget,
+                 std::max(kChunkCostFloor,
+                          total_cost / (kChunkOversubscribe * threads)));
+    schedule::partition_by_cost(costs, target, fuse_chunk_, bounds);
+  }
+  const std::size_t num_chunks = bounds.size() - 1;
+
+  stat_batches_.fetch_add(1, std::memory_order_relaxed);
+  stat_graphs_.fetch_add(n, std::memory_order_relaxed);
+  stat_chunks_.fetch_add(num_chunks, std::memory_order_relaxed);
+  stat_rows_.fetch_add(total_rows, std::memory_order_relaxed);
+  stat_last_imbalance_.store(schedule::plan_imbalance(costs, bounds),
+                             std::memory_order_relaxed);
+
+  if (nested) {
+    // Caller already manages threading: stay serial on this thread, with
+    // its own state (the intra-batch split points self-gate too).
     for (std::size_t c = 0; c < num_chunks; ++c)
-      run_chunk(graphs, aux, out, c * chunk_size,
-                std::min(n, (c + 1) * chunk_size));
+      run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
     return;
   }
+
+  // Two-phase execution. Phase 1: cheap chunks fan out across threads,
+  // dynamic stealing balances the (cost-equalised) tail. Phase 2: chunks
+  // past the intra threshold — single giant graphs — run serially, where
+  // the fused forward's row/group split points parallelise *inside* the
+  // chunk instead.
+  auto& small = caller.small_chunks;
+  auto& big = caller.big_chunks;
+  small.clear();
+  big.clear();
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::uint64_t cost =
+        schedule::chunk_cost(costs, bounds[c], bounds[c + 1]);
+    const bool intra = threads > 1 && cost >= kIntraCostThreshold;
+    (intra ? big : small).push_back(static_cast<std::uint32_t>(c));
+  }
+
+  if (small.size() > 1) {
 #pragma omp parallel for schedule(dynamic, 1)
-  for (std::size_t c = 0; c < num_chunks; ++c)
-    run_chunk(graphs, aux, out, c * chunk_size,
-              std::min(n, (c + 1) * chunk_size));
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      const std::uint32_t c = small[i];
+      run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
+    }
+  } else if (small.size() == 1) {
+    run_chunk(graphs, aux, out, bounds[small[0]], bounds[small[0] + 1]);
+  }
+  for (const std::uint32_t c : big)
+    run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
+  stat_intra_chunks_.fetch_add(big.size(), std::memory_order_relaxed);
 }
 
 void InferenceEngine::predict_batch(std::span<const EncodedGraph> graphs,
@@ -154,6 +244,17 @@ std::vector<double> InferenceEngine::predict_samples_us(
   run_chunked(caller.ptrs, caller.aux_gather, predictions);
   for (double& p : predictions) p = set.from_target(p);
   return predictions;
+}
+
+ScheduleStats InferenceEngine::schedule_stats() const {
+  ScheduleStats s;
+  s.batches = stat_batches_.load(std::memory_order_relaxed);
+  s.graphs = stat_graphs_.load(std::memory_order_relaxed);
+  s.chunks = stat_chunks_.load(std::memory_order_relaxed);
+  s.rows = stat_rows_.load(std::memory_order_relaxed);
+  s.intra_chunks = stat_intra_chunks_.load(std::memory_order_relaxed);
+  s.last_imbalance = stat_last_imbalance_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::size_t InferenceEngine::workspace_slots() const {

@@ -6,21 +6,47 @@
 // each chunk of graphs is packed into one block-diagonal GraphBatch and run
 // through a single fused model forward instead of one forward per graph.
 //
+// Chunk boundaries come from a deterministic cost model over per-graph
+// node/edge counts (model/schedule.hpp): chunk costs equalise, so
+// schedule(dynamic) stealing balances skewed batches instead of serialising
+// behind the biggest graph. A chunk too big to share — a single giant
+// graph — runs in a serial phase where the fused forward's intra-batch
+// split points (support/parallel.hpp) fan its rows out across the cores.
+// The cut never affects values: fused predictions are bitwise-equal per
+// graph however the batch is chunked or threaded.
+//
 // The engine does not own the model; keep the model alive for the engine's
 // lifetime. Model parameters may change between calls (the trainer reuses
 // one engine across epochs) — predictions always read the current weights.
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "model/graph_batch.hpp"
 #include "model/paragraph_model.hpp"
 #include "model/sample.hpp"
+#include "support/env.hpp"
 #include "tensor/workspace.hpp"
 
 namespace pg::model {
+
+/// Scheduler counters, cumulative over an engine's lifetime. Monitoring
+/// only — reads are racy-but-consistent snapshots of relaxed atomics and
+/// never affect predictions. rows/chunks gives mean fused rows per chunk;
+/// intra_chunks counts chunks run in the serial intra-parallel phase.
+struct ScheduleStats {
+  std::uint64_t batches = 0;       ///< run_chunked invocations
+  std::uint64_t graphs = 0;        ///< graphs predicted
+  std::uint64_t chunks = 0;        ///< fused chunks dispatched
+  std::uint64_t rows = 0;          ///< node rows packed into fused batches
+  std::uint64_t intra_chunks = 0;  ///< chunks given intra-batch parallelism
+  double last_imbalance = 1.0;     ///< max/mean chunk cost of the last plan
+};
 
 class InferenceEngine {
  public:
@@ -52,11 +78,19 @@ class InferenceEngine {
 
   /// Upper bound on graphs fused per chunk — the compile-time default (64)
   /// unless PARAGRAPH_CHUNK overrode it at engine construction (validated
-  /// and clamped to [1, kMaxChunkSize] by pg::env_chunk_size). Without an
-  /// explicit override the effective chunk additionally adapts to a
-  /// node-row cache budget (see engine.cpp). Chunking affects throughput
-  /// only, never values.
+  /// and clamped to [1, kMaxChunkSize] by pg::env_chunk_override). Under
+  /// the cost policy the effective chunk is usually smaller — bounded by
+  /// the cost budget (see engine.cpp). Chunking affects throughput only,
+  /// never values.
   [[nodiscard]] std::size_t fuse_chunk() const { return fuse_chunk_; }
+
+  /// Active chunk policy: SchedPolicy::kCost balances chunk costs
+  /// (default); SchedPolicy::kFixed is the legacy fixed-width cut, implied
+  /// by a PARAGRAPH_CHUNK override or selected via PARAGRAPH_SCHED=fixed.
+  [[nodiscard]] SchedPolicy chunk_policy() const { return policy_; }
+
+  /// Cumulative scheduler counters (relaxed-atomic snapshot).
+  [[nodiscard]] ScheduleStats schedule_stats() const;
 
   // Aggregate arena statistics over the thread pool — flat counts between
   // two calls mean the steady state (zero allocation) has been reached.
@@ -65,14 +99,19 @@ class InferenceEngine {
 
  private:
   /// Per-thread fused-batch state; everything grow-only. Top-level entry
-  /// points use the *calling* thread's ptrs/aux_gather as gather buffers, so
-  /// concurrent callers from an enclosing parallel region never share state.
+  /// points use the *calling* thread's ptrs/aux_gather/plan buffers, so
+  /// concurrent callers from an enclosing parallel region never share
+  /// state.
   struct ThreadState {
     tensor::Workspace ws;
     GraphBatch batch;
     tensor::Matrix aux;                          // [chunk x aux_dim]
     std::vector<const EncodedGraph*> ptrs;       // batch gather scratch
     std::vector<std::array<float, 2>> aux_gather;  // predict_samples_us
+    std::vector<std::uint64_t> costs;      // per-graph cost-model scratch
+    std::vector<std::uint32_t> bounds;     // chunk boundaries scratch
+    std::vector<std::uint32_t> small_chunks;  // phase-1 (chunk-parallel)
+    std::vector<std::uint32_t> big_chunks;    // phase-2 (intra-parallel)
     std::size_t arena_baseline = 0;  // ws footprint after last reset's pass
   };
 
@@ -81,10 +120,11 @@ class InferenceEngine {
   void run_chunk(std::span<const EncodedGraph* const> graphs,
                  std::span<const std::array<float, 2>> aux,
                  std::span<double> out, std::size_t lo, std::size_t hi);
-  /// The shared chunk fan-out: splits [0, n) into fuse_chunk()-sized chunks
-  /// and runs them serially (inside an enclosing parallel region, or when
-  /// there is only one chunk) or OpenMP-parallel otherwise. Both public
-  /// batch entry points route through here so the threading policy cannot
+  /// The shared chunk fan-out: plans chunk boundaries (cost-balanced or
+  /// fixed-width), runs cheap chunks OpenMP-parallel with dynamic
+  /// stealing, then runs oversized chunks serially so the fused forward's
+  /// intra-batch split points can use the whole machine. Both public batch
+  /// entry points route through here so the threading policy cannot
   /// diverge between them.
   void run_chunked(std::span<const EncodedGraph* const> graphs,
                    std::span<const std::array<float, 2>> aux,
@@ -92,8 +132,17 @@ class InferenceEngine {
 
   const ParaGraphModel* model_;
   std::vector<ThreadState> pool_;  // one per OpenMP thread
+  std::optional<std::size_t> chunk_override_;  // PARAGRAPH_CHUNK, if set
   std::size_t fuse_chunk_;         // graphs-per-chunk cap (env-overridable)
-  bool chunk_overridden_;          // PARAGRAPH_CHUNK set: skip the node cap
+  SchedPolicy policy_;             // cost-balanced vs fixed-width cut
+
+  // Scheduler counters (ScheduleStats): relaxed — monitoring only.
+  std::atomic<std::uint64_t> stat_batches_{0};
+  std::atomic<std::uint64_t> stat_graphs_{0};
+  std::atomic<std::uint64_t> stat_chunks_{0};
+  std::atomic<std::uint64_t> stat_rows_{0};
+  std::atomic<std::uint64_t> stat_intra_chunks_{0};
+  std::atomic<double> stat_last_imbalance_{1.0};
 };
 
 }  // namespace pg::model

@@ -1,25 +1,27 @@
 // Mini-batch Adam/MSE training loop over fused GraphBatch chunks.
 //
-// Determinism: each batch is split into (at most) kGradChunks contiguous
-// chunks whose boundaries depend only on the batch length. A chunk packs
-// its samples into one block-diagonal GraphBatch and accumulates the summed
-// gradient with a single fused forward/backward — a fixed, serial FP order.
-// Chunks run in parallel (they are independent), and the per-chunk buffers
-// are then reduced in chunk order on one thread. No step depends on the
-// OpenMP thread count or schedule, so training is bitwise-reproducible
-// across machines. (The pre-CSR trainer accumulated per *thread*, which was
-// only reproducible for a fixed thread count.)
+// Determinism: each batch is split into contiguous chunks whose boundaries
+// are a pure function of the batch's per-sample costs (model/schedule.hpp)
+// — never of the thread count or schedule. A chunk packs its samples into
+// one block-diagonal GraphBatch and accumulates the summed gradient with a
+// single fused forward/backward — a fixed, serial FP order. Chunks run in
+// parallel (they are independent), and the per-chunk buffers are then
+// reduced in chunk order on one thread. No step depends on the OpenMP
+// thread count, so training is bitwise-reproducible across machines. (The
+// pre-CSR trainer accumulated per *thread*, which was only reproducible
+// for a fixed thread count; the pre-cost trainer pinned 16 chunks, which
+// wasted cores on small batches and unbalanced skewed ones.)
 #include "model/trainer.hpp"
 
 #include <omp.h>
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <numeric>
 
 #include "model/engine.hpp"
 #include "model/graph_batch.hpp"
+#include "model/schedule.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -27,10 +29,17 @@
 namespace pg::model {
 namespace {
 
-/// Fixed gradient-accumulation fan-out. Part of the training recipe: the
-/// chunking (and thus the FP reduction order) is the same whether the run
-/// uses 1 thread or 64.
-constexpr std::size_t kGradChunks = 16;
+/// Gradient chunks aim at this cost per chunk (nodes + 2*edges + overhead
+/// per sample): small enough that even a modest batch splits into several
+/// independent fused passes, large enough that a chunk amortises its pack.
+/// Part of the training recipe — with the hard cap below, the chunking
+/// (and thus the FP reduction order) is the same whether the run uses 1
+/// thread or 64.
+constexpr std::uint64_t kGradChunkCostTarget = 512;
+
+/// Hard ceiling on chunks per batch: bounds the per-chunk gradient-buffer
+/// memory (each chunk holds a full parameter-shaped accumulator).
+constexpr std::size_t kMaxGradChunks = 64;
 
 /// Arena bound per gradient chunk. Shuffling re-composes every chunk each
 /// step, so the shape-keyed grow-only Workspace would otherwise accrete a
@@ -84,13 +93,23 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
   adam_config.learning_rate = config.learning_rate;
   nn::Adam adam(model.parameters(), adam_config);
 
-  std::vector<ChunkState> chunks(kGradChunks);
-  for (auto& chunk : chunks) chunk.grads = adam.make_gradient_buffer();
+  // Chunk states are created on demand as batches call for more chunks
+  // (grow-only, like everything else in the loop).
+  std::vector<ChunkState> chunks;
   InferenceEngine eval_engine(model);
 
   std::vector<std::size_t> order(set.train.size());
   std::iota(order.begin(), order.end(), 0);
   pg::Rng shuffle_rng(config.shuffle_seed);
+
+  // Per-sample cost under the scheduling model, indexed like set.train;
+  // batch chunk boundaries derive from these alone (thread-independent).
+  std::vector<std::uint64_t> sample_cost(set.train.size());
+  for (std::size_t i = 0; i < set.train.size(); ++i)
+    sample_cost[i] = schedule::graph_cost(set.train[i].graph);
+  std::vector<std::uint64_t> batch_costs;
+  std::vector<std::uint32_t> bounds;
+  std::vector<double> chunk_loss;
 
   // Normalisation range over the *runtime* domain (the scaler may be in
   // log space when set.log_target is on).
@@ -114,15 +133,36 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
           std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
       const std::size_t len = end - start;
       const double grad_scale = 1.0 / static_cast<double>(len);
-      const std::size_t num_chunks = std::min(kGradChunks, len);
 
-      // Chunk boundaries are a pure function of (len, num_chunks):
-      // identical on every machine, whatever omp does with the loop below.
-      std::array<double, kGradChunks> chunk_loss{};
+      // Cost-balanced chunk boundaries, a pure function of the shuffled
+      // batch's sample costs: identical on every machine, whatever omp
+      // does with the loop below. Doubling the target on cap overflow is
+      // deterministic too (it depends only on the same costs).
+      batch_costs.clear();
+      std::uint64_t batch_cost = 0;
+      for (std::size_t i = start; i < end; ++i) {
+        batch_costs.push_back(sample_cost[order[i]]);
+        batch_cost += batch_costs.back();
+      }
+      std::uint64_t target = std::max(
+          kGradChunkCostTarget,
+          (batch_cost + kMaxGradChunks - 1) / kMaxGradChunks);
+      schedule::partition_by_cost(batch_costs, target, len, bounds);
+      while (bounds.size() - 1 > kMaxGradChunks) {
+        target *= 2;
+        schedule::partition_by_cost(batch_costs, target, len, bounds);
+      }
+      const std::size_t num_chunks = bounds.size() - 1;
+      while (chunks.size() < num_chunks) {
+        chunks.emplace_back();
+        chunks.back().grads = adam.make_gradient_buffer();
+      }
+
+      chunk_loss.assign(num_chunks, 0.0);
 #pragma omp parallel for schedule(dynamic, 1)
       for (std::size_t c = 0; c < num_chunks; ++c) {
-        const std::size_t lo = start + (len * c) / num_chunks;
-        const std::size_t hi = start + (len * (c + 1)) / num_chunks;
+        const std::size_t lo = start + bounds[c];
+        const std::size_t hi = start + bounds[c + 1];
         ChunkState& chunk = chunks[c];
         if (chunk.arena_baseline > 0 &&
             chunk.ws.bytes_reserved() >

@@ -4,9 +4,19 @@
 #include "nn/activation.hpp"
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "tensor/simd.hpp"
 
 namespace pg::nn {
+namespace {
+
+/// Elementwise split grain: ReLU is ~1 op per float, so blocks need to be
+/// large before a fork/join pays for itself. Elementwise kernels compute
+/// each output from its own input alone, so any cut is bitwise-identical
+/// to the serial pass.
+constexpr std::size_t kElementGrain = std::size_t{1} << 16;
+
+}  // namespace
 
 tensor::Matrix relu(const tensor::Matrix& x) {
   tensor::Matrix y = x;
@@ -17,7 +27,11 @@ tensor::Matrix relu(const tensor::Matrix& x) {
 
 void relu_into(tensor::Matrix& y, const tensor::Matrix& x) {
   check(y.same_shape(x), "relu_into: shape mismatch");
-  tensor::simd::kernels().relu(y.data().data(), x.data().data(), y.size());
+  parallel_for_blocks(y.size(), kElementGrain, [&](std::size_t lo,
+                                                   std::size_t hi) {
+    tensor::simd::kernels().relu(y.data().data() + lo, x.data().data() + lo,
+                                 hi - lo);
+  });
 }
 
 tensor::Matrix relu_backward(const tensor::Matrix& dy, const tensor::Matrix& x) {

@@ -19,11 +19,21 @@
 
 #include "nn/activation.hpp"
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "tensor/init.hpp"
 #include "tensor/simd.hpp"
 
 namespace pg::nn {
 namespace {
+
+// Intra-batch split grains for the forward pass (see support/parallel.hpp:
+// the helper stays serial inside an enclosing parallel region, so these only
+// fire when a big fused chunk runs alone — the engine's one-giant-graph
+// case). Every split partitions independent output rows/groups, so the
+// parallel result is bitwise-equal to the serial one.
+constexpr std::size_t kGatherRowGrain = 64;   // rows of fused gather+project
+constexpr std::size_t kBiasRowGrain = 2048;   // rows of the bias add
+constexpr std::size_t kScatterGroupGrain = 128;  // destination groups
 
 /// Totals over all relations: edges and locally-active nodes. These define
 /// the concatenated-block layout shared by forward and backward.
@@ -87,8 +97,11 @@ const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
 
   tensor::Matrix& pre = *cache.pre;
   tensor::matmul_into(pre, x, w_self_);
-  tensor::simd::kernels().add_bias_rows(pre.data().data(), b_.data().data(),
-                                        pre.rows(), out_);
+  parallel_for_blocks(pre.rows(), kBiasRowGrain, [&](std::size_t lo,
+                                                     std::size_t hi) {
+    tensor::simd::kernels().add_bias_rows(pre.data().data() + lo * out_,
+                                          b_.data().data(), hi - lo, out_);
+  });
 
   tensor::Matrix& s_src = ws.acquire_uninit(1, total_active);
   tensor::Matrix& s_dst = ws.acquire_uninit(1, total_active);
@@ -111,33 +124,47 @@ const tensor::Matrix& RgatConv::forward(const tensor::Matrix& x,
 
     // Project only the rows this relation touches, straight into the
     // relation's block of the concatenated cache (fused gather + matmul;
-    // the g block starts zero-filled, the kernel accumulates into it).
-    kernels.rgat_gather_project(rel.nodes.data(), na, xp, in_,
-                                w_rel_[r].data().data(), gp, out_, row_off);
-
-    // Both attention dots in one pass over g (independent double
+    // the g block starts zero-filled, the kernel accumulates into it), then
+    // both attention dots in one pass over g (independent double
     // accumulators; a j-reduction, so it stays in scalar program order at
-    // every dispatch level).
+    // every dispatch level). Row-range split: each block owns a disjoint
+    // slice of g/ss/sd rows, so the cut never changes any value.
     const float* asrc = a_src_[r].data().data();
     const float* adst = a_dst_[r].data().data();
-    for (std::size_t i = 0; i < na; ++i) {
-      const float* __restrict__ g_row = gp + (row_off + i) * out_;
-      double acc_src = 0.0;
-      double acc_dst = 0.0;
-      for (std::size_t j = 0; j < out_; ++j) {
-        acc_src += static_cast<double>(g_row[j]) * asrc[j];
-        acc_dst += static_cast<double>(g_row[j]) * adst[j];
+    parallel_for_blocks(na, kGatherRowGrain, [&](std::size_t lo,
+                                                 std::size_t hi) {
+      kernels.rgat_gather_project(rel.nodes.data() + lo, hi - lo, xp, in_,
+                                  w_rel_[r].data().data(), gp, out_,
+                                  row_off + lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float* __restrict__ g_row = gp + (row_off + i) * out_;
+        double acc_src = 0.0;
+        double acc_dst = 0.0;
+        for (std::size_t j = 0; j < out_; ++j) {
+          acc_src += static_cast<double>(g_row[j]) * asrc[j];
+          acc_dst += static_cast<double>(g_row[j]) * adst[j];
+        }
+        ss[row_off + i] = static_cast<float>(acc_src);
+        sd[row_off + i] = static_cast<float>(acc_dst);
       }
-      ss[row_off + i] = static_cast<float>(acc_src);
-      sd[row_off + i] = static_cast<float>(acc_dst);
-    }
+    });
 
     // Grouped softmax + gated scatter over the relation's CSR arrays.
-    kernels.rgat_attention_scatter(
-        rel.group_offsets.data(), rel.group_dst.data(), rel.num_groups(),
-        rel.nodes.data(), rel.src_local.data(), rel.gate.data(), ss, sd,
-        leaky_slope_, rawp + edge_off, alphap + edge_off, gp, prep, out_,
-        row_off);
+    // Group-range split: group_offsets holds absolute within-relation edge
+    // indices and group_dst is unique per relation, so a sub-range call
+    // touches disjoint raw/alpha slots and disjoint pre rows. The relation
+    // loop itself stays serial — different relations accumulate into the
+    // same destination rows, and that sum's order is part of the bitwise
+    // contract.
+    parallel_for_blocks(
+        rel.num_groups(), kScatterGroupGrain,
+        [&](std::size_t g_lo, std::size_t g_hi) {
+          kernels.rgat_attention_scatter(
+              rel.group_offsets.data() + g_lo, rel.group_dst.data() + g_lo,
+              g_hi - g_lo, rel.nodes.data(), rel.src_local.data(),
+              rel.gate.data(), ss, sd, leaky_slope_, rawp + edge_off,
+              alphap + edge_off, gp, prep, out_, row_off);
+        });
 
     edge_off += rel.num_edges();
     row_off += na;

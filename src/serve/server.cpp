@@ -106,6 +106,9 @@ ServerStats Server::stats() const {
   s.busy_rejected = stat_busy_.load(std::memory_order_relaxed);
   s.batches = stat_batches_.load(std::memory_order_relaxed);
   s.pings = stat_pings_.load(std::memory_order_relaxed);
+  s.sched_chunks = stat_sched_chunks_.load(std::memory_order_relaxed);
+  s.sched_rows = stat_sched_rows_.load(std::memory_order_relaxed);
+  s.sched_intra_chunks = stat_sched_intra_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -285,6 +288,7 @@ void Server::worker_loop(std::size_t /*worker_index*/) {
       aux.push_back(p.aux);
     }
     scaled.assign(batch.size(), 0.0);
+    const model::ScheduleStats before = engine.schedule_stats();
     try {
       engine.predict_batch(graphs, aux, scaled);
     } catch (const std::exception& e) {
@@ -293,6 +297,15 @@ void Server::worker_loop(std::size_t /*worker_index*/) {
       continue;
     }
     stat_batches_.fetch_add(1, std::memory_order_relaxed);
+    // Fold this batch's scheduler counters (the worker-local engine's
+    // delta) into the server-wide totals so stats() sees all shards.
+    const model::ScheduleStats after = engine.schedule_stats();
+    stat_sched_chunks_.fetch_add(after.chunks - before.chunks,
+                                 std::memory_order_relaxed);
+    stat_sched_rows_.fetch_add(after.rows - before.rows,
+                               std::memory_order_relaxed);
+    stat_sched_intra_.fetch_add(after.intra_chunks - before.intra_chunks,
+                                std::memory_order_relaxed);
 
     for (std::size_t i = 0; i < batch.size(); ++i) {
       PredictReply reply;

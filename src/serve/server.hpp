@@ -69,6 +69,12 @@ struct ServerStats {
   std::uint64_t busy_rejected = 0;    // kBusyReply backpressure responses
   std::uint64_t batches = 0;          // fused predict_batch calls
   std::uint64_t pings = 0;
+  // Scheduler counters aggregated over every worker's engine shard (the
+  // per-batch deltas of model::ScheduleStats): fused chunks dispatched,
+  // node rows packed, and chunks run under intra-batch parallelism.
+  std::uint64_t sched_chunks = 0;
+  std::uint64_t sched_rows = 0;
+  std::uint64_t sched_intra_chunks = 0;
 };
 
 class Server {
@@ -152,6 +158,9 @@ class Server {
   std::atomic<std::uint64_t> stat_busy_{0};
   std::atomic<std::uint64_t> stat_batches_{0};
   std::atomic<std::uint64_t> stat_pings_{0};
+  std::atomic<std::uint64_t> stat_sched_chunks_{0};
+  std::atomic<std::uint64_t> stat_sched_rows_{0};
+  std::atomic<std::uint64_t> stat_sched_intra_{0};
 };
 
 }  // namespace pg::serve

@@ -6,6 +6,7 @@
 #include "tensor/matrix.hpp"
 
 #include "support/check.hpp"
+#include "support/parallel.hpp"
 #include "tensor/simd.hpp"
 
 namespace pg::tensor {
@@ -220,9 +221,16 @@ void segment_row_mean_into(Matrix& out, const Matrix& a,
     check(offsets[b] < offsets[b + 1], "segment_row_mean_into: empty segment");
   // Per-segment sum then scale, row order preserved — the kernel keeps a
   // one-segment call bitwise-identical to row_mean_into at every level.
-  simd::kernels().segment_row_mean(out.data().data(), a.data().data(),
-                                   offsets.data(), offsets.size() - 1,
-                                   a.cols());
+  // Segment-range split: each segment reads its own row range (absolute
+  // offsets) and writes its own out row, so the cut never changes values;
+  // the per-segment reduction order is untouched.
+  const std::size_t cols = a.cols();
+  parallel_for_blocks(offsets.size() - 1, 8, [&](std::size_t lo,
+                                                 std::size_t hi) {
+    simd::kernels().segment_row_mean(out.data().data() + lo * cols,
+                                     a.data().data(), offsets.data() + lo,
+                                     hi - lo, cols);
+  });
 }
 
 }  // namespace pg::tensor

@@ -155,6 +155,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.requests_error),
                 static_cast<unsigned long long>(stats.busy_rejected),
                 static_cast<unsigned long long>(stats.pings));
+    const double rows_per_chunk =
+        stats.sched_chunks > 0 ? static_cast<double>(stats.sched_rows) /
+                                     static_cast<double>(stats.sched_chunks)
+                               : 0.0;
+    std::printf("paragraph-serve: scheduler — %llu fused chunks, %llu node "
+                "rows (%.1f rows/chunk), %llu intra-parallel chunks\n",
+                static_cast<unsigned long long>(stats.sched_chunks),
+                static_cast<unsigned long long>(stats.sched_rows),
+                rows_per_chunk,
+                static_cast<unsigned long long>(stats.sched_intra_chunks));
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
