@@ -1,20 +1,40 @@
-// Source: truncation-checked, budget-enforcing byte reader.
+// Source: truncation-checked, budget-enforcing byte reader over either an
+// istream or an in-memory byte range (the mmap path).
 #include "io/binary.hpp"
 
 #include <array>
+#include <cstring>
 
 namespace pg::io {
 
 void Source::bytes(void* out, std::size_t n) {
   if (budget_active_ && consumed_ + n > budget_end_)
     throw FormatError("section overrun: payload larger than its declared size");
-  is_.read(static_cast<char*>(out), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(is_.gcount()) != n || !is_)
+  if (data_ != nullptr) {
+    if (n > size_ - static_cast<std::size_t>(consumed_))
+      throw FormatError("truncated file: unexpected end of data");
+    std::memcpy(out, data_ + consumed_, n);
+    consumed_ += n;
+    return;
+  }
+  is_->read(static_cast<char*>(out), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is_->gcount()) != n || !*is_)
     throw FormatError("truncated file: unexpected end of data");
   consumed_ += n;
 }
 
 void Source::skip(std::uint64_t n) {
+  if (data_ != nullptr) {
+    // Memory mode advances without copying; same budget/truncation checks
+    // as bytes().
+    if (budget_active_ && consumed_ + n > budget_end_)
+      throw FormatError(
+          "section overrun: payload larger than its declared size");
+    if (n > size_ - static_cast<std::size_t>(consumed_))
+      throw FormatError("truncated file: unexpected end of data");
+    consumed_ += n;
+    return;
+  }
   std::array<char, 4096> scratch;
   while (n > 0) {
     const std::size_t chunk =

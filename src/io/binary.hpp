@@ -107,14 +107,24 @@ void put_string(Sink& sink, const std::string& s) {
 
 // --- source ---------------------------------------------------------------
 
-/// Byte source over an istream with truncation detection and an optional
-/// byte budget (the current section's declared size). Every read is
-/// accounted; a section that declares fewer bytes than its payload needs
-/// fails with "section overrun" instead of silently consuming its
-/// neighbour's bytes.
+/// Byte source with truncation detection and an optional byte budget (the
+/// current section's declared size). Every read is accounted; a section
+/// that declares fewer bytes than its payload needs fails with "section
+/// overrun" instead of silently consuming its neighbour's bytes.
+///
+/// Two backings share the one implementation so every codec works on both:
+///   * an istream (the streaming readers), and
+///   * an in-memory byte range (the mmap-backed DatasetView decodes records
+///     straight out of the mapping — same truncation/budget discipline, so
+///     a corrupt index entry can never make a decode over-read the mapping).
 class Source {
  public:
-  explicit Source(std::istream& is) : is_(is) {}
+  explicit Source(std::istream& is) : is_(&is) {}
+
+  /// Memory-backed source over [data, data + size). The range must outlive
+  /// the Source; nothing is copied up front.
+  Source(const void* data, std::size_t size)
+      : data_(static_cast<const unsigned char*>(data)), size_(size) {}
 
   void bytes(void* out, std::size_t n);
 
@@ -139,7 +149,9 @@ class Source {
   }
 
  private:
-  std::istream& is_;
+  std::istream* is_ = nullptr;          // stream backing (null in memory mode)
+  const unsigned char* data_ = nullptr;  // memory backing (null in stream mode)
+  std::size_t size_ = 0;                 // memory backing: total bytes
   std::uint64_t consumed_ = 0;
   std::uint64_t budget_end_ = 0;  // consumed_ limit; 0 = no active budget
   bool budget_active_ = false;

@@ -7,50 +7,29 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "io/binary.hpp"
+#include "io/format_detail.hpp"
 #include "model/encoding.hpp"
 
 namespace pg::io {
 namespace {
 
-constexpr char kMagic[8] = {'P', 'G', 'I', 'O', 'B', 'I', 'N', '\x1a'};
-
-// Section ids (high byte = payload family).
-constexpr std::uint32_t kSecGraphNodes = 0x0101;
-constexpr std::uint32_t kSecGraphEdges = 0x0102;
-constexpr std::uint32_t kSecSampleMeta = 0x0201;
-constexpr std::uint32_t kSecSampleFeatures = 0x0202;
-constexpr std::uint32_t kSecSampleRelations = 0x0203;
-constexpr std::uint32_t kSecDatasetMeta = 0x0301;
-
-// Record-stream framing; the values spell "RECD" / "DEND" on disk.
-constexpr std::uint32_t kRecordMarker = 0x44434552;
-constexpr std::uint32_t kEndMarker = 0x444e4544;
-
-constexpr std::uint32_t kMaxSections = 64;
-// 1 GiB: far above any legitimate section/record in this project, and the
-// hard ceiling on what a crafted section-size field can make a reader
-// allocate transiently (the Matrix in get_sample_features is budget-bound).
-constexpr std::uint64_t kMaxSectionBytes = 1ull << 30;
-// Containers are grown incrementally while bytes actually arrive, with at
-// most this much capacity reserved up front — so a corrupt count field can
-// never drive a giant allocation ahead of the reads that would expose it.
-constexpr std::uint64_t kMaxPrealloc = 1ull << 16;
-
-struct SectionEntry {
-  std::uint32_t id = 0;
-  std::uint64_t size = 0;
-};
+// Constants, SectionEntry/Prologue, and the shared codec declarations live
+// in format_detail.hpp so dataset_view.cpp decodes the same bytes with the
+// same validation.
+using namespace detail;  // NOLINT(google-build-using-namespace)
 
 // --- header / section table ----------------------------------------------
 
 template <class Sink>
-void put_header(Sink& sink, PayloadKind kind, std::uint32_t section_count) {
+void put_header(Sink& sink, PayloadKind kind, std::uint16_t version,
+                std::uint32_t section_count) {
   sink.bytes(kMagic, sizeof kMagic);
-  put_u16(sink, kFormatVersion);
+  put_u16(sink, version);
   put_u16(sink, static_cast<std::uint16_t>(kind));
   put_u64(sink, feature_schema_hash());
   put_u32(sink, section_count);
@@ -62,53 +41,6 @@ void put_section_table(Sink& sink, const std::vector<SectionEntry>& entries) {
     put_u32(sink, e.id);
     put_u64(sink, e.size);
   }
-}
-
-FileInfo get_raw_header(Source& src) {
-  char magic[sizeof kMagic];
-  src.bytes(magic, sizeof magic);
-  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
-    throw FormatError("not a ParaGraph binary container (bad magic)");
-  FileInfo info;
-  info.version = get_u16(src);
-  info.kind = static_cast<PayloadKind>(get_u16(src));
-  info.schema_hash = get_u64(src);
-  return info;
-}
-
-/// Magic + version + kind + schema check, then the validated section table.
-std::vector<SectionEntry> get_prologue(Source& src, PayloadKind expected) {
-  const FileInfo info = get_raw_header(src);
-  if (info.version != kFormatVersion)
-    throw FormatError("unsupported format version " +
-                      std::to_string(info.version) + " (this build reads " +
-                      std::to_string(kFormatVersion) + ")");
-  if (info.kind != expected)
-    throw FormatError(std::string("wrong payload kind: expected ") +
-                      std::string(payload_kind_name(expected)) +
-                      ", file holds " +
-                      std::string(payload_kind_name(info.kind)));
-  if (info.schema_hash != feature_schema_hash())
-    throw FormatError(
-        "feature-schema mismatch: file was written under a different "
-        "node-kind/edge-type contract (see docs/FORMAT.md)");
-
-  const std::uint32_t count = get_u32(src);
-  if (count == 0 || count > kMaxSections)
-    throw FormatError("corrupt section table: implausible section count");
-  std::vector<SectionEntry> entries(count);
-  for (SectionEntry& e : entries) {
-    e.id = get_u32(src);
-    e.size = get_u64(src);
-    if (e.size > kMaxSectionBytes)
-      throw FormatError("corrupt section table: implausible section size");
-    for (const SectionEntry& prev : entries) {
-      if (&prev == &e) break;
-      if (prev.id == e.id)
-        throw FormatError("corrupt section table: duplicate section id");
-    }
-  }
-  return entries;
 }
 
 // --- graph payloads -------------------------------------------------------
@@ -334,16 +266,6 @@ void put_sample_body(Sink& sink, const model::TrainingSample& s) {
   put_sample_relations(sink, s.graph.relations);
 }
 
-model::TrainingSample get_sample_body(Source& src) {
-  model::TrainingSample s;
-  get_sample_meta(src, s);
-  s.graph.features = get_sample_features(src);
-  s.graph.relations = get_sample_relations(src);
-  if (s.graph.features.rows() != s.graph.relations.num_nodes)
-    throw FormatError("corrupt sample: feature rows != relation graph nodes");
-  return s;
-}
-
 // --- dataset meta ---------------------------------------------------------
 
 template <class Sink>
@@ -359,6 +281,67 @@ void put_dataset_meta(Sink& sink, const DatasetMeta& meta) {
   put_f64(sink, meta.teams_max);
   put_f64(sink, meta.threads_min);
   put_f64(sink, meta.threads_max);
+}
+
+void throw_on_stream_error(const std::ostream& os) {
+  if (!os) throw FormatError("I/O error while writing");
+}
+
+}  // namespace
+
+// --- shared codec definitions (declared in format_detail.hpp) -------------
+
+namespace detail {
+
+FileInfo get_raw_header(Source& src) {
+  char magic[sizeof kMagic];
+  src.bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw FormatError("not a ParaGraph binary container (bad magic)");
+  FileInfo info;
+  info.version = get_u16(src);
+  info.kind = static_cast<PayloadKind>(get_u16(src));
+  info.schema_hash = get_u64(src);
+  return info;
+}
+
+Prologue get_prologue(Source& src, PayloadKind expected,
+                      std::uint16_t max_version) {
+  Prologue prologue;
+  prologue.info = get_raw_header(src);
+  const FileInfo& info = prologue.info;
+  if (info.version == 0 || info.version > max_version)
+    throw FormatError("unsupported format version " +
+                      std::to_string(info.version) + " (this build reads " +
+                      (max_version > 1 ? "1-" + std::to_string(max_version)
+                                       : std::to_string(max_version)) +
+                      ")");
+  if (info.kind != expected)
+    throw FormatError(std::string("wrong payload kind: expected ") +
+                      std::string(payload_kind_name(expected)) +
+                      ", file holds " +
+                      std::string(payload_kind_name(info.kind)));
+  if (info.schema_hash != feature_schema_hash())
+    throw FormatError(
+        "feature-schema mismatch: file was written under a different "
+        "node-kind/edge-type contract (see docs/FORMAT.md)");
+
+  const std::uint32_t count = get_u32(src);
+  if (count == 0 || count > kMaxSections)
+    throw FormatError("corrupt section table: implausible section count");
+  prologue.table.resize(count);
+  for (SectionEntry& e : prologue.table) {
+    e.id = get_u32(src);
+    e.size = get_u64(src);
+    if (e.size > kMaxSectionBytes)
+      throw FormatError("corrupt section table: implausible section size");
+    for (const SectionEntry& prev : prologue.table) {
+      if (&prev == &e) break;
+      if (prev.id == e.id)
+        throw FormatError("corrupt section table: duplicate section id");
+    }
+  }
+  return prologue;
 }
 
 DatasetMeta get_dataset_meta(Source& src) {
@@ -379,11 +362,17 @@ DatasetMeta get_dataset_meta(Source& src) {
   return meta;
 }
 
-void throw_on_stream_error(const std::ostream& os) {
-  if (!os) throw FormatError("I/O error while writing");
+model::TrainingSample get_sample_body(Source& src) {
+  model::TrainingSample s;
+  get_sample_meta(src, s);
+  s.graph.features = get_sample_features(src);
+  s.graph.relations = get_sample_relations(src);
+  if (s.graph.features.rows() != s.graph.relations.num_nodes)
+    throw FormatError("corrupt sample: feature rows != relation graph nodes");
+  return s;
 }
 
-}  // namespace
+}  // namespace detail
 
 std::string_view payload_kind_name(PayloadKind kind) {
   switch (kind) {
@@ -423,7 +412,7 @@ void write_graph(std::ostream& os, const graph::ProgramGraph& graph) {
   put_graph_edges(edges_size, graph);
 
   StreamSink sink{os};
-  put_header(sink, PayloadKind::kGraph, 2);
+  put_header(sink, PayloadKind::kGraph, kFormatVersion, 2);
   put_section_table(sink, {{kSecGraphNodes, nodes_size.count},
                            {kSecGraphEdges, edges_size.count}});
   put_graph_nodes(sink, graph);
@@ -433,13 +422,13 @@ void write_graph(std::ostream& os, const graph::ProgramGraph& graph) {
 
 graph::ProgramGraph read_graph(std::istream& is) {
   Source src(is);
-  const auto table = get_prologue(src, PayloadKind::kGraph);
+  const auto prologue = get_prologue(src, PayloadKind::kGraph, kFormatVersion);
 
   std::vector<graph::GraphNode> nodes;
   std::vector<graph::GraphEdge> edges;
   bool have_nodes = false;
   bool have_edges = false;
-  for (const SectionEntry& entry : table) {
+  for (const SectionEntry& entry : prologue.table) {
     src.push_budget(entry.size);
     switch (entry.id) {
       case kSecGraphNodes:
@@ -477,7 +466,7 @@ void write_sample(std::ostream& os, const model::TrainingSample& sample) {
   put_sample_relations(relations_size, sample.graph.relations);
 
   StreamSink sink{os};
-  put_header(sink, PayloadKind::kSample, 3);
+  put_header(sink, PayloadKind::kSample, kFormatVersion, 3);
   put_section_table(sink, {{kSecSampleMeta, meta_size.count},
                            {kSecSampleFeatures, features_size.count},
                            {kSecSampleRelations, relations_size.count}});
@@ -489,13 +478,13 @@ void write_sample(std::ostream& os, const model::TrainingSample& sample) {
 
 model::TrainingSample read_sample(std::istream& is) {
   Source src(is);
-  const auto table = get_prologue(src, PayloadKind::kSample);
+  const auto prologue = get_prologue(src, PayloadKind::kSample, kFormatVersion);
 
   model::TrainingSample sample;
   bool have_meta = false;
   bool have_features = false;
   bool have_relations = false;
-  for (const SectionEntry& entry : table) {
+  for (const SectionEntry& entry : prologue.table) {
     src.push_budget(entry.size);
     switch (entry.id) {
       case kSecSampleMeta:
@@ -545,16 +534,27 @@ void DatasetMeta::apply_scalers(model::SampleSet& set) const {
   set.threads_scaler.fit_bounds(threads_min, threads_max);
 }
 
-DatasetWriter::DatasetWriter(std::ostream& os, const DatasetMeta& meta)
-    : os_(os) {
+DatasetWriter::DatasetWriter(std::ostream& os, const DatasetMeta& meta,
+                             std::uint16_t format_version)
+    : os_(os), version_(format_version) {
+  if (version_ == 0 || version_ > kDatasetFormatVersion)
+    throw FormatError("unsupported dataset format version " +
+                      std::to_string(format_version) + " (this build writes " +
+                      "1-" + std::to_string(kDatasetFormatVersion) + ")");
   CountingSink meta_size;
   put_dataset_meta(meta_size, meta);
 
   StreamSink sink{os_};
-  put_header(sink, PayloadKind::kDataset, 1);
+  put_header(sink, PayloadKind::kDataset, version_, 1);
   put_section_table(sink, {{kSecDatasetMeta, meta_size.count}});
   put_dataset_meta(sink, meta);
   throw_on_stream_error(os_);
+  // Mirror what was just emitted to know where the first record lands —
+  // the v2 index stores absolute file offsets.
+  CountingSink emitted;
+  put_header(emitted, PayloadKind::kDataset, version_, 1);
+  put_section_table(emitted, {{kSecDatasetMeta, meta_size.count}});
+  offset_ = emitted.count + meta_size.count;
 }
 
 DatasetWriter::~DatasetWriter() {
@@ -567,16 +567,22 @@ DatasetWriter::~DatasetWriter() {
 
 void DatasetWriter::append(const model::TrainingSample& sample, Split split) {
   if (finished_) throw FormatError("DatasetWriter: append after finish");
-  CountingSink body_size;
-  put_u8(body_size, static_cast<std::uint8_t>(split));
-  put_sample_body(body_size, sample);
+  // One measuring pass yields both the frame size and (for v2) the index
+  // checksum of the exact body bytes about to be emitted.
+  FnvCountingSink body;
+  put_u8(body, static_cast<std::uint8_t>(split));
+  put_sample_body(body, sample);
 
   StreamSink sink{os_};
   put_u32(sink, kRecordMarker);
-  put_u64(sink, body_size.count);
+  put_u64(sink, body.count);
   put_u8(sink, static_cast<std::uint8_t>(split));
   put_sample_body(sink, sample);
   throw_on_stream_error(os_);
+  const std::uint64_t frame = 12 + body.count;  // marker + size field + body
+  if (version_ >= 2)
+    index_.push_back(IndexEntry{offset_, frame, body.hash, split});
+  offset_ += frame;
   ++records_;
 }
 
@@ -585,15 +591,24 @@ void DatasetWriter::finish() {
   StreamSink sink{os_};
   put_u32(sink, kEndMarker);
   put_u64(sink, records_);
+  offset_ += 12;
+  if (version_ >= 2) {
+    // The index section starts right after the end marker; the fixed-size
+    // footer at EOF points back at it so a reader can find it by seeking.
+    put_dataset_index(sink, index_);
+    put_index_footer(sink, offset_, index_section_bytes(index_.size()));
+  }
   throw_on_stream_error(os_);
   finished_ = true;
 }
 
 DatasetReader::DatasetReader(std::istream& is) : is_(is) {
   Source src(is_);
-  const auto table = get_prologue(src, PayloadKind::kDataset);
+  const auto prologue =
+      get_prologue(src, PayloadKind::kDataset, kDatasetFormatVersion);
+  version_ = prologue.info.version;
   bool have_meta = false;
-  for (const SectionEntry& entry : table) {
+  for (const SectionEntry& entry : prologue.table) {
     src.push_budget(entry.size);
     if (entry.id == kSecDatasetMeta) {
       meta_ = get_dataset_meta(src);
@@ -610,21 +625,33 @@ DatasetReader::DatasetReader(std::istream& is) : is_(is) {
 bool DatasetReader::next(model::TrainingSample& sample, Split& split) {
   if (done_) return false;
   Source src(is_);
-  const std::uint32_t marker = get_u32(src);
-  if (marker == kEndMarker) {
-    const std::uint64_t declared = get_u64(src);
-    if (declared != records_)
-      throw FormatError("corrupt dataset file: record count mismatch at end "
-                        "marker (dropped tail?)");
-    done_ = true;
-    return false;
+  std::uint64_t body = 0;
+  // Frame-header corruption (bad/truncated marker, implausible size) names
+  // the record ordinal exactly like body-level corruption below does —
+  // "which sample of the million" must never depend on where the bytes died.
+  try {
+    const std::uint32_t marker = get_u32(src);
+    if (marker == kEndMarker) {
+      const std::uint64_t declared = get_u64(src);
+      if (declared != records_)
+        throw FormatError("corrupt dataset file: record count mismatch at end "
+                          "marker (dropped tail?)");
+      done_ = true;
+      return false;
+    }
+    if (marker != kRecordMarker)
+      throw FormatError("bad record marker");
+    body = get_u64(src);
+    if (body > kMaxSectionBytes)
+      throw FormatError("implausible record size");
+  } catch (const FormatError& e) {
+    // The end-marker count mismatch is a whole-file diagnostic, not a
+    // per-record one — let it through untouched.
+    if (std::string_view(e.what()).find("end marker") != std::string_view::npos)
+      throw;
+    throw FormatError("corrupt dataset record " + std::to_string(records_) +
+                      " (frame header): " + e.what());
   }
-  if (marker != kRecordMarker)
-    throw FormatError("corrupt dataset file: bad record marker");
-  const std::uint64_t body = get_u64(src);
-  if (body > kMaxSectionBytes)
-    throw FormatError("corrupt dataset file: implausible record size in "
-                      "record " + std::to_string(records_) + "'s frame");
   // Decode failures inside the record body (truncation, budget over/underrun,
   // corrupt counts) carry the record index — "which sample of the million"
   // is the first thing a corpus-corruption report needs.
@@ -647,12 +674,13 @@ bool DatasetReader::next(model::TrainingSample& sample, Split& split) {
 
 void write_sample_set(std::ostream& os, const model::SampleSet& set,
                       const std::string& platform,
-                      const std::string& representation, std::uint64_t seed) {
+                      const std::string& representation, std::uint64_t seed,
+                      std::uint16_t format_version) {
   DatasetMeta meta = DatasetMeta::scalers_from(set);
   meta.platform = platform;
   meta.representation = representation;
   meta.seed = seed;
-  DatasetWriter writer(os, meta);
+  DatasetWriter writer(os, meta, format_version);
   for (const model::TrainingSample& s : set.train)
     writer.append(s, Split::kTrain);
   for (const model::TrainingSample& s : set.validation)
@@ -719,9 +747,9 @@ model::TrainingSample read_sample_file(const std::string& path) {
 void write_sample_set_file(const std::string& path, const model::SampleSet& set,
                            const std::string& platform,
                            const std::string& representation,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, std::uint16_t format_version) {
   auto os = open_out(path);
-  write_sample_set(os, set, platform, representation, seed);
+  write_sample_set(os, set, platform, representation, seed, format_version);
 }
 
 StoredSampleSet read_sample_set_file(const std::string& path) {

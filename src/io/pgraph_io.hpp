@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "graph/program_graph.hpp"
 #include "io/binary.hpp"  // FormatError — part of every reader's contract
@@ -35,6 +36,14 @@
 namespace pg::io {
 
 inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// Current dataset (.pgds) container version. Version 2 appends a
+/// record-offset index section (offset/length/split/FNV-1a checksum per
+/// record + footer) after the end marker, enabling mmap-backed random
+/// access via DatasetView; the record stream itself is byte-identical to
+/// version 1, so the streaming DatasetReader reads both. Graph/sample
+/// payloads stay at kFormatVersion.
+inline constexpr std::uint16_t kDatasetFormatVersion = 2;
 
 enum class PayloadKind : std::uint16_t {
   kGraph = 1,
@@ -86,13 +95,23 @@ struct DatasetMeta {
 
 enum class Split : std::uint8_t { kTrain = 0, kValidation = 1 };
 
+namespace detail {
+struct IndexEntry;  // format_detail.hpp — v2 index bookkeeping
+}
+
 /// Streams samples into a .pgds container. Header + meta are written by the
 /// constructor, each append() frames and writes one record immediately, and
 /// finish() seals the stream with an end marker carrying the record count
 /// (readers detect a dropped tail). The destructor finishes automatically.
+///
+/// `format_version` selects the container version: 2 (default) additionally
+/// tracks each record's offset/length/split/checksum and appends the index
+/// section + footer in finish(); 1 reproduces the legacy byte stream
+/// exactly. Record bytes are identical under both.
 class DatasetWriter {
  public:
-  DatasetWriter(std::ostream& os, const DatasetMeta& meta);
+  DatasetWriter(std::ostream& os, const DatasetMeta& meta,
+                std::uint16_t format_version = kDatasetFormatVersion);
   ~DatasetWriter();
   DatasetWriter(const DatasetWriter&) = delete;
   DatasetWriter& operator=(const DatasetWriter&) = delete;
@@ -101,10 +120,14 @@ class DatasetWriter {
   void finish();
 
   [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint16_t format_version() const { return version_; }
 
  private:
   std::ostream& os_;
+  std::uint16_t version_;
   std::uint64_t records_ = 0;
+  std::uint64_t offset_ = 0;  // bytes emitted so far (v2 index bookkeeping)
+  std::vector<detail::IndexEntry> index_;
   bool finished_ = false;
 };
 
@@ -117,6 +140,11 @@ class DatasetReader {
 
   [[nodiscard]] const DatasetMeta& meta() const { return meta_; }
 
+  /// Container version from the header (1 or 2). The record stream is
+  /// identical under both; a v2 file's trailing index section is simply
+  /// left unread once next() hits the end marker.
+  [[nodiscard]] std::uint16_t format_version() const { return version_; }
+
   /// Reads the next record into `sample`/`split`; false at end-of-stream.
   bool next(model::TrainingSample& sample, Split& split);
 
@@ -126,6 +154,7 @@ class DatasetReader {
   class SourceHolder;
   std::istream& is_;
   DatasetMeta meta_;
+  std::uint16_t version_ = kFormatVersion;
   std::uint64_t records_ = 0;
   bool done_ = false;
 };
@@ -140,11 +169,13 @@ struct StoredSampleSet {
 /// the given provenance fields.
 void write_sample_set(std::ostream& os, const model::SampleSet& set,
                       const std::string& platform,
-                      const std::string& representation, std::uint64_t seed);
+                      const std::string& representation, std::uint64_t seed,
+                      std::uint16_t format_version = kDatasetFormatVersion);
 void write_sample_set_file(const std::string& path, const model::SampleSet& set,
                            const std::string& platform,
                            const std::string& representation,
-                           std::uint64_t seed);
+                           std::uint64_t seed,
+                           std::uint16_t format_version = kDatasetFormatVersion);
 StoredSampleSet read_sample_set(std::istream& is);
 StoredSampleSet read_sample_set_file(const std::string& path);
 

@@ -1,0 +1,50 @@
+// SampleStore: the trainer-facing abstraction over "where training samples
+// live". The streaming trainer (train_model_streaming) pulls samples by
+// index through this interface, so it neither knows nor cares whether the
+// corpus is a vector in RAM (VectorSampleStore) or an mmap-backed .pgds
+// decoded on demand (io::DatasetSampleStore in src/io/dataset_view.hpp —
+// the io layer depends on model, not the other way around, so the adapter
+// lives there).
+#pragma once
+
+#include <cstddef>
+
+#include "model/sample.hpp"
+#include "support/check.hpp"
+
+namespace pg::model {
+
+/// Random-access source of training samples. Implementations must make
+/// load() safe to call concurrently from multiple threads (the streaming
+/// trainer fills its window in parallel) and deterministic: load(i) yields
+/// the same sample every time, whatever the calling thread or order.
+class SampleStore {
+ public:
+  virtual ~SampleStore() = default;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Replaces `out` with sample `i`. Thread-safe, deterministic.
+  virtual void load(std::size_t i, TrainingSample& out) const = 0;
+};
+
+/// In-RAM store over an existing sample vector (borrowed; must outlive the
+/// store). load() copies, so the trainer's window owns its samples the same
+/// way under both backings.
+class VectorSampleStore final : public SampleStore {
+ public:
+  explicit VectorSampleStore(const std::vector<TrainingSample>& samples)
+      : samples_(samples) {}
+
+  [[nodiscard]] std::size_t size() const override { return samples_.size(); }
+
+  void load(std::size_t i, TrainingSample& out) const override {
+    check(i < samples_.size(), "SampleStore index out of range");
+    out = samples_[i];
+  }
+
+ private:
+  const std::vector<TrainingSample>& samples_;
+};
+
+}  // namespace pg::model

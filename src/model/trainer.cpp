@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <numeric>
 
 #include "model/engine.hpp"
@@ -75,6 +76,97 @@ struct ChunkState {
   std::size_t arena_baseline = 0;  // ws footprint after last reset's step
 };
 
+/// The optimisation core shared by the in-RAM and streaming trainers: one
+/// call is one mini-batch step — cost-balanced chunk partition, parallel
+/// fused chunk gradients, ordered reduction, one Adam update. Every FP
+/// operation is a pure function of the batch's samples and costs (never of
+/// where the samples live or how many threads run), which is what makes
+/// train_model_streaming bitwise-equal to train_model.
+class BatchStepper {
+ public:
+  BatchStepper(ParaGraphModel& model, const nn::AdamConfig& adam_config)
+      : model_(model), adam_(model.parameters(), adam_config) {}
+
+  /// Runs one step over `samples` (with per-sample `costs` aligned to it)
+  /// and folds the batch's chunk losses into `epoch_loss` in chunk order —
+  /// the exact accumulation grouping the pre-refactor loop used.
+  void step(const std::vector<const TrainingSample*>& samples,
+            const std::vector<std::uint64_t>& costs, double& epoch_loss) {
+    const std::size_t len = samples.size();
+    const double grad_scale = 1.0 / static_cast<double>(len);
+
+    // Cost-balanced chunk boundaries, a pure function of the batch's
+    // sample costs: identical on every machine, whatever omp does with the
+    // loop below. Doubling the target on cap overflow is deterministic too
+    // (it depends only on the same costs).
+    std::uint64_t batch_cost = 0;
+    for (const std::uint64_t c : costs) batch_cost += c;
+    std::uint64_t target = std::max(
+        kGradChunkCostTarget, (batch_cost + kMaxGradChunks - 1) / kMaxGradChunks);
+    schedule::partition_by_cost(costs, target, len, bounds_);
+    while (bounds_.size() - 1 > kMaxGradChunks) {
+      target *= 2;
+      schedule::partition_by_cost(costs, target, len, bounds_);
+    }
+    const std::size_t num_chunks = bounds_.size() - 1;
+    while (chunks_.size() < num_chunks) {
+      chunks_.emplace_back();
+      chunks_.back().grads = adam_.make_gradient_buffer();
+    }
+
+    chunk_loss_.assign(num_chunks, 0.0);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t lo = bounds_[c];
+      const std::size_t hi = bounds_[c + 1];
+      ChunkState& chunk = chunks_[c];
+      if (chunk.arena_baseline > 0 &&
+          chunk.ws.bytes_reserved() >
+              std::max(kChunkArenaCapBytes, 2 * chunk.arena_baseline)) {
+        chunk.ws = tensor::Workspace();
+        chunk.arena_baseline = 0;
+      }
+      chunk.graphs.clear();
+      chunk.targets.clear();
+      chunk.aux.reshape(hi - lo, 2);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const TrainingSample& sample = *samples[i];
+        chunk.graphs.push_back(&sample.graph);
+        chunk.targets.push_back(sample.target_scaled);
+        auto row = chunk.aux.row_span(i - lo);
+        row[0] = sample.aux[0];
+        row[1] = sample.aux[1];
+      }
+      chunk.batch.pack(chunk.graphs);
+      chunk_loss_[c] = model_.accumulate_gradients_batch(
+          chunk.batch, chunk.aux, chunk.targets, grad_scale, chunk.grads,
+          chunk.ws);
+      if (chunk.arena_baseline == 0)
+        chunk.arena_baseline = chunk.ws.bytes_reserved();
+    }
+
+    // Ordered reduction: chunk 0 hosts the sum; losses and gradient
+    // buffers are folded in ascending chunk index.
+    auto& base = chunks_[0].grads;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      epoch_loss += chunk_loss_[c];
+      if (c > 0)
+        for (std::size_t p = 0; p < base.size(); ++p)
+          base[p].add_(chunks_[c].grads[p]);
+    }
+    adam_.step(base);
+    for (std::size_t c = 0; c < num_chunks; ++c)
+      for (auto& grad : chunks_[c].grads) grad.zero();
+  }
+
+ private:
+  ParaGraphModel& model_;
+  nn::Adam adam_;
+  std::vector<ChunkState> chunks_;   // grown on demand, like before
+  std::vector<std::uint32_t> bounds_;
+  std::vector<double> chunk_loss_;
+};
+
 }  // namespace
 
 std::vector<double> predict_all(const ParaGraphModel& model,
@@ -91,11 +183,7 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
 
   nn::AdamConfig adam_config;
   adam_config.learning_rate = config.learning_rate;
-  nn::Adam adam(model.parameters(), adam_config);
-
-  // Chunk states are created on demand as batches call for more chunks
-  // (grow-only, like everything else in the loop).
-  std::vector<ChunkState> chunks;
+  BatchStepper stepper(model, adam_config);
   InferenceEngine eval_engine(model);
 
   std::vector<std::size_t> order(set.train.size());
@@ -107,9 +195,8 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
   std::vector<std::uint64_t> sample_cost(set.train.size());
   for (std::size_t i = 0; i < set.train.size(); ++i)
     sample_cost[i] = schedule::graph_cost(set.train[i].graph);
+  std::vector<const TrainingSample*> batch_samples;
   std::vector<std::uint64_t> batch_costs;
-  std::vector<std::uint32_t> bounds;
-  std::vector<double> chunk_loss;
 
   // Normalisation range over the *runtime* domain (the scaler may be in
   // log space when set.log_target is on).
@@ -131,76 +218,13 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
          start += static_cast<std::size_t>(config.batch_size)) {
       const std::size_t end =
           std::min(order.size(), start + static_cast<std::size_t>(config.batch_size));
-      const std::size_t len = end - start;
-      const double grad_scale = 1.0 / static_cast<double>(len);
-
-      // Cost-balanced chunk boundaries, a pure function of the shuffled
-      // batch's sample costs: identical on every machine, whatever omp
-      // does with the loop below. Doubling the target on cap overflow is
-      // deterministic too (it depends only on the same costs).
+      batch_samples.clear();
       batch_costs.clear();
-      std::uint64_t batch_cost = 0;
       for (std::size_t i = start; i < end; ++i) {
+        batch_samples.push_back(&set.train[order[i]]);
         batch_costs.push_back(sample_cost[order[i]]);
-        batch_cost += batch_costs.back();
       }
-      std::uint64_t target = std::max(
-          kGradChunkCostTarget,
-          (batch_cost + kMaxGradChunks - 1) / kMaxGradChunks);
-      schedule::partition_by_cost(batch_costs, target, len, bounds);
-      while (bounds.size() - 1 > kMaxGradChunks) {
-        target *= 2;
-        schedule::partition_by_cost(batch_costs, target, len, bounds);
-      }
-      const std::size_t num_chunks = bounds.size() - 1;
-      while (chunks.size() < num_chunks) {
-        chunks.emplace_back();
-        chunks.back().grads = adam.make_gradient_buffer();
-      }
-
-      chunk_loss.assign(num_chunks, 0.0);
-#pragma omp parallel for schedule(dynamic, 1)
-      for (std::size_t c = 0; c < num_chunks; ++c) {
-        const std::size_t lo = start + bounds[c];
-        const std::size_t hi = start + bounds[c + 1];
-        ChunkState& chunk = chunks[c];
-        if (chunk.arena_baseline > 0 &&
-            chunk.ws.bytes_reserved() >
-                std::max(kChunkArenaCapBytes, 2 * chunk.arena_baseline)) {
-          chunk.ws = tensor::Workspace();
-          chunk.arena_baseline = 0;
-        }
-        chunk.graphs.clear();
-        chunk.targets.clear();
-        chunk.aux.reshape(hi - lo, 2);
-        for (std::size_t i = lo; i < hi; ++i) {
-          const TrainingSample& sample = set.train[order[i]];
-          chunk.graphs.push_back(&sample.graph);
-          chunk.targets.push_back(sample.target_scaled);
-          auto row = chunk.aux.row_span(i - lo);
-          row[0] = sample.aux[0];
-          row[1] = sample.aux[1];
-        }
-        chunk.batch.pack(chunk.graphs);
-        chunk_loss[c] = model.accumulate_gradients_batch(
-            chunk.batch, chunk.aux, chunk.targets, grad_scale, chunk.grads,
-            chunk.ws);
-        if (chunk.arena_baseline == 0)
-          chunk.arena_baseline = chunk.ws.bytes_reserved();
-      }
-
-      // Ordered reduction: chunk 0 hosts the sum; losses and gradient
-      // buffers are folded in ascending chunk index.
-      auto& base = chunks[0].grads;
-      for (std::size_t c = 0; c < num_chunks; ++c) {
-        epoch_loss += chunk_loss[c];
-        if (c > 0)
-          for (std::size_t p = 0; p < base.size(); ++p)
-            base[p].add_(chunks[c].grads[p]);
-      }
-      adam.step(base);
-      for (std::size_t c = 0; c < num_chunks; ++c)
-        for (auto& grad : chunks[c].grads) grad.zero();
+      stepper.step(batch_samples, batch_costs, epoch_loss);
     }
 
     EpochRecord record;
@@ -215,6 +239,142 @@ TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
     result.history.push_back(record);
     if (config.on_epoch) config.on_epoch(epoch, record.train_mse_scaled,
                                          record.val_rmse_us);
+  }
+
+  if (!result.history.empty()) {
+    result.final_rmse_us = result.history.back().val_rmse_us;
+    result.final_norm_rmse = result.history.back().val_norm_rmse;
+  }
+  return result;
+}
+
+namespace {
+
+/// Runs fn(i) for i in [lo, hi) across `threads` workers (0 = omp default)
+/// without letting an exception escape the parallel region: the failure at
+/// the lowest index — the one a sequential pass would have hit first — is
+/// rethrown after the join, so corrupt-record errors are deterministic.
+template <typename Fn>
+void parallel_load(std::size_t lo, std::size_t hi, int threads, Fn&& fn) {
+  std::exception_ptr first_error;
+  std::size_t first_error_index = hi;
+  const int team = threads > 0 ? threads : omp_get_max_threads();
+#pragma omp parallel for schedule(static) num_threads(team)
+  for (std::int64_t idx = static_cast<std::int64_t>(lo);
+       idx < static_cast<std::int64_t>(hi); ++idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    try {
+      fn(i);
+    } catch (...) {
+#pragma omp critical(pg_trainer_parallel_load_error)
+      {
+        if (first_error == nullptr || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
+      }
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+TrainResult train_model_streaming(ParaGraphModel& model,
+                                  const SampleStore& train_store,
+                                  const SampleSet& holdout,
+                                  const StreamTrainConfig& config) {
+  const TrainConfig& base = config.base;
+  const std::size_t n = train_store.size();
+  check(n > 0, "train_model_streaming: empty training store");
+  check(base.batch_size > 0 && base.epochs > 0,
+        "train_model_streaming: bad config");
+
+  const auto batch = static_cast<std::size_t>(base.batch_size);
+  // Round the window down to whole batches (minimum one batch): batch
+  // boundaries then coincide exactly with train_model's, and since one
+  // step only ever sees its own batch, streaming matches the in-RAM
+  // trainer bit for bit at every window size.
+  std::size_t window = std::max(config.window, batch);
+  window -= window % batch;
+
+  nn::AdamConfig adam_config;
+  adam_config.learning_rate = base.learning_rate;
+  BatchStepper stepper(model, adam_config);
+  InferenceEngine eval_engine(model);
+
+  // Prepass: one parallel sweep decodes each sample once for the two
+  // whole-corpus facts the loop needs — the schedule cost (chunk
+  // partitioning) and the runtime range (RMSE normalisation). Samples are
+  // dropped immediately; only two scalars per record stay resident.
+  std::vector<std::uint64_t> sample_cost(n);
+  std::vector<double> runtime_us(n);
+  {
+    // Per-iteration local sample: allocation is churned here, but the
+    // prepass runs once; the epoch loop below reuses its window slots.
+    parallel_load(0, n, config.load_threads, [&](std::size_t i) {
+      TrainingSample sample;
+      train_store.load(i, sample);
+      sample_cost[i] = schedule::graph_cost(sample.graph);
+      runtime_us[i] = sample.runtime_us;
+    });
+  }
+  double min_runtime = runtime_us.front();
+  double max_runtime = min_runtime;
+  for (const double r : runtime_us) {
+    min_runtime = std::min(min_runtime, r);
+    max_runtime = std::max(max_runtime, r);
+  }
+  const double actual_range = max_runtime - min_runtime;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  pg::Rng shuffle_rng(base.shuffle_seed);
+
+  std::vector<TrainingSample> slots(std::min(window, n));
+  std::vector<const TrainingSample*> batch_samples;
+  std::vector<std::uint64_t> batch_costs;
+
+  TrainResult result;
+  result.history.reserve(base.epochs);
+
+  for (int epoch = 1; epoch <= base.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+
+    for (std::size_t seg_lo = 0; seg_lo < n; seg_lo += window) {
+      const std::size_t seg_hi = std::min(n, seg_lo + window);
+      // Fill the window: workers decode disjoint shards of the shuffled
+      // order into fixed slots. load() is deterministic, so the window
+      // contents — and everything downstream — are thread-independent.
+      parallel_load(seg_lo, seg_hi, config.load_threads, [&](std::size_t j) {
+        train_store.load(order[j], slots[j - seg_lo]);
+      });
+
+      for (std::size_t start = seg_lo; start < seg_hi; start += batch) {
+        const std::size_t end = std::min(seg_hi, start + batch);
+        batch_samples.clear();
+        batch_costs.clear();
+        for (std::size_t i = start; i < end; ++i) {
+          batch_samples.push_back(&slots[i - seg_lo]);
+          batch_costs.push_back(sample_cost[order[i]]);
+        }
+        stepper.step(batch_samples, batch_costs, epoch_loss);
+      }
+    }
+
+    EpochRecord record;
+    record.epoch = epoch;
+    record.train_mse_scaled = epoch_loss / static_cast<double>(n);
+    const bool last_epoch = (epoch == base.epochs);
+    record.val_rmse_us = evaluate_rmse_us(
+        eval_engine, holdout.validation, holdout,
+        last_epoch ? &result.val_predictions_us : nullptr);
+    record.val_norm_rmse =
+        actual_range > 0.0 ? record.val_rmse_us / actual_range : 0.0;
+    result.history.push_back(record);
+    if (base.on_epoch)
+      base.on_epoch(epoch, record.train_mse_scaled, record.val_rmse_us);
   }
 
   if (!result.history.empty()) {

@@ -6,11 +6,13 @@
 // machines and thread counts.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
 #include "model/paragraph_model.hpp"
 #include "model/sample.hpp"
+#include "model/sample_store.hpp"
 #include "nn/adam.hpp"
 
 namespace pg::model {
@@ -49,5 +51,33 @@ std::vector<double> predict_all(const ParaGraphModel& model,
 
 TrainResult train_model(ParaGraphModel& model, const SampleSet& set,
                         const TrainConfig& config);
+
+/// Out-of-core streaming trainer configuration. `window` bounds how many
+/// decoded training samples are resident at once; it is rounded down to a
+/// whole number of batches (minimum one batch) so batch boundaries coincide
+/// exactly with the in-RAM trainer's.
+struct StreamTrainConfig {
+  TrainConfig base;
+  std::size_t window = 4096;
+  /// Worker count for the parallel window fills and the cost prepass;
+  /// 0 = the OpenMP default. Loading is pure (SampleStore::load is
+  /// deterministic), so this knob never changes the trained model.
+  int load_threads = 0;
+};
+
+/// Trains by streaming epochs through a bounded window of samples decoded
+/// on demand from `train_store` (e.g. an mmap-backed io::DatasetSampleStore)
+/// instead of holding the corpus in RAM. `holdout` supplies the fitted
+/// scalers and the (in-RAM) validation samples for per-epoch evaluation.
+///
+/// Determinism contract: the shuffled index order, batch boundaries, chunk
+/// partition, and every FP operation are identical to train_model over the
+/// same samples/seed — for *any* window size — so the resulting model is
+/// bitwise-equal to the in-RAM trainer's, independent of window, thread
+/// count, and run-to-run.
+TrainResult train_model_streaming(ParaGraphModel& model,
+                                  const SampleStore& train_store,
+                                  const SampleSet& holdout,
+                                  const StreamTrainConfig& config);
 
 }  // namespace pg::model

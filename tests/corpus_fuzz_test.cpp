@@ -1,0 +1,303 @@
+// Mutation fuzzing of the format-v2 .pgds container.
+//
+// A well-formed indexed corpus is mutated 1000 seeded ways — bit flips,
+// truncations, splices, zeroed ranges, random u64 overwrites (which land on
+// offsets, lengths, counts, and checksums) — and every mutant is pushed
+// through both reader paths (DatasetView open + full decode, and the
+// streaming DatasetReader). The contract: a mutant either reads back or
+// throws io::FormatError; nothing may crash, hang, over-read the buffer
+// (ASan-visible via the heap-exact memory constructor), or raise any other
+// exception type. Build with -DPARAGRAPH_SANITIZE=ON to run this under
+// ASan+UBSan.
+//
+// Targeted cases then pin the index-specific failure modes: lying counts
+// (rejected *before* allocation), out-of-bounds and overlapping index
+// entries, flipped footers, and checksums that disagree with record bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "frontend/parser.hpp"
+#include "graph/builder.hpp"
+#include "io/dataset_view.hpp"
+#include "io/pgraph_io.hpp"
+#include "model/encoding.hpp"
+
+namespace pg::io {
+namespace {
+
+std::string base_corpus() {
+  auto r = frontend::parse_source(
+      "void f(void) { for (int i = 0; i < 12; i++) { double x = 1.0; } }");
+  EXPECT_TRUE(r.ok());
+  graph::BuildOptions options;
+  options.representation = graph::Representation::kParaGraph;
+  const auto graph = graph::build_graph(r.root(), options);
+
+  model::SampleSet set;
+  set.target_scaler.fit_bounds(0.0, 1e6);
+  set.teams_scaler.fit_bounds(1.0, 1024.0);
+  set.threads_scaler.fit_bounds(1.0, 1024.0);
+  for (int i = 0; i < 6; ++i) {
+    model::TrainingSample s;
+    s.graph = model::encode_graph(graph, 12.0);
+    s.aux = {0.25f * static_cast<float>(i % 4), 0.5f};
+    s.runtime_us = 100.0 * (i + 1);
+    s.target_scaled = set.target_scaler.transform(s.runtime_us);
+    s.app_id = i;
+    s.app_name = "app" + std::to_string(i);
+    s.variant = i % 2 ? "cpu" : "gpu";
+    (i % 3 ? set.train : set.validation).push_back(s);
+  }
+  std::ostringstream os(std::ios::binary);
+  write_sample_set(os, set, "fuzz", "ParaGraph", 7, 2);
+  return os.str();
+}
+
+/// Exercises both reader paths over `bytes`. FormatError is the only
+/// acceptable failure; anything else fails the test. The bytes are staged
+/// in a heap buffer sized exactly to the payload so any over-read past the
+/// end trips AddressSanitizer instead of sliding by in string slack.
+void expect_graceful(const std::string& bytes, std::uint64_t seed) {
+  const auto heap = std::make_unique<unsigned char[]>(
+      bytes.size() ? bytes.size() : 1);
+  std::memcpy(heap.get(), bytes.data(), bytes.size());
+  try {
+    DatasetView view(heap.get(), bytes.size());
+    model::TrainingSample sample;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      try {
+        view.decode(i, sample);
+      } catch (const FormatError&) {
+        // per-record corruption — acceptable
+      }
+    }
+  } catch (const FormatError&) {
+    // rejected at open — acceptable
+  } catch (const std::exception& e) {
+    FAIL() << "seed " << seed << ": DatasetView raised non-FormatError: "
+           << e.what();
+  }
+
+  try {
+    std::istringstream is(bytes, std::ios::binary);
+    DatasetReader reader(is);
+    model::TrainingSample sample;
+    Split split = Split::kTrain;
+    while (reader.next(sample, split)) {
+    }
+  } catch (const FormatError&) {
+  } catch (const std::exception& e) {
+    FAIL() << "seed " << seed << ": DatasetReader raised non-FormatError: "
+           << e.what();
+  }
+}
+
+TEST(CorpusFuzz, ThousandSeededMutationsNeverCrash) {
+  const std::string base = base_corpus();
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::string bytes = base;
+    const std::size_t n = bytes.size();
+    // 1-3 stacked mutations per seed.
+    const int rounds = 1 + static_cast<int>(rng() % 3);
+    for (int round = 0; round < rounds; ++round) {
+      switch (rng() % 6) {
+        case 0: {  // flip one bit
+          const std::size_t at = rng() % bytes.size();
+          bytes[at] = static_cast<char>(bytes[at] ^ (1u << (rng() % 8)));
+          break;
+        }
+        case 1:  // truncate
+          bytes.resize(rng() % (bytes.size() + 1));
+          break;
+        case 2: {  // splice a random chunk over another position
+          if (bytes.size() < 2) break;
+          const std::size_t len = 1 + rng() % 64;
+          const std::size_t src = rng() % bytes.size();
+          const std::size_t dst = rng() % bytes.size();
+          for (std::size_t k = 0; k < len; ++k)
+            bytes[(dst + k) % bytes.size()] = bytes[(src + k) % bytes.size()];
+          break;
+        }
+        case 3: {  // zero a range
+          const std::size_t at = rng() % bytes.size();
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng() % 128, bytes.size() - at);
+          std::memset(bytes.data() + at, 0, len);
+          break;
+        }
+        case 4: {  // random u64 overwrite (hits offsets/lengths/counts)
+          if (bytes.size() < 8) break;
+          const std::size_t at = rng() % (bytes.size() - 7);
+          const std::uint64_t v = rng();
+          std::memcpy(bytes.data() + at, &v, 8);
+          break;
+        }
+        default:  // append garbage
+          for (std::size_t k = 0, len = 1 + rng() % 32; k < len; ++k)
+            bytes.push_back(static_cast<char>(rng() & 0xFF));
+      }
+      if (bytes.empty()) break;
+    }
+    expect_graceful(bytes, seed);
+    (void)n;
+  }
+}
+
+// --- targeted index attacks -----------------------------------------------
+
+struct Layout {
+  std::string bytes;
+  std::size_t footer;        // 20-byte footer start
+  std::size_t index_offset;  // "PGIX" marker
+  std::size_t index_size;
+  std::size_t count_field;   // u64 record count inside the index
+};
+
+Layout layout() {
+  Layout l;
+  l.bytes = base_corpus();
+  l.footer = l.bytes.size() - 20;
+  std::uint64_t off = 0;
+  std::uint64_t size = 0;
+  std::memcpy(&off, l.bytes.data() + l.footer, 8);
+  std::memcpy(&size, l.bytes.data() + l.footer + 8, 8);
+  l.index_offset = static_cast<std::size_t>(off);
+  l.index_size = static_cast<std::size_t>(size);
+  l.count_field = l.index_offset + 4;
+  return l;
+}
+
+void expect_open_rejected(const std::string& bytes, const char* what) {
+  const auto heap = std::make_unique<unsigned char[]>(bytes.size());
+  std::memcpy(heap.get(), bytes.data(), bytes.size());
+  EXPECT_THROW(DatasetView(heap.get(), bytes.size()), FormatError) << what;
+}
+
+TEST(CorpusFuzz, LyingIndexCountIsRejectedBeforeAllocation) {
+  // A count claiming 2^28 records against a 170-byte index must be rejected
+  // by arithmetic, not by attempting a 2^28-entry allocation (under ASan an
+  // eager allocation of that size aborts the run).
+  Layout l = layout();
+  const std::uint64_t lie = std::uint64_t{1} << 28;
+  std::memcpy(l.bytes.data() + l.count_field, &lie, 8);
+  expect_open_rejected(l.bytes, "huge count");
+
+  const std::uint64_t off_by_one = 7;  // real count is 6
+  std::memcpy(l.bytes.data() + l.count_field, &off_by_one, 8);
+  expect_open_rejected(l.bytes, "off-by-one count");
+}
+
+TEST(CorpusFuzz, OutOfBoundsIndexOffsetIsRejected) {
+  Layout l = layout();
+  // First entry's record offset, pushed past EOF. The index self-checksum
+  // would catch this too, so recompute it -- the offset bound check itself
+  // must fire.
+  const std::size_t entry0 = l.index_offset + 12;
+  const std::uint64_t huge = std::uint64_t{1} << 40;
+  std::memcpy(l.bytes.data() + entry0, &huge, 8);
+  const std::size_t entries = l.index_size - 20;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < entries; ++i) {
+    h ^= static_cast<unsigned char>(l.bytes[entry0 + i]);
+    h *= 0x100000001b3ull;
+  }
+  std::memcpy(l.bytes.data() + l.index_offset + 12 + entries, &h, 8);
+  expect_open_rejected(l.bytes, "OOB offset");
+}
+
+TEST(CorpusFuzz, OverlappingIndexEntriesAreRejected) {
+  Layout l = layout();
+  // Shrink entry 0's length so entry 1 would overlap it (offsets must be
+  // contiguous); fix the self-checksum so only the overlap check can fire.
+  const std::size_t entry0 = l.index_offset + 12;
+  std::uint64_t len = 0;
+  std::memcpy(&len, l.bytes.data() + entry0 + 8, 8);
+  len -= 4;
+  std::memcpy(l.bytes.data() + entry0 + 8, &len, 8);
+  const std::size_t entries = l.index_size - 20;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < entries; ++i) {
+    h ^= static_cast<unsigned char>(l.bytes[entry0 + i]);
+    h *= 0x100000001b3ull;
+  }
+  std::memcpy(l.bytes.data() + l.index_offset + 12 + entries, &h, 8);
+  expect_open_rejected(l.bytes, "overlapping entries");
+}
+
+TEST(CorpusFuzz, FlippedFooterBytesAreRejected) {
+  const Layout l = layout();
+  for (std::size_t at = l.footer; at < l.bytes.size(); ++at) {
+    std::string mutant = l.bytes;
+    mutant[at] = static_cast<char>(mutant[at] ^ 0xFF);
+    const auto heap = std::make_unique<unsigned char[]>(mutant.size());
+    std::memcpy(heap.get(), mutant.data(), mutant.size());
+    EXPECT_THROW(DatasetView(heap.get(), mutant.size()), FormatError)
+        << "footer byte " << (at - l.footer);
+  }
+}
+
+TEST(CorpusFuzz, FlippedIndexBytesAreRejectedAtOpen) {
+  // Any single-bit damage to the index section (marker, count, entries,
+  // self-checksum) must be caught at open time.
+  const Layout l = layout();
+  for (std::size_t at = l.index_offset; at < l.footer; at += 7) {
+    std::string mutant = l.bytes;
+    mutant[at] = static_cast<char>(mutant[at] ^ 0x10);
+    const auto heap = std::make_unique<unsigned char[]>(mutant.size());
+    std::memcpy(heap.get(), mutant.data(), mutant.size());
+    EXPECT_THROW(DatasetView(heap.get(), mutant.size()), FormatError)
+        << "index byte " << (at - l.index_offset);
+  }
+}
+
+TEST(CorpusFuzz, TruncationAtEveryTailBoundaryIsRejected) {
+  const Layout l = layout();
+  // Chop anywhere inside the index/footer region: the footer either
+  // disappears or points outside the file.
+  for (std::size_t keep = l.index_offset - 12; keep < l.bytes.size();
+       keep += 3) {
+    const std::string mutant = l.bytes.substr(0, keep);
+    const auto heap = std::make_unique<unsigned char[]>(
+        mutant.size() ? mutant.size() : 1);
+    std::memcpy(heap.get(), mutant.data(), mutant.size());
+    EXPECT_THROW(DatasetView(heap.get(), mutant.size()), FormatError)
+        << "kept " << keep << " of " << l.bytes.size();
+  }
+}
+
+TEST(CorpusFuzz, LyingChecksumFailsOnlyTheLiedAboutRecord) {
+  // Flip a body byte of record 3 (leaving the index intact): open succeeds,
+  // records 0-2 and 4-5 decode, record 3 reports a checksum mismatch.
+  Layout l = layout();
+  {
+    const unsigned char* base =
+        reinterpret_cast<const unsigned char*>(l.bytes.data());
+    DatasetView clean(base, l.bytes.size());
+    ASSERT_EQ(clean.size(), 6u);
+    const std::size_t victim =
+        static_cast<std::size_t>(clean.record_offset(3)) + 16;
+    l.bytes[victim] = static_cast<char>(l.bytes[victim] ^ 0x01);
+  }
+  const auto heap = std::make_unique<unsigned char[]>(l.bytes.size());
+  std::memcpy(heap.get(), l.bytes.data(), l.bytes.size());
+  DatasetView view(heap.get(), l.bytes.size());
+  model::TrainingSample sample;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (i == 3) {
+      EXPECT_THROW(view.decode(i, sample), FormatError);
+    } else {
+      EXPECT_NO_THROW(view.decode(i, sample)) << "record " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pg::io

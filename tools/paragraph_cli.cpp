@@ -8,7 +8,10 @@
 //   dump     any pg::io file         -> human-readable summary
 //   corpus   batch-generate the paper's kernel/variant sweep into a
 //            directory (--golden emits the small pinned regression corpus
-//            under tests/golden/)
+//            under tests/golden/; --format picks the .pgds container
+//            version)
+//   reindex  .pgds (v1 or v2)        -> format-v2 .pgds: record bytes
+//            copied verbatim, fresh offset/checksum index appended
 //   client   .psample* -> predictions served by a running paragraph-serve
 //            daemon (the serve protocol's reference client; retries on
 //            backpressure)
@@ -36,6 +39,7 @@
 #include "frontend/parser.hpp"
 #include "graph/builder.hpp"
 #include "io/binary.hpp"
+#include "io/dataset_view.hpp"
 #include "io/pgraph_io.hpp"
 #include "model/checkpoint.hpp"
 #include "model/engine.hpp"
@@ -68,9 +72,11 @@ int usage() {
   client  --port P [--timeout-ms T] [--ping] [--out <file>]
           <sample.psample>...
   corpus  --out <dir> [--threads N] [--simd scalar|sse2|avx2]
+          [--format v1|v2]
           (--golden | [--platform power9|v100|epyc|mi50]
           [--scale smoke|default|full] [--seed N]
           [--representation raw|augmented|paragraph] [--log-target])
+  reindex <in.pgds> <out.pgds>
 
   predict/corpus worker threads: --threads N, else the PARAGRAPH_THREADS
   environment variable, else the OpenMP default. (encode's --threads is the
@@ -123,7 +129,7 @@ Args parse_args(int argc, char** argv, int first) {
       "--checkpoint", "--hidden",        "--out",          "--platform",
       "--scale",     "--seed",           "--simd",         "--child-weight-scale",
       "--target-bounds", "--teams-bounds", "--threads-bounds",
-      "--port",      "--timeout-ms"};
+      "--port",      "--timeout-ms",     "--format"};
   Args args;
   for (int a = first; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -456,13 +462,25 @@ int cmd_dump(const Args& args) {
                   meta.log_target ? "yes" : "no", meta.child_weight_scale);
       std::printf("target bounds: [%.17g, %.17g]\n", meta.target_min,
                   meta.target_max);
-      model::TrainingSample sample;
-      io::Split split = io::Split::kTrain;
       std::size_t train = 0;
       std::size_t validation = 0;
-      while (reader.next(sample, split))
-        (split == io::Split::kTrain ? train : validation) += 1;
-      std::printf("records: %zu train + %zu validation\n", train, validation);
+      if (info.version >= 2) {
+        // v2 carries a record index: count splits without touching a
+        // single record page.
+        io::DatasetView view(path);
+        for (std::size_t i = 0; i < view.size(); ++i)
+          (view.split(i) == io::Split::kTrain ? train : validation) += 1;
+        std::printf("records: %zu train + %zu validation (indexed, "
+                    "checksummed)\n",
+                    train, validation);
+      } else {
+        model::TrainingSample sample;
+        io::Split split = io::Split::kTrain;
+        while (reader.next(sample, split))
+          (split == io::Split::kTrain ? train : validation) += 1;
+        std::printf("records: %zu train + %zu validation\n", train,
+                    validation);
+      }
       break;
     }
     default:
@@ -554,13 +572,18 @@ int cmd_corpus_golden(const std::filesystem::path& dir) {
   meta.threads_min = 1.0;
   meta.threads_max = 1024.0;
 
+  // corpus.pgds stays pinned at format v1 (the drift gate compares bytes);
+  // the v2 fixture next to it is produced by reindexing it below.
   std::ofstream ds_os(dir / "corpus.pgds", std::ios::binary);
   if (!ds_os) throw std::runtime_error("cannot open corpus.pgds");
-  io::DatasetWriter ds_writer(ds_os, meta);
+  io::DatasetWriter ds_writer(ds_os, meta, 1);
 
   std::string manifest;
   manifest += "# golden regression corpus — regenerate with:\n";
   manifest += "#   paragraph-cli corpus --golden --out tests/golden\n";
+  manifest += "# corpus.pgds is format v1; corpus_v2.pgds is its byte-exact\n";
+  manifest += "# record-level reindex (paragraph-cli reindex) with the v2\n";
+  manifest += "# offset/checksum index appended.\n";
   manifest += "format-version 1\n";
   {
     char line[64];
@@ -599,9 +622,29 @@ int cmd_corpus_golden(const std::filesystem::path& dir) {
     manifest += line;
   }
   ds_writer.finish();
+  ds_os.close();
+  io::reindex_dataset((dir / "corpus.pgds").string(),
+                      (dir / "corpus_v2.pgds").string());
   write_text_file(dir / "MANIFEST.txt", manifest);
   std::printf("golden corpus: %zu entries -> %s\n", built.size(),
               dir.string().c_str());
+  return 0;
+}
+
+std::uint16_t format_version_from(const Args& args) {
+  const std::string format = args.option("--format").value_or("v2");
+  if (format == "v1") return 1;
+  if (format == "v2") return io::kDatasetFormatVersion;
+  throw std::runtime_error("unknown format '" + format + "' (v1|v2)");
+}
+
+int cmd_reindex(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  io::reindex_dataset(args.positional[0], args.positional[1]);
+  const io::DatasetView view(args.positional[1]);
+  std::printf("reindexed %s -> %s (%zu records, format v%u)\n",
+              args.positional[0].c_str(), args.positional[1].c_str(),
+              view.size(), view.format_version());
   return 0;
 }
 
@@ -647,7 +690,7 @@ int cmd_corpus(const Args& args) {
   io::write_sample_set_file(out.string(), set, platform.name,
                             std::string(graph::representation_name(
                                 build.representation)),
-                            gen.seed);
+                            gen.seed, format_version_from(args));
   std::printf("%zu train + %zu validation samples -> %s\n", set.train.size(),
               set.validation.size(), out.string().c_str());
   return 0;
@@ -666,6 +709,7 @@ int main(int argc, char** argv) {
     if (subcommand == "dump") return cmd_dump(args);
     if (subcommand == "client") return cmd_client(args);
     if (subcommand == "corpus") return cmd_corpus(args);
+    if (subcommand == "reindex") return cmd_reindex(args);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     return usage();
   } catch (const io::FormatError& e) {
