@@ -11,6 +11,7 @@
 //     (JsonReport + json_path_from_args below).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +30,7 @@
 #include "sim/platform.hpp"
 #include "support/csv.hpp"
 #include "support/env.hpp"
+#include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -134,6 +136,43 @@ class JsonReport {
     std::string value;  // pre-serialised
   };
   std::vector<Entry> entries_;
+};
+
+/// Seeded request-index picker shared by every serve load mode: draws from
+/// a Zipf(s) distribution over `count` requests by inverse-CDF sampling
+/// (p_i proportional to 1/(i+1)^s). s = 0 degenerates to the uniform
+/// distribution exactly, so --uniform and --zipf run the same code path and
+/// differ only in the skew parameter — one seeded generator, no mode drift.
+class RequestPicker {
+ public:
+  RequestPicker(std::size_t count, double skew, std::uint64_t seed)
+      : rng_(seed), skew_(skew) {
+    cdf_.reserve(count);
+    double total = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t next() {
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+  [[nodiscard]] double skew() const { return skew_; }
+  /// Request-mix descriptor for bench JSON ("uniform" or "zipf").
+  [[nodiscard]] const char* mix_name() const {
+    return skew_ == 0.0 ? "uniform" : "zipf";
+  }
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+  double skew_;
 };
 
 /// Everything one (platform, representation) training run produces. The

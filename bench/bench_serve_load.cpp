@@ -19,6 +19,12 @@
 // Knobs: --fixture DIR (read request bytes from an emitted fixture),
 // --clients C (default 4), --seconds S (default 5), --json PATH (default
 // BENCH_serve.json next to the binary).
+//
+// Request mix: --uniform (the default) and --zipf <s> share one seeded
+// picker (bench::RequestPicker; Zipf with s = 0 IS uniform), so the two
+// modes differ only in skew. --zipf concentrates traffic on a few hot
+// requests — the shape the serve-time semantic cache is built for. The
+// emitted JSON records the mix descriptor alongside the numbers.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -129,13 +135,13 @@ struct ClientTotals {
 };
 
 void run_client(std::uint16_t port, const std::vector<std::string>& requests,
-                std::size_t offset, std::chrono::steady_clock::time_point until,
+                bench::RequestPicker picker,
+                std::chrono::steady_clock::time_point until,
                 ClientTotals& totals) {
   try {
     serve::Client client(port, 30000);
-    std::size_t next = offset;
     while (std::chrono::steady_clock::now() < until) {
-      const std::string& request = requests[next++ % requests.size()];
+      const std::string& request = requests[picker.next()];
       const auto t0 = std::chrono::steady_clock::now();
       const auto response =
           client.predict_until_served(request, &totals.busy_retries);
@@ -174,6 +180,11 @@ int main(int argc, char** argv) {
   const std::int64_t seconds = int_option(argc, argv, "--seconds", 5);
   const char* fixture_dir = option_value(argc, argv, "--fixture");
   const std::int64_t external_port = int_option(argc, argv, "--port", 0);
+  // --uniform is Zipf with s = 0 — both flags feed the same seeded picker.
+  double zipf_s = 0.0;
+  if (const char* s = option_value(argc, argv, "--zipf")) zipf_s = std::stod(s);
+  for (int a = 1; a < argc; ++a)
+    if (std::strcmp(argv[a], "--uniform") == 0) zipf_s = 0.0;
 
   bench::print_header("paragraph-serve load", config);
 
@@ -209,8 +220,13 @@ int main(int argc, char** argv) {
   std::vector<std::thread> threads;
   threads.reserve(totals.size());
   for (std::size_t c = 0; c < totals.size(); ++c)
-    threads.emplace_back(
-        [&, c] { run_client(port, requests, c, until, totals[c]); });
+    threads.emplace_back([&, c] {
+      // Per-client derived seed: deterministic, distinct streams.
+      run_client(port, requests,
+                 bench::RequestPicker(requests.size(), zipf_s,
+                                      config.seed + 0x9e37 * (c + 1)),
+                 until, totals[c]);
+    });
   for (std::thread& t : threads) t.join();
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
@@ -232,9 +248,10 @@ int main(int argc, char** argv) {
   const double p99 = percentile(latencies, 0.99);
   const double throughput = elapsed_s > 0.0 ? static_cast<double>(ok) / elapsed_s : 0.0;
 
-  std::printf("clients=%lld seconds=%lld target=%s\n",
+  std::printf("clients=%lld seconds=%lld target=%s mix=%s(s=%g)\n",
               static_cast<long long>(clients), static_cast<long long>(seconds),
-              external_port != 0 ? "external daemon" : "in-process server");
+              external_port != 0 ? "external daemon" : "in-process server",
+              zipf_s == 0.0 ? "uniform" : "zipf", zipf_s);
   std::printf("requests ok        %llu\n", static_cast<unsigned long long>(ok));
   std::printf("errors             %llu\n",
               static_cast<unsigned long long>(errors));
@@ -244,19 +261,27 @@ int main(int argc, char** argv) {
   std::printf("latency p99        %.1f us\n", p99);
   std::printf("sustained          %.1f graphs/s\n", throughput);
 
+  serve::ServerStats server_stats;
   if (server != nullptr) {
     server->stop();
-    const serve::ServerStats stats = server->stats();
+    server_stats = server->stats();
     std::printf("server batches     %llu (%.2f graphs/batch)\n",
-                static_cast<unsigned long long>(stats.batches),
-                stats.batches > 0 ? static_cast<double>(stats.requests_ok) /
-                                        static_cast<double>(stats.batches)
-                                  : 0.0);
+                static_cast<unsigned long long>(server_stats.batches),
+                server_stats.batches > 0
+                    ? static_cast<double>(server_stats.requests_ok) /
+                          static_cast<double>(server_stats.batches)
+                    : 0.0);
+    if (server->config().cache)
+      std::printf("server cache       %llu hits / %llu misses\n",
+                  static_cast<unsigned long long>(server_stats.cache_hits),
+                  static_cast<unsigned long long>(server_stats.cache_misses));
   }
 
   bench::JsonReport report("serve_load");
   report.add("scale", to_string(config.scale));
   report.add("mode", external_port != 0 ? "external" : "in-process");
+  report.add("request_mix", zipf_s == 0.0 ? "uniform" : "zipf");
+  report.add("zipf_s", zipf_s);
   report.add("clients", static_cast<int>(clients));
   report.add("seconds", static_cast<int>(seconds));
   report.add("requests_ok", static_cast<std::size_t>(ok));
@@ -265,6 +290,12 @@ int main(int argc, char** argv) {
   report.add("latency_p50_us", p50);
   report.add("latency_p99_us", p99);
   report.add("graphs_per_s", throughput);
+  if (server != nullptr) {
+    report.add("cache_enabled", server->config().cache ? 1 : 0);
+    report.add("cache_hits", static_cast<std::size_t>(server_stats.cache_hits));
+    report.add("cache_misses",
+               static_cast<std::size_t>(server_stats.cache_misses));
+  }
   std::string json = bench::json_path_from_args(argc, argv);
   if (json.empty()) json = "BENCH_serve.json";
   if (!report.write(json)) return 1;

@@ -9,10 +9,17 @@
 //      through the InferenceEngine (one call per device model).
 //   4. Recommend the fastest (and show the simulator's ground truth).
 //
-// Usage: ./offload_advisor [kernel-name] (default: matmul)
+// Usage: ./offload_advisor [kernel-name] [--similar K] (default: matmul)
+//
+// --similar K additionally embeds every candidate with the device model and
+// reports the K candidates nearest the recommendation in embedding space
+// (ann::AnnIndex over the pooled embeddings) — "what else does the model
+// consider structurally close to the winner".
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
+#include "ann/ann_index.hpp"
 #include "dataset/corpus_cache.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/sample_builder.hpp"
@@ -25,7 +32,14 @@
 int main(int argc, char** argv) {
   using namespace pg;
 
-  const std::string kernel_name = argc > 1 ? argv[1] : "matmul";
+  std::string kernel_name = "matmul";
+  std::size_t similar_k = 0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--similar" && a + 1 < argc)
+      similar_k = static_cast<std::size_t>(std::atoll(argv[++a]));
+    else
+      kernel_name = argv[a];
+  }
   const dataset::KernelSpec* spec = nullptr;
   for (const auto& s : dataset::benchmark_suite())
     if (s.kernel == kernel_name) spec = &s;
@@ -127,6 +141,7 @@ int main(int argc, char** argv) {
   TextTable table({"Device", "Variant", "Predicted (ms)", "Simulated (ms)"});
   double best_pred = 1e300;
   std::string best_label;
+  std::size_t best_i = 0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const Candidate& c = candidates[i];
     const bool on_gpu = c.platform.kind == sim::DeviceKind::kGpu;
@@ -140,6 +155,7 @@ int main(int argc, char** argv) {
     if (predicted_us < best_pred) {
       best_pred = predicted_us;
       best_label = label;
+      best_i = i;
     }
     table.add_row({c.platform.name, std::string(dataset::variant_name(c.variant)),
                    format_double(predicted_us / 1e3, 4),
@@ -150,5 +166,40 @@ int main(int argc, char** argv) {
               table.render().c_str());
   std::printf("Recommendation: %s (predicted %.3f ms)\n", best_label.c_str(),
               best_pred / 1e3);
+
+  if (similar_k > 0) {
+    // Embeddings from different device models live in different spaces, so
+    // the similarity slate is the winner's device only.
+    const bool on_gpu = candidates[best_i].platform.kind == sim::DeviceKind::kGpu;
+    auto& engine = on_gpu ? gpu_engine : cpu_engine;
+    const auto& graphs = on_gpu ? gpu_graphs : cpu_graphs;
+    std::vector<std::size_t> owner;  // device batch position -> candidate
+    owner.resize(graphs.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const bool g = candidates[i].platform.kind == sim::DeviceKind::kGpu;
+      if (g == on_gpu) owner[batch_index[i]] = i;
+    }
+
+    tensor::Matrix embeddings;
+    engine.embed_batch(graphs, embeddings);
+    ann::AnnConfig ann_config;
+    ann_config.k = std::min(similar_k, embeddings.rows() - 1);
+    const ann::AnnIndex index =
+        ann::AnnIndex::build(embeddings, ann_config, /*fingerprint=*/0);
+    const auto hits = index.brute_force(embeddings.row_span(batch_index[best_i]),
+                                        similar_k + 1);
+
+    std::printf("\n%zu most similar candidates (embedding space, %s):\n",
+                similar_k, candidates[best_i].platform.name.c_str());
+    std::size_t shown = 0;
+    for (const ann::Neighbor& n : hits) {
+      if (n.index == batch_index[best_i]) continue;  // the winner itself
+      const Candidate& c = candidates[owner[n.index]];
+      std::printf("  %-24s L2^2 = %.6g\n",
+                  std::string(dataset::variant_name(c.variant)).c_str(),
+                  static_cast<double>(n.distance));
+      if (++shown == similar_k) break;
+    }
+  }
   return 0;
 }

@@ -22,9 +22,12 @@ namespace pg::io {
 namespace {
 
 [[noreturn]] void throw_record_error(std::size_t ordinal, std::uint64_t body,
-                                     const char* what) {
+                                     std::uint64_t offset, const char* what) {
+  // Ordinal + frame size + absolute byte offset: "which sample of the
+  // million, and where in the file" is the whole of a corruption report.
   throw FormatError("corrupt dataset record " + std::to_string(ordinal) +
-                    " (" + std::to_string(body) + "-byte frame): " + what);
+                    " (" + std::to_string(body) + "-byte frame at byte offset " +
+                    std::to_string(offset) + "): " + what);
 }
 
 }  // namespace
@@ -157,7 +160,8 @@ void DatasetView::open_bytes() {
                  static_cast<std::size_t>(count * d::kIndexEntryBytes)))
       throw FormatError(
           "corrupt dataset file: index self-checksum mismatch (index bytes "
-          "were altered)");
+          "were altered; 'index' section at byte offset " +
+          std::to_string(index_offset) + ")");
 
     entries_.reserve(static_cast<std::size_t>(count));
     std::uint64_t expect = records_start_;
@@ -280,7 +284,7 @@ void DatasetView::decode(std::size_t i, model::TrainingSample& sample) const {
     sample = d::get_sample_body(src);
     src.pop_budget();
   } catch (const FormatError& err) {
-    throw_record_error(i, body, err.what());
+    throw_record_error(i, body, e.offset, err.what());
   }
 }
 

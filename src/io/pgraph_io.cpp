@@ -379,6 +379,7 @@ std::string_view payload_kind_name(PayloadKind kind) {
     case PayloadKind::kGraph: return "graph";
     case PayloadKind::kSample: return "sample";
     case PayloadKind::kDataset: return "dataset";
+    case PayloadKind::kAnnIndex: return "ann-index";
   }
   return "unknown";
 }

@@ -49,6 +49,7 @@ enum class PayloadKind : std::uint16_t {
   kGraph = 1,
   kSample = 2,
   kDataset = 3,
+  kAnnIndex = 4,  // .pgann — embedding-space k-NN index (src/ann)
 };
 
 std::string_view payload_kind_name(PayloadKind kind);

@@ -12,6 +12,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstring>
 
 #include "model/schedule.hpp"
 #include "support/check.hpp"
@@ -90,7 +91,8 @@ double InferenceEngine::predict_one(const EncodedGraph& graph,
 
 void InferenceEngine::run_chunk(std::span<const EncodedGraph* const> graphs,
                                 std::span<const std::array<float, 2>> aux,
-                                std::span<double> out, std::size_t lo,
+                                std::span<double> out,
+                                tensor::Matrix* embed_out, std::size_t lo,
                                 std::size_t hi) {
   ThreadState& ts = state_for_current_thread();
   if (ts.arena_baseline > 0 &&
@@ -99,19 +101,30 @@ void InferenceEngine::run_chunk(std::span<const EncodedGraph* const> graphs,
     ts.arena_baseline = 0;
   }
   ts.batch.pack(graphs.subspan(lo, hi - lo));
-  ts.aux.reshape(hi - lo, 2);
-  for (std::size_t i = lo; i < hi; ++i) {
-    auto row = ts.aux.row_span(i - lo);
-    row[0] = aux[i][0];
-    row[1] = aux[i][1];
+  if (embed_out != nullptr) {
+    // Embed-only pass: stop at the pooled rows and scatter them into the
+    // caller's matrix. Pure copies, so the chunking stays bitwise-neutral.
+    model_->embed_batch(ts.batch, ts.embed, ts.ws);
+    const std::size_t width = ts.embed.cols();
+    for (std::size_t i = lo; i < hi; ++i)
+      std::memcpy(embed_out->row_span(i).data(),
+                  ts.embed.row_span(i - lo).data(), width * sizeof(float));
+  } else {
+    ts.aux.reshape(hi - lo, 2);
+    for (std::size_t i = lo; i < hi; ++i) {
+      auto row = ts.aux.row_span(i - lo);
+      row[0] = aux[i][0];
+      row[1] = aux[i][1];
+    }
+    model_->predict_batch(ts.batch, ts.aux, out.subspan(lo, hi - lo), ts.ws);
   }
-  model_->predict_batch(ts.batch, ts.aux, out.subspan(lo, hi - lo), ts.ws);
   if (ts.arena_baseline == 0) ts.arena_baseline = ts.ws.bytes_reserved();
 }
 
 void InferenceEngine::run_chunked(std::span<const EncodedGraph* const> graphs,
                                   std::span<const std::array<float, 2>> aux,
-                                  std::span<double> out) {
+                                  std::span<double> out,
+                                  tensor::Matrix* embed_out) {
   const std::size_t n = graphs.size();
   ThreadState& caller = state_for_current_thread();
 
@@ -176,7 +189,7 @@ void InferenceEngine::run_chunked(std::span<const EncodedGraph* const> graphs,
     // Caller already manages threading: stay serial on this thread, with
     // its own state (the intra-batch split points self-gate too).
     for (std::size_t c = 0; c < num_chunks; ++c)
-      run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
+      run_chunk(graphs, aux, out, embed_out, bounds[c], bounds[c + 1]);
     return;
   }
 
@@ -200,13 +213,14 @@ void InferenceEngine::run_chunked(std::span<const EncodedGraph* const> graphs,
 #pragma omp parallel for schedule(dynamic, 1)
     for (std::size_t i = 0; i < small.size(); ++i) {
       const std::uint32_t c = small[i];
-      run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
+      run_chunk(graphs, aux, out, embed_out, bounds[c], bounds[c + 1]);
     }
   } else if (small.size() == 1) {
-    run_chunk(graphs, aux, out, bounds[small[0]], bounds[small[0] + 1]);
+    run_chunk(graphs, aux, out, embed_out, bounds[small[0]],
+              bounds[small[0] + 1]);
   }
   for (const std::uint32_t c : big)
-    run_chunk(graphs, aux, out, bounds[c], bounds[c + 1]);
+    run_chunk(graphs, aux, out, embed_out, bounds[c], bounds[c + 1]);
   stat_intra_chunks_.fetch_add(big.size(), std::memory_order_relaxed);
 }
 
@@ -222,7 +236,34 @@ void InferenceEngine::predict_batch(std::span<const EncodedGraph> graphs,
   caller.ptrs.clear();
   caller.ptrs.reserve(graphs.size());
   for (const EncodedGraph& g : graphs) caller.ptrs.push_back(&g);
-  run_chunked(caller.ptrs, aux, out);
+  run_chunked(caller.ptrs, aux, out, nullptr);
+}
+
+void InferenceEngine::embed_batch(std::span<const EncodedGraph> graphs,
+                                  tensor::Matrix& out) {
+  out.reshape(graphs.size(), model_->config().hidden_dim);
+  if (graphs.empty()) return;
+  ThreadState& caller = state_for_current_thread();
+  caller.ptrs.clear();
+  caller.ptrs.reserve(graphs.size());
+  for (const EncodedGraph& g : graphs) caller.ptrs.push_back(&g);
+  run_chunked(caller.ptrs, {}, {}, &out);
+}
+
+void InferenceEngine::predict_head(const tensor::Matrix& pooled,
+                                   std::span<const std::array<float, 2>> aux,
+                                   std::span<double> out) {
+  check(pooled.rows() == aux.size() && pooled.rows() == out.size(),
+        "InferenceEngine::predict_head: span length mismatch");
+  if (out.empty()) return;
+  ThreadState& ts = state_for_current_thread();
+  ts.aux.reshape(aux.size(), 2);
+  for (std::size_t i = 0; i < aux.size(); ++i) {
+    auto row = ts.aux.row_span(i);
+    row[0] = aux[i][0];
+    row[1] = aux[i][1];
+  }
+  model_->predict_head(pooled, ts.aux, out, ts.ws);
 }
 
 std::vector<double> InferenceEngine::predict_samples_us(
@@ -241,7 +282,7 @@ std::vector<double> InferenceEngine::predict_samples_us(
     caller.ptrs.push_back(&samples[i].graph);
     caller.aux_gather.push_back(samples[i].aux);
   }
-  run_chunked(caller.ptrs, caller.aux_gather, predictions);
+  run_chunked(caller.ptrs, caller.aux_gather, predictions, nullptr);
   for (double& p : predictions) p = set.from_target(p);
   return predictions;
 }

@@ -74,6 +74,23 @@ class InferenceEngine {
   [[nodiscard]] std::vector<double> predict_samples_us(
       std::span<const TrainingSample> samples, const SampleSet& set);
 
+  /// Pooled per-graph embeddings: reshapes `out` to [graphs.size() x
+  /// hidden_dim] and fills each row with the conv-stack + segmented-mean
+  /// embedding of the corresponding graph. Runs the same cost-model chunk
+  /// fan-out as predict_batch; rows are bitwise-identical to the pooled
+  /// rows the predict path computes internally, for any chunking or thread
+  /// count (ann_test pins this).
+  void embed_batch(std::span<const EncodedGraph> graphs, tensor::Matrix& out);
+
+  /// FC head over embeddings previously produced by embed_batch: one fused
+  /// head pass on the calling thread (the head is a few small matmuls —
+  /// chunking it would cost more than it saves). Bitwise-identical to the
+  /// head portion of predict_batch for any row subset, which is the
+  /// contract the serve-time semantic cache's miss path relies on.
+  void predict_head(const tensor::Matrix& pooled,
+                    std::span<const std::array<float, 2>> aux,
+                    std::span<double> out);
+
   [[nodiscard]] const ParaGraphModel& model() const { return *model_; }
 
   /// Upper bound on graphs fused per chunk — the compile-time default (64)
@@ -106,6 +123,7 @@ class InferenceEngine {
     tensor::Workspace ws;
     GraphBatch batch;
     tensor::Matrix aux;                          // [chunk x aux_dim]
+    tensor::Matrix embed;                        // [chunk x hidden] scratch
     std::vector<const EncodedGraph*> ptrs;       // batch gather scratch
     std::vector<std::array<float, 2>> aux_gather;  // predict_samples_us
     std::vector<std::uint64_t> costs;      // per-graph cost-model scratch
@@ -116,19 +134,22 @@ class InferenceEngine {
   };
 
   ThreadState& state_for_current_thread();
-  /// Packs graphs [lo, hi) and runs one fused forward into out[lo, hi).
+  /// Packs graphs [lo, hi) and runs one fused pass into out[lo, hi). When
+  /// `embed_out` is non-null the pass stops at the pooled embedding and
+  /// writes rows [lo, hi) of `embed_out` instead (aux/out may be empty).
   void run_chunk(std::span<const EncodedGraph* const> graphs,
                  std::span<const std::array<float, 2>> aux,
-                 std::span<double> out, std::size_t lo, std::size_t hi);
+                 std::span<double> out, tensor::Matrix* embed_out,
+                 std::size_t lo, std::size_t hi);
   /// The shared chunk fan-out: plans chunk boundaries (cost-balanced or
   /// fixed-width), runs cheap chunks OpenMP-parallel with dynamic
   /// stealing, then runs oversized chunks serially so the fused forward's
-  /// intra-batch split points can use the whole machine. Both public batch
-  /// entry points route through here so the threading policy cannot
-  /// diverge between them.
+  /// intra-batch split points can use the whole machine. All public batch
+  /// entry points (predict and embed) route through here so the threading
+  /// policy cannot diverge between them.
   void run_chunked(std::span<const EncodedGraph* const> graphs,
                    std::span<const std::array<float, 2>> aux,
-                   std::span<double> out);
+                   std::span<double> out, tensor::Matrix* embed_out);
 
   const ParaGraphModel* model_;
   std::vector<ThreadState> pool_;  // one per OpenMP thread

@@ -67,16 +67,12 @@ ParaGraphModel::ParaGraphModel(const ModelConfig& config)
         return nn::Linear(config.hidden_dim + config.aux_embed_dim, 1, rng);
       }()) {}
 
-void ParaGraphModel::run_forward(const tensor::Matrix& features,
-                                 const nn::RelationalGraph& relations,
-                                 std::span<const std::uint32_t> offsets,
-                                 const tensor::Matrix& aux_in,
-                                 ForwardState& s,
-                                 tensor::Workspace& ws) const {
-  check(offsets.size() >= 2, "run_forward: empty batch");
+void ParaGraphModel::run_embed(const tensor::Matrix& features,
+                               const nn::RelationalGraph& relations,
+                               std::span<const std::uint32_t> offsets,
+                               ForwardState& s, tensor::Workspace& ws) const {
+  check(offsets.size() >= 2, "run_embed: empty batch");
   const std::size_t batch = offsets.size() - 1;
-  check(aux_in.rows() == batch && aux_in.cols() == config_.aux_dim,
-        "aux feature shape mismatch");
 
   s.h1 = &conv1_.forward(features, relations, s.c1, ws);
   s.h2 = &conv2_.forward(*s.h1, relations, s.c2, ws);
@@ -84,8 +80,15 @@ void ParaGraphModel::run_forward(const tensor::Matrix& features,
   tensor::Matrix& pooled = ws.acquire_uninit(batch, config_.hidden_dim);
   tensor::segment_row_mean_into(pooled, *s.h3, offsets);
   s.pooled = &pooled;
+}
 
-  s.f1_pre = &fc1_.forward(pooled, ws);
+void ParaGraphModel::run_head(const tensor::Matrix& aux_in, ForwardState& s,
+                              tensor::Workspace& ws) const {
+  const std::size_t batch = s.pooled->rows();
+  check(aux_in.rows() == batch && aux_in.cols() == config_.aux_dim,
+        "aux feature shape mismatch");
+
+  s.f1_pre = &fc1_.forward(*s.pooled, ws);
   tensor::Matrix& f1 = ws.acquire_uninit(batch, config_.hidden_dim);
   nn::relu_into(f1, *s.f1_pre);
   s.f1 = &f1;
@@ -113,6 +116,49 @@ void ParaGraphModel::run_forward(const tensor::Matrix& features,
   s.concat = &concat;
 
   s.out = &out_fc_.forward(concat, ws);
+}
+
+void ParaGraphModel::run_forward(const tensor::Matrix& features,
+                                 const nn::RelationalGraph& relations,
+                                 std::span<const std::uint32_t> offsets,
+                                 const tensor::Matrix& aux_in,
+                                 ForwardState& s,
+                                 tensor::Workspace& ws) const {
+  run_embed(features, relations, offsets, s, ws);
+  run_head(aux_in, s, ws);
+}
+
+void ParaGraphModel::embed_batch(const GraphBatch& batch, tensor::Matrix& out,
+                                 tensor::Workspace& ws) const {
+  if (batch.empty()) {
+    out.reshape(0, config_.hidden_dim);
+    return;
+  }
+  ws.reset();
+  ForwardState s;
+  run_embed(batch.features(), batch.relations(), batch.node_offsets(), s, ws);
+  out.reshape(batch.size(), config_.hidden_dim);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    // Pure copies (no FP ops), so memcpy is bitwise-neutral.
+    std::memcpy(out.row_span(b).data(), s.pooled->row_span(b).data(),
+                config_.hidden_dim * sizeof(float));
+  }
+}
+
+void ParaGraphModel::predict_head(const tensor::Matrix& pooled,
+                                  const tensor::Matrix& aux,
+                                  std::span<double> out,
+                                  tensor::Workspace& ws) const {
+  check(pooled.cols() == config_.hidden_dim,
+        "predict_head: pooled width mismatch");
+  check(out.size() == pooled.rows(), "predict_head: output span mismatch");
+  if (out.empty()) return;
+  ws.reset();
+  ForwardState s;
+  s.pooled = &pooled;
+  run_head(aux, s, ws);
+  for (std::size_t b = 0; b < out.size(); ++b)
+    out[b] = static_cast<double>((*s.out)(b, 0));
 }
 
 double ParaGraphModel::predict(const EncodedGraph& graph,

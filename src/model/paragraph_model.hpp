@@ -62,6 +62,25 @@ class ParaGraphModel {
   void predict_batch(const GraphBatch& batch, const tensor::Matrix& aux,
                      std::span<double> out, tensor::Workspace& ws) const;
 
+  /// Conv stack + segmented mean-pool only: reshapes `out` to
+  /// [batch.size() x hidden_dim] and fills it with the pooled per-graph
+  /// embedding rows. These are the exact rows the predict path pools
+  /// internally — predict_batch runs this same embed core before the FC
+  /// head — so they are bitwise-identical to it (pinned by ann_test).
+  /// `out` must not be borrowed from `ws` (this call resets `ws`).
+  void embed_batch(const GraphBatch& batch, tensor::Matrix& out,
+                   tensor::Workspace& ws) const;
+
+  /// FC head over externally held pooled embeddings (as produced by
+  /// embed_batch): fc1/fc2 + aux embedding + concat + out_fc. Every head op
+  /// is row-independent, so running any subset of rows through this is
+  /// bitwise-identical to the tail of a full predict_batch — which is what
+  /// lets the serve-time semantic cache run the head only for cache misses.
+  /// `pooled` [B x hidden] and `aux` [B x aux_dim] must not be borrowed
+  /// from `ws` (this call resets `ws`).
+  void predict_head(const tensor::Matrix& pooled, const tensor::Matrix& aux,
+                    std::span<double> out, tensor::Workspace& ws) const;
+
   /// Forward + backward for one sample under MSE against `target` (scaled).
   /// Accumulates `grad_scale * dL/dtheta` into `grads` (one Matrix per
   /// parameter, same order as parameters()). Returns the prediction.
@@ -103,12 +122,22 @@ class ParaGraphModel {
   /// The batched core: features/relations may be one graph or a
   /// block-diagonal batch; `offsets` (size B+1) marks per-graph node blocks
   /// and `aux_in` is [B x aux_dim]. Fills state; predictions are
-  /// state.out(b, 0).
+  /// state.out(b, 0). Composed of run_embed (conv stack + pool) followed by
+  /// run_head (FC head), so the public embed/head entry points share its
+  /// exact FP operations by construction.
   void run_forward(const tensor::Matrix& features,
                    const nn::RelationalGraph& relations,
                    std::span<const std::uint32_t> offsets,
                    const tensor::Matrix& aux_in, ForwardState& state,
                    tensor::Workspace& ws) const;
+  /// Conv stack + segmented mean-pool: fills state.h1..h3 and state.pooled.
+  void run_embed(const tensor::Matrix& features,
+                 const nn::RelationalGraph& relations,
+                 std::span<const std::uint32_t> offsets, ForwardState& state,
+                 tensor::Workspace& ws) const;
+  /// FC head from state.pooled: fills state.f1..out.
+  void run_head(const tensor::Matrix& aux_in, ForwardState& state,
+                tensor::Workspace& ws) const;
   /// Matching batched backward; `dout` is [B x 1] (dL/dprediction per
   /// graph, already loss-scaled).
   void run_backward(const nn::RelationalGraph& relations,

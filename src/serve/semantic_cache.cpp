@@ -1,0 +1,109 @@
+#include "serve/semantic_cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pg::serve {
+namespace {
+
+/// Scalar squared L2 in index order — mirrors ann::l2_distance_sq, kept
+/// local so pg_serve does not grow a pg_ann dependency for one loop.
+double distance_sq(std::span<const float> a, std::span<const float> b) {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < a.size(); ++j) {
+    const double d = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+bool aux_equal(const std::array<float, 2>& a, const std::array<float, 2>& b) {
+  return std::memcmp(a.data(), b.data(), sizeof a) == 0;
+}
+
+}  // namespace
+
+std::optional<double> SemanticCache::lookup_bytes(const std::string& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_bytes_.find(request);
+  if (it == by_bytes_.end()) return std::nullopt;
+  Entry& e = entries_[it->second];
+  ++hits_;
+  e.last_used = ++tick_;
+  return e.scaled;
+}
+
+std::optional<double> SemanticCache::lookup(std::span<const float> embedding,
+                                            const std::array<float, 2>& aux) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry* best = nullptr;
+  double best_dist = 0.0;
+  for (Entry& e : entries_) {
+    if (e.embedding.size() != embedding.size() || !aux_equal(e.aux, aux))
+      continue;
+    if (config_.eps == 0.0) {
+      if (std::memcmp(e.embedding.data(), embedding.data(),
+                      embedding.size() * sizeof(float)) != 0)
+        continue;
+      best = &e;
+      break;  // bitwise matches are interchangeable; first wins
+    }
+    const double dist = distance_sq(e.embedding, embedding);
+    if (dist <= config_.eps * config_.eps &&
+        (best == nullptr || dist < best_dist)) {
+      best = &e;
+      best_dist = dist;
+    }
+  }
+  if (best == nullptr) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  best->last_used = ++tick_;
+  return best->scaled;
+}
+
+void SemanticCache::insert(std::span<const float> embedding,
+                           const std::array<float, 2>& aux, double scaled,
+                           std::string request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (config_.capacity == 0) return;
+  Entry* slot = nullptr;
+  if (entries_.size() >= config_.capacity) {
+    slot = &*std::min_element(entries_.begin(), entries_.end(),
+                              [](const Entry& a, const Entry& b) {
+                                return a.last_used < b.last_used;
+                              });
+    if (slot->has_bytes) by_bytes_.erase(slot->bytes_it);
+    slot->has_bytes = false;
+    ++evictions_;
+  } else {
+    slot = &entries_.emplace_back();
+  }
+  slot->embedding.assign(embedding.begin(), embedding.end());
+  slot->aux = aux;
+  slot->scaled = scaled;
+  slot->last_used = ++tick_;
+  if (!request.empty()) {
+    const auto index = static_cast<std::size_t>(slot - entries_.data());
+    const auto [it, inserted] =
+        by_bytes_.try_emplace(std::move(request), index);
+    if (!inserted) {
+      // Two in-flight identical requests both missed: the key exists and
+      // points at the earlier slot. Re-point it here and unlink the old
+      // entry so no two entries ever share one map node.
+      if (it->second != index) entries_[it->second].has_bytes = false;
+      it->second = index;
+    }
+    slot->bytes_it = it;
+    slot->has_bytes = true;
+  }
+}
+
+CacheStats SemanticCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CacheStats{hits_, misses_, evictions_};
+}
+
+}  // namespace pg::serve

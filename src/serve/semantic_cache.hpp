@@ -1,0 +1,106 @@
+// Serve-time semantic prediction cache (docs/SERVING.md).
+//
+// One cache per Server, shared by every worker shard: an LRU of (pooled
+// embedding, aux features, scaled prediction) entries. After a worker
+// embeds its coalesced batch, each request probes the cache — a hit skips
+// the FC head entirely and reuses the cached prediction; misses run
+// through InferenceEngine::predict_head and are inserted.
+//
+// Match rule: the aux features must match *bitwise* always (they feed the
+// head directly — a nearby embedding with different aux is a different
+// prediction). The embedding match is governed by eps:
+//   * eps == 0 — exact bitwise equality (memcmp). Because the head is a
+//     deterministic function of (embedding, aux), a hit's cached value is
+//     bit-for-bit what recomputation would produce, so replies stay
+//     byte-identical to the uncached server (serve_test pins this).
+//   * eps > 0  — the nearest cached entry within L2 distance eps reuses
+//     its prediction: an approximation the operator opted into, traded for
+//     skipping the head on near-duplicate traffic.
+//
+// Bytes fast path: entries also remember the request's wire bytes, and the
+// reader probes lookup_bytes() *before* decoding. The whole forward pass is
+// a deterministic function of the request bytes, so a byte-identical repeat
+// can skip decode + embed + head and serve the stored prediction — replies
+// identical to recomputation at any eps (a byte-equal request is within
+// every match radius). This is where the cache's throughput win lives: the
+// head is a sliver of the forward pass, the embed is almost all of it.
+//
+// Capacity is enforced by least-recently-*used* eviction (lookups refresh
+// recency). All counters are monotonic and surfaced via ServerStats.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pg::serve {
+
+struct CacheConfig {
+  bool enabled = false;       ///< default off: replies bitwise-unchanged
+  double eps = 0.0;           ///< L2 match radius; 0 = exact bitwise match
+  std::size_t capacity = 1024;  ///< max entries before LRU eviction
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class SemanticCache {
+ public:
+  explicit SemanticCache(CacheConfig config) : config_(config) {}
+
+  /// Bytes fast path: returns the cached prediction for a byte-identical
+  /// request, refreshing recency. Counts a hit on success but never a miss
+  /// — a miss here still reaches the embedding-space lookup, which does
+  /// the counting, so each request is counted exactly once.
+  std::optional<double> lookup_bytes(const std::string& request);
+
+  /// Returns the cached scaled prediction for the nearest entry matching
+  /// (embedding, aux) under the config's match rule, refreshing its
+  /// recency; nullopt on miss. Counts a hit or a miss either way.
+  std::optional<double> lookup(std::span<const float> embedding,
+                               const std::array<float, 2>& aux);
+
+  /// Inserts a (embedding, aux) -> scaled entry keyed additionally by the
+  /// request's wire bytes, evicting the least recently used entry when at
+  /// capacity.
+  void insert(std::span<const float> embedding,
+              const std::array<float, 2>& aux, double scaled,
+              std::string request);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const CacheConfig& config() const { return config_; }
+
+ private:
+  /// request bytes -> entry slot. The map owns its keys (node-based, so
+  /// iterators stored in entries stay valid across rehash and unrelated
+  /// erasure); entries hold an iterator back for O(1) unlink on eviction.
+  using BytesMap = std::unordered_map<std::string, std::size_t>;
+
+  struct Entry {
+    std::vector<float> embedding;
+    std::array<float, 2> aux{};
+    double scaled = 0.0;
+    std::uint64_t last_used = 0;
+    BytesMap::iterator bytes_it{};
+    bool has_bytes = false;
+  };
+
+  CacheConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  BytesMap by_bytes_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pg::serve

@@ -42,6 +42,7 @@
 #include "model/paragraph_model.hpp"
 #include "model/sample.hpp"
 #include "serve/protocol.hpp"
+#include "serve/semantic_cache.hpp"
 #include "serve/socket.hpp"
 
 namespace pg::serve {
@@ -54,11 +55,18 @@ struct ServeConfig {
   std::uint32_t batch_window_us = 200;  // ...or T microseconds, whichever first
   std::size_t workers = 1;        // InferenceEngine shards
   int idle_timeout_ms = 0;        // per-connection recv timeout; 0 = none
+  // Semantic prediction cache (serve/semantic_cache.hpp). Off by default so
+  // replies stay bitwise-identical to predict_one; cache_eps = 0 means only
+  // bitwise-equal (embedding, aux) pairs hit — still byte-identical replies.
+  bool cache = false;
+  double cache_eps = 0.0;
+  std::size_t cache_capacity = 1024;
 };
 
 /// Env-knob layer (documented in docs/SERVING.md): PARAGRAPH_SERVE_PORT,
-/// _WORKERS, _QUEUE, _BATCH, _WINDOW_US, _IDLE_TIMEOUT_MS override the
-/// defaults; out-of-range values are clamped to sane bounds.
+/// _WORKERS, _QUEUE, _BATCH, _WINDOW_US, _IDLE_TIMEOUT_MS, _CACHE,
+/// _CACHE_EPS, _CACHE_CAP override the defaults; out-of-range values are
+/// clamped to sane bounds.
 ServeConfig serve_config_from_env(ServeConfig base = {});
 
 /// Monotonic counters; safe to read while the server runs.
@@ -75,6 +83,10 @@ struct ServerStats {
   std::uint64_t sched_chunks = 0;
   std::uint64_t sched_rows = 0;
   std::uint64_t sched_intra_chunks = 0;
+  // Semantic-cache counters (all zero when the cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
 };
 
 class Server {
@@ -112,6 +124,7 @@ class Server {
     std::uint64_t request_id = 0;
     model::EncodedGraph graph;
     std::array<float, 2> aux{};
+    std::string bytes;  // wire payload, kept (cache on) to key insertions
   };
 
   void accept_loop();
@@ -134,6 +147,7 @@ class Server {
   const model::ParaGraphModel* model_;
   model::SampleSet scaler_set_;  // from_target() for microsecond replies
   ServeConfig config_;
+  std::unique_ptr<SemanticCache> cache_;  // null when config_.cache is off
 
   Listener listener_;
   std::thread accept_thread_;

@@ -1,0 +1,112 @@
+// Mutation fuzzing of the .pgann ANN-index container (docs/FORMAT.md).
+//
+// A well-formed index is mutated 1000 seeded ways — bit flips, truncations,
+// splices, zeroed ranges, random u64 overwrites (landing on section sizes,
+// counts, checksums, and neighbor ids) — and every mutant is pushed through
+// AnnIndex::load over a heap-exact buffer. The contract matches the .pgds
+// fuzzer's: a mutant either loads or throws io::FormatError; nothing may
+// crash, hang, over-read (ASan-visible), or raise any other exception.
+// Build with -DPARAGRAPH_SANITIZE=ON to run this under ASan+UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "ann/ann_index.hpp"
+#include "support/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace pg::ann {
+namespace {
+
+std::string base_index() {
+  tensor::Matrix embeddings(60, 6);
+  Rng rng(2024);
+  for (float& v : embeddings.data())
+    v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  AnnConfig config;
+  config.k = 5;
+  const AnnIndex index = AnnIndex::build(embeddings, config, 0xabadcafeull);
+  std::ostringstream os(std::ios::binary);
+  index.save(os);
+  return os.str();
+}
+
+/// FormatError is the only acceptable failure; the bytes are staged in a
+/// heap buffer sized exactly to the payload so over-reads trip ASan.
+void expect_graceful(const std::string& bytes, std::uint64_t seed) {
+  const auto heap =
+      std::make_unique<unsigned char[]>(bytes.size() ? bytes.size() : 1);
+  std::memcpy(heap.get(), bytes.data(), bytes.size());
+  try {
+    const AnnIndex index = AnnIndex::load(heap.get(), bytes.size());
+    // A surviving mutant must still answer queries within bounds.
+    if (index.size() > 0) {
+      const auto hits =
+          index.search(index.embeddings().row_span(0), 3);
+      for (const Neighbor& h : hits) ASSERT_LT(h.index, index.size());
+    }
+  } catch (const io::FormatError&) {
+    // rejected — acceptable
+  } catch (const std::exception& e) {
+    FAIL() << "seed " << seed
+           << ": AnnIndex::load raised non-FormatError: " << e.what();
+  }
+}
+
+TEST(AnnFuzz, ThousandSeededMutationsNeverCrash) {
+  const std::string base = base_index();
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::string bytes = base;
+    const int rounds = 1 + static_cast<int>(rng() % 3);
+    for (int round = 0; round < rounds; ++round) {
+      switch (rng() % 6) {
+        case 0: {  // flip one bit
+          const std::size_t at = rng() % bytes.size();
+          bytes[at] = static_cast<char>(bytes[at] ^ (1u << (rng() % 8)));
+          break;
+        }
+        case 1:  // truncate
+          bytes.resize(rng() % (bytes.size() + 1));
+          break;
+        case 2: {  // splice a random chunk over another position
+          if (bytes.size() < 2) break;
+          const std::size_t len = 1 + rng() % 64;
+          const std::size_t src = rng() % bytes.size();
+          const std::size_t dst = rng() % bytes.size();
+          for (std::size_t k = 0; k < len; ++k)
+            bytes[(dst + k) % bytes.size()] = bytes[(src + k) % bytes.size()];
+          break;
+        }
+        case 3: {  // zero a range
+          const std::size_t at = rng() % bytes.size();
+          const std::size_t len =
+              std::min<std::size_t>(1 + rng() % 128, bytes.size() - at);
+          std::memset(bytes.data() + at, 0, len);
+          break;
+        }
+        case 4: {  // random u64 overwrite (hits sizes/counts/checksums/ids)
+          if (bytes.size() < 8) break;
+          const std::size_t at = rng() % (bytes.size() - 7);
+          const std::uint64_t v = rng();
+          std::memcpy(bytes.data() + at, &v, 8);
+          break;
+        }
+        default:  // append garbage
+          for (std::size_t k = 0, len = 1 + rng() % 32; k < len; ++k)
+            bytes.push_back(static_cast<char>(rng() & 0xFF));
+      }
+      if (bytes.empty()) break;
+    }
+    expect_graceful(bytes, seed);
+  }
+}
+
+}  // namespace
+}  // namespace pg::ann

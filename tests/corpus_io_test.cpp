@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -340,6 +341,38 @@ TEST(CorpusIo, ChecksumMismatchNamesTheRecord) {
         << e.what();
     EXPECT_NE(std::string(e.what()).find("checksum"), std::string::npos)
         << e.what();
+    // The wrapped message carries the absolute file position of the frame so
+    // a corruption report points straight at the bytes.
+    EXPECT_NE(std::string(e.what()).find(
+                  "byte offset " + std::to_string(clean.record_offset(2))),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CorpusIo, IndexChecksumMismatchNamesSectionAndOffset) {
+  const auto set = make_set(4, 0, 13);
+  std::string bytes = set_bytes(set, 2);
+  // The 20-byte footer is [index_offset u64][index_size u64][magic u32];
+  // read the index offset from it, then flip a byte inside the first index
+  // entry. The index self-checksum catches it at open time, and the error
+  // must name the 'index' section and its byte offset.
+  std::uint64_t index_offset = 0;
+  std::memcpy(&index_offset, bytes.data() + bytes.size() - 20, 8);
+  ASSERT_LT(index_offset + 12, bytes.size());
+  bytes[index_offset + 12] ^= 0x40;
+
+  try {
+    DatasetView view(bytes.data(), bytes.size());
+    FAIL() << "corrupt index accepted";
+  } catch (const FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("index self-checksum mismatch"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("'index' section at byte offset " +
+                        std::to_string(index_offset)),
+              std::string::npos)
+        << what;
   }
 }
 

@@ -374,15 +374,124 @@ TEST(ServeConfigEnv, KnobsAreReadAndClamped) {
       unsetenv("PARAGRAPH_SERVE_WORKERS");
       unsetenv("PARAGRAPH_SERVE_QUEUE");
       unsetenv("PARAGRAPH_SERVE_WINDOW_US");
+      unsetenv("PARAGRAPH_SERVE_CACHE");
+      unsetenv("PARAGRAPH_SERVE_CACHE_EPS");
+      unsetenv("PARAGRAPH_SERVE_CACHE_CAP");
     }
   } restore;
   setenv("PARAGRAPH_SERVE_WORKERS", "3", 1);
   setenv("PARAGRAPH_SERVE_QUEUE", "0", 1);  // below the floor of 1 -> clamped
   setenv("PARAGRAPH_SERVE_WINDOW_US", "500", 1);
+  setenv("PARAGRAPH_SERVE_CACHE", "1", 1);
+  setenv("PARAGRAPH_SERVE_CACHE_EPS", "-0.5", 1);  // negative -> clamped to 0
+  setenv("PARAGRAPH_SERVE_CACHE_CAP", "64", 1);
   const serve::ServeConfig config = serve::serve_config_from_env();
   EXPECT_EQ(config.workers, 3u);
   EXPECT_EQ(config.queue_depth, 1u);
   EXPECT_EQ(config.batch_window_us, 500u);
+  EXPECT_TRUE(config.cache);
+  EXPECT_EQ(config.cache_eps, 0.0);
+  EXPECT_EQ(config.cache_capacity, 64u);
+}
+
+// --- semantic cache end-to-end --------------------------------------------
+
+/// Loopback server with the semantic cache on. eps comes from the test;
+/// everything else mirrors ServeLoopback.
+class ServeCacheLoopback : public ::testing::Test {
+ protected:
+  void start(double eps) {
+    stored_ = io::read_sample_set_file(golden_path("corpus.pgds"));
+    scalers_ = model::CheckpointScalers::from_sample_set(stored_.set);
+    model_ = std::make_unique<model::ParaGraphModel>(config_);
+
+    serve::ServeConfig serve_config;
+    serve_config.workers = 2;
+    serve_config.batch_max = 4;
+    serve_config.cache = true;
+    serve_config.cache_eps = eps;
+    server_ = std::make_unique<serve::Server>(*model_, scalers_, serve_config);
+    server_->start();
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->stop();
+  }
+
+  model::ModelConfig config_;
+  io::StoredSampleSet stored_;
+  model::CheckpointScalers scalers_;
+  std::unique_ptr<model::ParaGraphModel> model_;
+  std::unique_ptr<serve::Server> server_;
+};
+
+TEST_F(ServeCacheLoopback, ExactMatchHitsAreBitwiseIdentical) {
+  // eps = 0: every reply — miss or hit — must be bit-for-bit what the
+  // uncached engine computes. Round one populates the cache, round two is
+  // served from it (the bytes fast path), round three re-sends over a new
+  // connection; all three must agree with predict_one exactly.
+  start(/*eps=*/0.0);
+  model::InferenceEngine engine(*model_);
+  model::SampleSet scaler_set;
+  scalers_.apply_to(scaler_set);
+
+  for (int round = 0; round < 3; ++round) {
+    serve::Client client(server_->port(), 5000);
+    for (const char* name : kGoldenNames) {
+      const model::TrainingSample sample =
+          io::read_sample_file(golden_path(std::string(name) + ".psample"));
+      const double expected = engine.predict_one(sample.graph, sample.aux);
+      const double expected_us = scaler_set.from_target(expected);
+      const auto response = client.predict_bytes(
+          slurp(golden_path(std::string(name) + ".psample")));
+      ASSERT_TRUE(response.has_value()) << name << " round " << round;
+      ASSERT_EQ(response->kind, serve::FrameKind::kPredictReply)
+          << name << ": " << response->error.message;
+      EXPECT_EQ(std::memcmp(&response->prediction.scaled, &expected, 8), 0)
+          << name << " round " << round;
+      EXPECT_EQ(
+          std::memcmp(&response->prediction.runtime_us, &expected_us, 8), 0)
+          << name << " round " << round;
+    }
+  }
+
+  const serve::ServerStats stats = server_->stats();
+  const std::size_t samples = std::size(kGoldenNames);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, 3 * samples);
+  EXPECT_GE(stats.cache_hits, 2 * samples);  // rounds two and three
+  EXPECT_LE(stats.cache_misses, samples);
+}
+
+TEST_F(ServeCacheLoopback, EpsRadiusServesNearbyRequestFromCache) {
+  // Byte-different requests with the same graph + aux embed identically
+  // (distance 0 <= any eps), so the second request must reuse the first's
+  // prediction through the embedding-space probe — the bytes fast path
+  // cannot see it, the semantic match must.
+  start(/*eps=*/0.5);
+  model::TrainingSample sample =
+      io::read_sample_file(golden_path("matvec_cpu.psample"));
+
+  serve::Client client(server_->port(), 5000);
+  const auto first = client.predict_bytes(serve::Client::sample_bytes(sample));
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->kind, serve::FrameKind::kPredictReply);
+
+  sample.runtime_us += 1.0;  // changes the wire bytes, not graph or aux
+  const std::string second_bytes = serve::Client::sample_bytes(sample);
+  EXPECT_NE(second_bytes,
+            serve::Client::sample_bytes(io::read_sample_file(
+                golden_path("matvec_cpu.psample"))));
+  const auto second = client.predict_bytes(second_bytes);
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(second->kind, serve::FrameKind::kPredictReply);
+  EXPECT_EQ(std::memcmp(&second->prediction.scaled, &first->prediction.scaled,
+                        8),
+            0);
+
+  const serve::ServerStats stats = server_->stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
 }
 
 }  // namespace

@@ -15,6 +15,10 @@
 //   client   .psample* -> predictions served by a running paragraph-serve
 //            daemon (the serve protocol's reference client; retries on
 //            backpressure)
+//   ann      embedding-space k-NN index: `ann build` embeds .psample files
+//            through the engine and nn-descends a .pgann index; `ann query`
+//            embeds queries and walks the graph (--exact for the brute-force
+//            reference); `ann dump` prints the stored meta
 //
 // Exit codes: 0 success, 1 runtime/input failure (bad file, parse error),
 // 2 usage error. All binary-format failures surface as io::FormatError with
@@ -32,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "ann/ann_index.hpp"
 #include "dataset/generator.hpp"
 #include "dataset/kernel_spec.hpp"
 #include "dataset/sample_builder.hpp"
@@ -77,6 +82,13 @@ int usage() {
           [--scale smoke|default|full] [--seed N]
           [--representation raw|augmented|paragraph] [--log-target])
   reindex <in.pgds> <out.pgds>
+  ann     build --checkpoint <ckpt> -o <out.pgann> [--hidden N] [--k K]
+                [--iterations I] [--seed S] [--threads N]
+                [--simd scalar|sse2|avx2] <sample.psample>...
+          query --index <file.pgann> --checkpoint <ckpt> [--hidden N]
+                [--k K] [--ef E] [--exact] [--threads N]
+                [--simd scalar|sse2|avx2] <query.psample>...
+          dump  <file.pgann>
 
   predict/corpus worker threads: --threads N, else the PARAGRAPH_THREADS
   environment variable, else the OpenMP default. (encode's --threads is the
@@ -129,7 +141,8 @@ Args parse_args(int argc, char** argv, int first) {
       "--checkpoint", "--hidden",        "--out",          "--platform",
       "--scale",     "--seed",           "--simd",         "--child-weight-scale",
       "--target-bounds", "--teams-bounds", "--threads-bounds",
-      "--port",      "--timeout-ms",     "--format"};
+      "--port",      "--timeout-ms",     "--format",       "--k",
+      "--ef",        "--iterations",     "--index"};
   Args args;
   for (int a = first; a < argc; ++a) {
     const std::string arg = argv[a];
@@ -483,6 +496,14 @@ int cmd_dump(const Args& args) {
       }
       break;
     }
+    case io::PayloadKind::kAnnIndex: {
+      const ann::AnnIndex index = ann::AnnIndex::load_file(path);
+      std::printf("embeddings: %zu x %zu\nneighbors per node: %zu\n",
+                  index.size(), index.dim(), index.k());
+      std::printf("checkpoint fingerprint: %016llx\n",
+                  static_cast<unsigned long long>(index.fingerprint()));
+      break;
+    }
     default:
       std::printf("(no payload decoder for this kind)\n");
   }
@@ -696,6 +717,104 @@ int cmd_corpus(const Args& args) {
   return 0;
 }
 
+// --- ann ------------------------------------------------------------------
+
+/// Loads the checkpointed model named by --checkpoint/--hidden and embeds
+/// every .psample in `paths` into one [N x hidden] matrix through the
+/// engine's fused embed path (bitwise what the predict path pools).
+tensor::Matrix embed_sample_files(const Args& args,
+                                  const std::vector<std::string>& paths,
+                                  model::ParaGraphModel& model) {
+  const model::CheckpointScalers scalers =
+      model::load_checkpoint_file(args.required("--checkpoint"), model);
+  (void)scalers;  // embeddings live before the output scaler
+
+  std::vector<model::TrainingSample> samples;
+  samples.reserve(paths.size());
+  for (const std::string& path : paths)
+    samples.push_back(io::read_sample_file(path));
+  std::vector<model::EncodedGraph> graphs;
+  graphs.reserve(samples.size());
+  for (model::TrainingSample& s : samples) graphs.push_back(std::move(s.graph));
+
+  tensor::Matrix embeddings;
+  model::InferenceEngine engine(model);
+  engine.embed_batch(graphs, embeddings);
+  return embeddings;
+}
+
+void print_ann_summary(const ann::AnnIndex& index) {
+  std::printf("embeddings: %zu x %zu\nneighbors per node: %zu\n",
+              index.size(), index.dim(), index.k());
+  std::printf("build: k=%zu iterations=%zu seed=%llu\n", index.config().k,
+              index.config().iterations,
+              static_cast<unsigned long long>(index.config().seed));
+  std::printf("checkpoint fingerprint: %016llx\n",
+              static_cast<unsigned long long>(index.fingerprint()));
+}
+
+int cmd_ann(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const std::string& verb = args.positional[0];
+  const std::vector<std::string> paths(args.positional.begin() + 1,
+                                       args.positional.end());
+
+  if (verb == "dump") {
+    if (paths.size() != 1) return usage();
+    const ann::AnnIndex index = ann::AnnIndex::load_file(paths[0]);
+    std::printf("file: %s\nkind: ann-index (format v%u)\n", paths[0].c_str(),
+                ann::kAnnFormatVersion);
+    print_ann_summary(index);
+    return 0;
+  }
+
+  apply_thread_override(args);
+  apply_simd_override(args);
+  model::ModelConfig config;
+  config.hidden_dim = static_cast<std::size_t>(args.int_option("--hidden", 24));
+  model::ParaGraphModel model(config);
+
+  if (verb == "build") {
+    if (paths.empty()) return usage();
+    const tensor::Matrix embeddings = embed_sample_files(args, paths, model);
+    ann::AnnConfig ann_config;
+    ann_config.k = static_cast<std::size_t>(args.int_option("--k", 10));
+    ann_config.iterations =
+        static_cast<std::size_t>(args.int_option("--iterations", 12));
+    ann_config.seed = static_cast<std::uint64_t>(args.int_option("--seed", 42));
+    const ann::AnnIndex index = ann::AnnIndex::build(
+        embeddings, ann_config, model::checkpoint_fingerprint(model));
+    index.save_file(args.required("-o"));
+    std::printf("ann index: %zu embeddings (dim %zu, k %zu) -> %s\n",
+                index.size(), index.dim(), index.k(),
+                args.required("-o").c_str());
+    return 0;
+  }
+
+  if (verb == "query") {
+    if (paths.empty()) return usage();
+    const tensor::Matrix queries = embed_sample_files(args, paths, model);
+    // The model is checkpointed now, so reject an index built by another.
+    const ann::AnnIndex index = ann::AnnIndex::load_file(
+        args.required("--index"), model::checkpoint_fingerprint(model));
+    const auto k = static_cast<std::size_t>(args.int_option("--k", 10));
+    const auto ef = static_cast<std::size_t>(args.int_option("--ef", 0));
+    const bool exact = args.has_flag("--exact");
+    for (std::size_t q = 0; q < queries.rows(); ++q) {
+      const auto hits = exact ? index.brute_force(queries.row_span(q), k)
+                              : index.search(queries.row_span(q), k, ef);
+      for (std::size_t r = 0; r < hits.size(); ++r)
+        std::printf("%s\t%zu\t%u\t%.9g\n", paths[q].c_str(), r, hits[r].index,
+                    static_cast<double>(hits[r].distance));
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown ann verb '%s' (build|query|dump)\n",
+               verb.c_str());
+  return usage();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -710,6 +829,7 @@ int main(int argc, char** argv) {
     if (subcommand == "client") return cmd_client(args);
     if (subcommand == "corpus") return cmd_corpus(args);
     if (subcommand == "reindex") return cmd_reindex(args);
+    if (subcommand == "ann") return cmd_ann(args);
     std::fprintf(stderr, "unknown subcommand '%s'\n", subcommand.c_str());
     return usage();
   } catch (const io::FormatError& e) {

@@ -45,10 +45,14 @@ int usage() {
   --duration-s S        exit after S seconds (default 0 = run until signal)
   --threads N           OpenMP threads per engine shard (PARAGRAPH_THREADS)
   --simd LEVEL          kernel dispatch: scalar|sse2|avx2 (PARAGRAPH_SIMD)
+  --cache               enable the semantic prediction cache (default off)
+  --cache-eps E         embedding L2 match radius (default 0 = exact match)
+  --cache-cap N         cache capacity before LRU eviction (default 1024)
 
   Environment defaults (overridden by the flags above): PARAGRAPH_SERVE_PORT,
   PARAGRAPH_SERVE_WORKERS, PARAGRAPH_SERVE_QUEUE, PARAGRAPH_SERVE_BATCH,
-  PARAGRAPH_SERVE_WINDOW_US, PARAGRAPH_SERVE_IDLE_TIMEOUT_MS.
+  PARAGRAPH_SERVE_WINDOW_US, PARAGRAPH_SERVE_IDLE_TIMEOUT_MS,
+  PARAGRAPH_SERVE_CACHE, PARAGRAPH_SERVE_CACHE_EPS, PARAGRAPH_SERVE_CACHE_CAP.
 )");
   return 2;
 }
@@ -65,6 +69,12 @@ std::int64_t int_option(int argc, char** argv, const char* name,
                         std::int64_t fallback) {
   const char* value = option_value(argc, argv, name);
   return value != nullptr ? std::stoll(value) : fallback;
+}
+
+bool flag_option(int argc, char** argv, const char* name) {
+  for (int a = 1; a < argc; ++a)
+    if (std::string(argv[a]) == name) return true;
+  return false;
 }
 
 }  // namespace
@@ -112,6 +122,12 @@ int main(int argc, char** argv) {
         int_option(argc, argv, "--window-us", serve_config.batch_window_us));
     serve_config.idle_timeout_ms = static_cast<int>(int_option(
         argc, argv, "--idle-timeout-ms", serve_config.idle_timeout_ms));
+    if (flag_option(argc, argv, "--cache")) serve_config.cache = true;
+    if (const char* eps = option_value(argc, argv, "--cache-eps"))
+      serve_config.cache_eps = std::stod(eps);
+    serve_config.cache_capacity = static_cast<std::size_t>(
+        int_option(argc, argv, "--cache-cap",
+                   static_cast<std::int64_t>(serve_config.cache_capacity)));
     const std::int64_t duration_s = int_option(argc, argv, "--duration-s", 0);
 
     serve::Server server(model, scalers, serve_config);
@@ -121,11 +137,12 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_signal);
 
     std::printf("paragraph-serve: listening on 127.0.0.1:%u (simd %s, "
-                "%zu workers, queue %zu, batch %zu@%uus)\n",
+                "%zu workers, queue %zu, batch %zu@%uus, cache %s)\n",
                 server.port(),
                 tensor::simd::level_name(tensor::simd::active_level()),
                 serve_config.workers, serve_config.queue_depth,
-                serve_config.batch_max, serve_config.batch_window_us);
+                serve_config.batch_max, serve_config.batch_window_us,
+                serve_config.cache ? "on" : "off");
     std::fflush(stdout);
     if (const char* port_file = option_value(argc, argv, "--port-file")) {
       std::ofstream os(port_file);
@@ -165,6 +182,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.sched_rows),
                 rows_per_chunk,
                 static_cast<unsigned long long>(stats.sched_intra_chunks));
+    if (serve_config.cache)
+      std::printf("paragraph-serve: cache — %llu hits, %llu misses, "
+                  "%llu evictions (eps %g, cap %zu)\n",
+                  static_cast<unsigned long long>(stats.cache_hits),
+                  static_cast<unsigned long long>(stats.cache_misses),
+                  static_cast<unsigned long long>(stats.cache_evictions),
+                  serve_config.cache_eps, serve_config.cache_capacity);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
