@@ -18,20 +18,32 @@
 //
 // Knobs: --fixture DIR (read request bytes from an emitted fixture),
 // --clients C (default 4), --seconds S (default 5), --json PATH (default
-// BENCH_serve.json next to the binary).
+// BENCH_serve.json next to the binary), --idle-connections N (hold N extra
+// open-but-silent connections for the whole run — the reactor must carry
+// them for free), --connections A,B,C (after the baseline, sweep concurrent
+// connection counts: each count C gets min(C,8) driver threads round-robining
+// one request per held connection for --sweep-seconds, recording per-count
+// p50/p99/graphs_per_s and — in-process only — the reactor's write-coalescing
+// ratio as flat cN_* JSON keys).
 //
 // Request mix: --uniform (the default) and --zipf <s> share one seeded
 // picker (bench::RequestPicker; Zipf with s = 0 IS uniform), so the two
 // modes differ only in skew. --zipf concentrates traffic on a few hot
 // requests — the shape the serve-time semantic cache is built for. The
 // emitted JSON records the mix descriptor alongside the numbers.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "io/pgraph_io.hpp"
@@ -168,6 +180,137 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
+/// One point of the connection-count sweep.
+struct SweepPoint {
+  long long connections = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t busy_retries = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double graphs_per_s = 0.0;
+  double frames_per_writev = 0.0;  // reactor coalescing; 0 = external target
+};
+
+/// Holds `conns` open connections with min(conns, 8) driver threads, each
+/// round-robining one blocking request per held connection — many mostly-
+/// idle sockets, few requests in flight: exactly the shape the reactor
+/// exists for.
+SweepPoint run_connection_count(std::uint16_t port,
+                                const std::vector<std::string>& requests,
+                                double zipf_s, std::uint64_t seed,
+                                long long conns, long long sweep_seconds,
+                                serve::Server* server) {
+  SweepPoint point;
+  point.connections = conns;
+  serve::ServerStats before{};
+  if (server != nullptr) before = server->stats();
+
+  const std::size_t drivers =
+      static_cast<std::size_t>(std::min<long long>(conns, 8));
+  std::vector<ClientTotals> totals(drivers);
+  // Connect barrier: every driver opens its share of connections before the
+  // clock starts, so connection-setup time (significant at c=1024) never
+  // counts against the measured window.
+  std::atomic<std::size_t> connected{0};
+  std::atomic<bool> go{false};
+  std::chrono::steady_clock::time_point started{};
+  std::chrono::steady_clock::time_point until{};
+  std::vector<std::thread> threads;
+  threads.reserve(drivers);
+  for (std::size_t d = 0; d < drivers; ++d) {
+    const auto share = static_cast<std::size_t>(
+        conns / static_cast<long long>(drivers) +
+        (static_cast<long long>(d) < conns % static_cast<long long>(drivers)
+             ? 1
+             : 0));
+    threads.emplace_back([&, d, share] {
+      try {
+        std::vector<std::unique_ptr<serve::Client>> owned;
+        owned.reserve(share);
+        try {
+          for (std::size_t i = 0; i < share; ++i)
+            owned.push_back(std::make_unique<serve::Client>(port, 30000));
+        } catch (const serve::SocketError& e) {
+          std::fprintf(stderr, "sweep driver connect: %s\n", e.what());
+          ++totals[d].errors;
+          connected.fetch_add(1);
+          return;
+        }
+        connected.fetch_add(1);
+        while (!go.load(std::memory_order_acquire))
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        bench::RequestPicker picker(requests.size(), zipf_s,
+                                    seed + 0x51ab * (d + 1));
+        while (std::chrono::steady_clock::now() < until) {
+          for (auto& client : owned) {
+            if (std::chrono::steady_clock::now() >= until) break;
+            const std::string& request = requests[picker.next()];
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto response = client->predict_until_served(
+                request, &totals[d].busy_retries);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!response.has_value() ||
+                response->kind != serve::FrameKind::kPredictReply) {
+              ++totals[d].errors;
+              continue;
+            }
+            ++totals[d].ok;
+            totals[d].latencies_us.push_back(
+                std::chrono::duration<double, std::micro>(t1 - t0).count());
+          }
+        }
+      } catch (const serve::SocketError& e) {
+        std::fprintf(stderr, "sweep driver: %s\n", e.what());
+        ++totals[d].errors;
+      }
+    });
+  }
+  while (connected.load() < drivers)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  started = std::chrono::steady_clock::now();
+  until = started + std::chrono::seconds(sweep_seconds);
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  std::vector<double> latencies;
+  for (ClientTotals& t : totals) {
+    latencies.insert(latencies.end(), t.latencies_us.begin(),
+                     t.latencies_us.end());
+    point.ok += t.ok;
+    point.errors += t.errors;
+    point.busy_retries += t.busy_retries;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  point.p50_us = percentile(latencies, 0.50);
+  point.p99_us = percentile(latencies, 0.99);
+  point.graphs_per_s =
+      elapsed_s > 0.0 ? static_cast<double>(point.ok) / elapsed_s : 0.0;
+  if (server != nullptr) {
+    const serve::ServerStats after = server->stats();
+    const std::uint64_t writev = after.writev_calls - before.writev_calls;
+    const std::uint64_t frames = after.reply_frames - before.reply_frames;
+    point.frames_per_writev =
+        writev > 0 ? static_cast<double>(frames) / static_cast<double>(writev)
+                   : 0.0;
+  }
+  return point;
+}
+
+/// Best-effort RLIMIT_NOFILE raise so 1024-connection sweeps (two fds per
+/// loopback connection when the server is in-process) fit under default
+/// shell limits.
+void raise_fd_limit(rlim_t want) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0 || rl.rlim_cur >= want) return;
+  rlimit raised = rl;
+  raised.rlim_cur = std::min<rlim_t>(want, rl.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &raised);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -180,6 +323,25 @@ int main(int argc, char** argv) {
   const std::int64_t seconds = int_option(argc, argv, "--seconds", 5);
   const char* fixture_dir = option_value(argc, argv, "--fixture");
   const std::int64_t external_port = int_option(argc, argv, "--port", 0);
+  const std::int64_t idle_connections =
+      int_option(argc, argv, "--idle-connections", 0);
+  const std::int64_t sweep_seconds =
+      int_option(argc, argv, "--sweep-seconds", 3);
+  std::vector<long long> sweep_counts;
+  std::string sweep_descriptor;
+  if (const char* list = option_value(argc, argv, "--connections")) {
+    sweep_descriptor = list;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+      if (!item.empty()) sweep_counts.push_back(std::stoll(item));
+  }
+  {
+    long long max_conns = idle_connections + clients;
+    for (const long long c : sweep_counts)
+      max_conns = std::max(max_conns, c + idle_connections);
+    raise_fd_limit(static_cast<rlim_t>(2 * max_conns + 256));
+  }
   // --uniform is Zipf with s = 0 — both flags feed the same seeded picker.
   double zipf_s = 0.0;
   if (const char* s = option_value(argc, argv, "--zipf")) zipf_s = std::stod(s);
@@ -213,6 +375,14 @@ int main(int argc, char** argv) {
     server->start();
     port = server->port();
   }
+
+  // The idle herd: held open and silent across the baseline AND the sweep.
+  // With the reactor these cost per-connection state, not threads; any
+  // latency they add to the loaded clients shows up in the numbers below.
+  std::vector<serve::Socket> idle_conns;
+  idle_conns.reserve(static_cast<std::size_t>(idle_connections));
+  for (std::int64_t i = 0; i < idle_connections; ++i)
+    idle_conns.push_back(serve::connect_loopback(port));
 
   const auto started = std::chrono::steady_clock::now();
   const auto until = started + std::chrono::seconds(seconds);
@@ -261,6 +431,25 @@ int main(int argc, char** argv) {
   std::printf("latency p99        %.1f us\n", p99);
   std::printf("sustained          %.1f graphs/s\n", throughput);
 
+  // Connection-count sweep (after the baseline so the 4-client numbers stay
+  // comparable across runs). The server keeps running between counts; the
+  // per-count reactor counters are deltas.
+  std::vector<SweepPoint> sweep;
+  sweep.reserve(sweep_counts.size());
+  for (const long long count : sweep_counts) {
+    const SweepPoint point = run_connection_count(
+        port, requests, zipf_s, config.seed, count, sweep_seconds,
+        server.get());
+    std::printf("sweep c=%-5lld     p50 %.1f us  p99 %.1f us  %.1f graphs/s"
+                "  ok %llu  coalesce %.2f frames/write\n",
+                point.connections, point.p50_us, point.p99_us,
+                point.graphs_per_s,
+                static_cast<unsigned long long>(point.ok),
+                point.frames_per_writev);
+    errors += point.errors;
+    sweep.push_back(point);
+  }
+
   serve::ServerStats server_stats;
   if (server != nullptr) {
     server->stop();
@@ -290,6 +479,28 @@ int main(int argc, char** argv) {
   report.add("latency_p50_us", p50);
   report.add("latency_p99_us", p99);
   report.add("graphs_per_s", throughput);
+  report.add("idle_connections", static_cast<int>(idle_connections));
+  if (!sweep.empty()) {
+    report.add("sweep_connections", sweep_descriptor);
+    report.add("sweep_seconds", static_cast<int>(sweep_seconds));
+    for (const SweepPoint& point : sweep) {
+      const std::string prefix = "c" + std::to_string(point.connections) + "_";
+      report.add(prefix + "requests_ok", static_cast<std::size_t>(point.ok));
+      report.add(prefix + "p50_us", point.p50_us);
+      report.add(prefix + "p99_us", point.p99_us);
+      report.add(prefix + "graphs_per_s", point.graphs_per_s);
+      report.add(prefix + "frames_per_writev", point.frames_per_writev);
+    }
+  }
+  if (server != nullptr) {
+    report.add("reply_frames",
+               static_cast<std::size_t>(server_stats.reply_frames));
+    report.add("writev_calls",
+               static_cast<std::size_t>(server_stats.writev_calls));
+    report.add("read_gated", static_cast<std::size_t>(server_stats.read_gated));
+    report.add("accepts_dropped",
+               static_cast<std::size_t>(server_stats.accepts_dropped));
+  }
   if (server != nullptr) {
     report.add("cache_enabled", server->config().cache ? 1 : 0);
     report.add("cache_hits", static_cast<std::size_t>(server_stats.cache_hits));

@@ -1,0 +1,59 @@
+// FrameAssembler implementation: accumulate header bytes, validate, then
+// accumulate the payload; repeat across whatever span boundaries the
+// kernel produced.
+#include "serve/frame_assembler.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pg::serve {
+
+bool FrameAssembler::consume(const std::uint8_t* data, std::size_t n,
+                             std::vector<Frame>& out) {
+  while (n > 0) {
+    if (fatal_) return false;
+
+    if (!in_payload_) {
+      const std::size_t take =
+          std::min(n, kFrameHeaderBytes - header_got_);
+      std::memcpy(header_bytes_ + header_got_, data, take);
+      header_got_ += take;
+      data += take;
+      n -= take;
+      if (header_got_ < kFrameHeaderBytes) break;  // partial header
+
+      verdict_ = decode_header(header_bytes_, header_);
+      if (verdict_ != HeaderVerdict::kOk) {
+        // Oversized lengths reject HERE, before any payload allocation — a
+        // hostile 2^62-byte length never drives a 2^62-byte resize.
+        fatal_ = true;
+        return false;
+      }
+      if (header_.payload_bytes == 0) {
+        out.push_back(Frame{header_, std::string()});
+        header_got_ = 0;
+        continue;
+      }
+      in_payload_ = true;
+      payload_.resize(static_cast<std::size_t>(header_.payload_bytes));
+      payload_got_ = 0;
+    }
+
+    const std::size_t take = std::min(
+        n, static_cast<std::size_t>(header_.payload_bytes) - payload_got_);
+    std::memcpy(payload_.data() + payload_got_, data, take);
+    payload_got_ += take;
+    data += take;
+    n -= take;
+    if (payload_got_ < header_.payload_bytes) break;  // partial payload
+
+    out.push_back(Frame{header_, std::move(payload_)});
+    payload_ = std::string();
+    payload_got_ = 0;
+    in_payload_ = false;
+    header_got_ = 0;
+  }
+  return !fatal_;
+}
+
+}  // namespace pg::serve

@@ -1,0 +1,58 @@
+// Incremental frame assembly for the nonblocking reactor: a state machine
+// over the "PGSV" length-framed protocol (serve/protocol.hpp) that accepts
+// whatever byte spans the kernel hands a readiness event — partial headers,
+// partial payloads, or several pipelined frames in one span — and emits
+// complete frames. The blocking read_exact loop the server used before the
+// reactor parked a whole thread on each partial frame; this class holds the
+// partial frame as ~40 bytes of state instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace pg::serve {
+
+class FrameAssembler {
+ public:
+  struct Frame {
+    FrameHeader header;
+    std::string payload;
+  };
+
+  /// Feeds `n` bytes from the stream; appends every frame they complete to
+  /// `out` (possibly several, possibly none). Returns true while the stream
+  /// is healthy. Returns false when a header fails validation — bad magic,
+  /// unsupported version, payload above the protocol cap — which is FATAL:
+  /// the stream's framing can no longer be trusted, fatal_verdict()/
+  /// fatal_header() describe the offender (frames completed earlier in the
+  /// same span are still appended), and all further input is ignored.
+  bool consume(const std::uint8_t* data, std::size_t n,
+               std::vector<Frame>& out);
+
+  [[nodiscard]] bool fatal() const { return fatal_; }
+  [[nodiscard]] HeaderVerdict fatal_verdict() const { return verdict_; }
+  /// On kBadVersion/kOversized the header fields (notably request_id) are
+  /// trustworthy and may be echoed in the error reply; on kBadMagic they
+  /// are not (decode stops at the magic) — mirror of decode_header.
+  [[nodiscard]] const FrameHeader& fatal_header() const { return header_; }
+
+  /// Bytes buffered toward a not-yet-complete frame (0 on a frame boundary).
+  [[nodiscard]] std::size_t pending_bytes() const {
+    return in_payload_ ? kFrameHeaderBytes + payload_got_ : header_got_;
+  }
+
+ private:
+  std::uint8_t header_bytes_[kFrameHeaderBytes];
+  std::size_t header_got_ = 0;
+  FrameHeader header_;
+  bool in_payload_ = false;
+  std::string payload_;  // sized to header_.payload_bytes once known
+  std::size_t payload_got_ = 0;
+  bool fatal_ = false;
+  HeaderVerdict verdict_ = HeaderVerdict::kOk;
+};
+
+}  // namespace pg::serve

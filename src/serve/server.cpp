@@ -1,9 +1,15 @@
-// Server implementation: accept/reader threads feeding a bounded admission
-// queue, worker threads coalescing requests through the dynamic batching
-// window into fused InferenceEngine batches.
+// Server implementation: an epoll reactor (fixed pool of io threads driving
+// nonblocking sockets) feeding a bounded admission queue, worker threads
+// coalescing requests through the dynamic batching window into fused
+// InferenceEngine batches, replies draining back through per-connection
+// write queues with gathered (single-syscall) flushes.
 #include "serve/server.hpp"
 
+#include <sys/epoll.h>
+#include <sys/uio.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <sstream>
@@ -20,6 +26,20 @@ std::int64_t clamped_env(const char* name, std::int64_t fallback,
   return std::clamp(env_int(name, fallback), lo, hi);
 }
 
+// Epoll tags: connections are tagged with their own fd (always a small
+// non-negative number), so the top of the u64 range is free for sentinels.
+constexpr std::uint64_t kTagWake = ~std::uint64_t{0};
+constexpr std::uint64_t kTagListener = ~std::uint64_t{0} - 1;
+
+// Gathered-write fan-in per sendmsg. 64 frames per syscall is far past the
+// coalescing knee; IOV_MAX (1024) would only grow the stack frame.
+constexpr int kMaxFlushIov = 64;
+
+// Backoff after a persistent accept failure (EMFILE/ENFILE/ENOMEM): the
+// listener stays ready under level-triggered epoll, so without a cooldown
+// the reactor would hot-spin on accept4 until an fd freed up.
+constexpr auto kAcceptCooldown = std::chrono::milliseconds(10);
+
 }  // namespace
 
 ServeConfig serve_config_from_env(ServeConfig base) {
@@ -27,6 +47,9 @@ ServeConfig serve_config_from_env(ServeConfig base) {
       clamped_env("PARAGRAPH_SERVE_PORT", base.port, 0, 65535));
   base.workers = static_cast<std::size_t>(clamped_env(
       "PARAGRAPH_SERVE_WORKERS", static_cast<std::int64_t>(base.workers), 1, 256));
+  base.io_threads = static_cast<std::size_t>(
+      clamped_env("PARAGRAPH_SERVE_IO_THREADS",
+                  static_cast<std::int64_t>(base.io_threads), 0, 64));
   base.queue_depth = static_cast<std::size_t>(
       clamped_env("PARAGRAPH_SERVE_QUEUE",
                   static_cast<std::int64_t>(base.queue_depth), 1, 1 << 20));
@@ -37,6 +60,14 @@ ServeConfig serve_config_from_env(ServeConfig base) {
   base.batch_window_us = static_cast<std::uint32_t>(
       clamped_env("PARAGRAPH_SERVE_WINDOW_US", base.batch_window_us, 0,
                   10'000'000));
+  base.conn_inflight_cap = static_cast<std::size_t>(
+      clamped_env("PARAGRAPH_SERVE_CONN_INFLIGHT",
+                  static_cast<std::int64_t>(base.conn_inflight_cap), 1,
+                  1 << 16));
+  base.write_queue_cap = static_cast<std::size_t>(
+      clamped_env("PARAGRAPH_SERVE_WRITEQ_CAP",
+                  static_cast<std::int64_t>(base.write_queue_cap), 4096,
+                  std::int64_t{1} << 30));
   base.idle_timeout_ms = static_cast<int>(clamped_env(
       "PARAGRAPH_SERVE_IDLE_TIMEOUT_MS", base.idle_timeout_ms, 0, 3'600'000));
   base.cache =
@@ -63,7 +94,26 @@ Server::~Server() { stop(); }
 void Server::start() {
   if (started_.exchange(true)) return;
   listener_.listen(config_.port, config_.backlog);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  listener_.set_nonblocking(true);
+
+  std::size_t nio = config_.io_threads;
+  if (nio == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    nio = std::min<std::size_t>(4, hc == 0 ? 1 : hc);
+  }
+  io_threads_.reserve(nio);
+  for (std::size_t i = 0; i < nio; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->read_buf.resize(64 * 1024);
+    io->epoll.add(io->wake.fd(), EPOLLIN, kTagWake);
+    io_threads_.push_back(std::move(io));
+  }
+  // io thread 0 owns the (nonblocking) listener; accepted connections are
+  // dealt round-robin across the pool.
+  io_threads_[0]->epoll.add(listener_.fd(), EPOLLIN, kTagListener);
+  for (std::size_t i = 0; i < nio; ++i)
+    io_threads_[i]->thread = std::thread([this, i] { io_loop(i); });
+
   worker_threads_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w)
     worker_threads_.emplace_back([this, w] { worker_loop(w); });
@@ -73,40 +123,41 @@ void Server::stop() {
   if (!started_.load() || stopped_.exchange(true)) return;
   stopping_.store(true);
 
-  // 1. No new connections: close the listener, reap the accept thread.
+  // 1. No new connections: the closed listener fd drops out of io thread
+  //    0's epoll on its own, and handle_accept is gated on stopping_.
   listener_.close();
-  if (accept_thread_.joinable()) accept_thread_.join();
 
-  // 2. No new requests: end-of-stream every reader and reap them. Replies
-  //    in flight still go out (only the read side is shut down).
-  {
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    for (const ConnectionPtr& conn : connections_) conn->socket.shutdown_read();
-  }
-  for (std::thread& t : reader_threads_)
-    if (t.joinable()) t.join();
-
-  // 3. Drain: workers finish everything admitted, then exit on the empty
-  //    queue (pop_batch returns empty once stopping_ && queue empty).
+  // 2. Drain: workers finish everything admitted, then exit on the empty
+  //    queue (pop_batch returns empty once stopping_ && queue empty). The
+  //    io threads keep running meanwhile — late predict frames answer
+  //    kShuttingDown (try_enqueue refuses under stopping_).
   queue_cv_.notify_all();
   for (std::thread& t : worker_threads_)
     if (t.joinable()) t.join();
 
-  // 4. Any request admitted in the shutdown race after its worker exited
+  // 3. Any request admitted in the shutdown race after its worker exited
   //    still gets an answer — the drain contract is "every admitted request
-  //    is replied to", even if the reply is shutting-down.
+  //    is replied to", even if the reply is shutting-down. stopping_ is
+  //    visible to every try_enqueue that wins queue_mutex_ from here on,
+  //    so the queue stays empty for good.
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     while (!queue_.empty()) {
       Pending pending = std::move(queue_.front());
       queue_.pop_front();
       send_error(pending.conn, pending.request_id, ErrorCode::kShuttingDown,
-                 "server shutting down");
+                 "server shutting down", /*completes=*/true);
     }
   }
 
-  std::lock_guard<std::mutex> lock(conn_mutex_);
-  connections_.clear();  // closes the sockets
+  // 4. Final flush: io threads push every queued reply byte out (bounded by
+  //    a deadline so a peer that stopped reading cannot wedge shutdown),
+  //    close all sockets, and exit.
+  drain_deadline_ = Clock::now() + std::chrono::seconds(2);
+  draining_.store(true);
+  for (auto& io : io_threads_) io->wake.signal();
+  for (auto& io : io_threads_)
+    if (io->thread.joinable()) io->thread.join();
 }
 
 ServerStats Server::stats() const {
@@ -117,6 +168,11 @@ ServerStats Server::stats() const {
   s.busy_rejected = stat_busy_.load(std::memory_order_relaxed);
   s.batches = stat_batches_.load(std::memory_order_relaxed);
   s.pings = stat_pings_.load(std::memory_order_relaxed);
+  s.accepts_dropped = stat_accepts_dropped_.load(std::memory_order_relaxed);
+  s.idle_closed = stat_idle_closed_.load(std::memory_order_relaxed);
+  s.read_gated = stat_read_gated_.load(std::memory_order_relaxed);
+  s.writev_calls = stat_writev_calls_.load(std::memory_order_relaxed);
+  s.reply_frames = stat_reply_frames_.load(std::memory_order_relaxed);
   s.sched_chunks = stat_sched_chunks_.load(std::memory_order_relaxed);
   s.sched_rows = stat_sched_rows_.load(std::memory_order_relaxed);
   s.sched_intra_chunks = stat_sched_intra_.load(std::memory_order_relaxed);
@@ -129,93 +185,252 @@ ServerStats Server::stats() const {
   return s;
 }
 
-// --- accept / read --------------------------------------------------------
+// --- reactor --------------------------------------------------------------
 
-void Server::accept_loop() {
-  while (!stopping_.load()) {
-    Socket accepted = listener_.accept();
-    if (!accepted.valid()) {
-      if (stopping_.load() || !listener_.valid()) break;
-      continue;  // transient accept failure
+void Server::io_loop(std::size_t index) {
+  IoThread& io = *io_threads_[index];
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+
+  while (true) {
+    // Sleep indefinitely unless some timer needs servicing: the idle reaper,
+    // an accept cooldown, or the shutdown drain.
+    int timeout_ms = -1;
+    if (config_.idle_timeout_ms > 0) timeout_ms = 50;
+    if (index == 0 && accept_cooldown_until_ != Clock::time_point{})
+      timeout_ms = 10;
+    if (draining_.load()) timeout_ms = 10;
+
+    const int n = io.epoll.wait(events, kMaxEvents, timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == kTagWake) {
+        io.wake.drain();
+        continue;
+      }
+      if (tag == kTagListener) {
+        handle_accept(io);
+        continue;
+      }
+      // fd-keyed lookup, not a stashed pointer: an earlier event in this
+      // same batch may have closed the connection already.
+      const auto it = io.conns.find(static_cast<int>(tag));
+      if (it == io.conns.end()) continue;
+      const ConnectionPtr conn = it->second;  // handlers may erase the entry
+      const std::uint32_t ev = events[i].events;
+      if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR))
+        handle_readable(io, conn);
+      else if (ev & EPOLLOUT)
+        flush_and_update(io, conn);
     }
+
+    adopt_incoming(io);
+    process_dirty(io);
+
+    if (index == 0 && !stopping_.load() &&
+        accept_cooldown_until_ != Clock::time_point{} &&
+        Clock::now() >= accept_cooldown_until_) {
+      accept_cooldown_until_ = {};
+      io.epoll.mod(listener_.fd(), EPOLLIN, kTagListener);
+      handle_accept(io);  // drain anything that queued during the cooldown
+    }
+
+    reap_idle(io);
+
+    if (draining_.load()) {
+      bool pending = false;
+      for (const auto& [fd, conn] : io.conns) {
+        std::lock_guard<std::mutex> lock(conn->write_mutex);
+        if (!conn->write_queue.empty()) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending || Clock::now() >= drain_deadline_) break;
+    }
+  }
+
+  // Drained (or deadline hit): close everything this thread still owns.
+  std::vector<ConnectionPtr> victims;
+  victims.reserve(io.conns.size());
+  for (const auto& [fd, conn] : io.conns) victims.push_back(conn);
+  for (const ConnectionPtr& conn : victims) close_connection(io, conn);
+  adopt_incoming(io);  // late handoffs: closed immediately under draining_
+}
+
+void Server::adopt_incoming(IoThread& io) {
+  std::vector<ConnectionPtr> batch;
+  {
+    std::lock_guard<std::mutex> lock(io.mutex);
+    if (io.incoming.empty()) return;
+    batch.swap(io.incoming);
+  }
+  const auto now = Clock::now();
+  for (ConnectionPtr& conn : batch) {
+    if (draining_.load()) {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->closed = true;
+      conn->socket.close();
+      continue;
+    }
+    const int fd = conn->socket.fd();
+    conn->last_activity = now;
+    conn->armed_events = EPOLLIN;
+    io.conns.emplace(fd, conn);
+    io.epoll.add(fd, EPOLLIN, static_cast<std::uint64_t>(fd));
+  }
+}
+
+void Server::process_dirty(IoThread& io) {
+  std::vector<ConnectionPtr> batch;
+  {
+    std::lock_guard<std::mutex> lock(io.mutex);
+    if (io.dirty.empty()) return;
+    batch.swap(io.dirty);
+  }
+  for (const ConnectionPtr& conn : batch) {
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mutex);
+      conn->dirty = false;
+    }
+    flush_and_update(io, conn);
+  }
+}
+
+void Server::handle_accept(IoThread& io) {
+  if (stopping_.load()) return;
+  while (true) {
+    int err = 0;
+    Socket accepted = listener_.try_accept(err);
+    if (!accepted.valid()) {
+      if (err == EAGAIN || err == EWOULDBLOCK) break;
+      if (err == EINTR || err == ECONNABORTED || err == EPROTO) continue;
+      // Persistent failure — EMFILE/ENFILE (fd exhaustion), ENOMEM, ... —
+      // back off instead of hot-spinning on the still-ready listener: count
+      // the drop, disarm listener interest, retry after the cooldown.
+      stat_accepts_dropped_.fetch_add(1, std::memory_order_relaxed);
+      accept_cooldown_until_ = Clock::now() + kAcceptCooldown;
+      io.epoll.mod(listener_.fd(), 0, kTagListener);
+      break;
+    }
+    accepted.set_nodelay(true);
+    stat_connections_.fetch_add(1, std::memory_order_relaxed);
+
     auto conn = std::make_shared<Connection>();
     conn->socket = std::move(accepted);
-    if (config_.idle_timeout_ms > 0)
-      conn->socket.set_recv_timeout_ms(config_.idle_timeout_ms);
-    stat_connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mutex_);
-    if (stopping_.load()) break;  // raced with stop(): drop the connection
-    connections_.push_back(conn);
-    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+    conn->last_activity = Clock::now();
+    const std::size_t target = next_io_;
+    next_io_ = (next_io_ + 1) % io_threads_.size();
+    conn->io_index = target;
+    if (target == 0) {
+      const int fd = conn->socket.fd();
+      conn->armed_events = EPOLLIN;
+      io.conns.emplace(fd, conn);
+      io.epoll.add(fd, EPOLLIN, static_cast<std::uint64_t>(fd));
+    } else {
+      IoThread& dst = *io_threads_[target];
+      {
+        std::lock_guard<std::mutex> lock(dst.mutex);
+        dst.incoming.push_back(std::move(conn));
+      }
+      dst.wake.signal();
+    }
   }
 }
 
-void Server::reader_loop(const ConnectionPtr& conn) {
+bool Server::read_gate_engaged(const Connection& conn) const {
+  return conn.inflight.load(std::memory_order_relaxed) >=
+             config_.conn_inflight_cap ||
+         conn.write_queue_bytes.load(std::memory_order_relaxed) >=
+             config_.write_queue_cap;
+}
+
+void Server::handle_readable(IoThread& io, const ConnectionPtr& conn) {
+  conn->last_activity = Clock::now();
+  std::vector<FrameAssembler::Frame> frames;
   try {
-    while (serve_frame(conn)) {
+    while (!conn->read_closed) {
+      // Backpressure: stop pulling bytes off a connection that already has
+      // its fill of admitted requests or unwritten reply bytes. The bytes
+      // wait in the kernel buffer; flush_and_update disarms EPOLLIN below
+      // so the reactor does not spin on the still-ready socket.
+      if (read_gate_engaged(*conn)) break;
+
+      const Socket::ReadResult r =
+          conn->socket.read_some(io.read_buf.data(), io.read_buf.size());
+      if (r.status == Socket::ReadStatus::kWouldBlock) break;
+      if (r.status == Socket::ReadStatus::kEof) {
+        conn->read_closed = true;
+        break;
+      }
+
+      frames.clear();
+      const bool ok = conn->assembler.consume(io.read_buf.data(), r.bytes,
+                                              frames);
+      for (FrameAssembler::Frame& f : frames)
+        process_frame(conn, std::move(f));
+      if (!ok) {
+        // The stream's framing cannot be trusted any more: answer, then
+        // stop reading. Replies already owed (frames completed earlier,
+        // including in this very span) still flush before the close.
+        const FrameHeader& bad = conn->assembler.fatal_header();
+        switch (conn->assembler.fatal_verdict()) {
+          case HeaderVerdict::kBadMagic:
+            send_error(conn, 0, ErrorCode::kMalformedFrame,
+                       "bad frame magic (expected PGSV)");
+            break;
+          case HeaderVerdict::kBadVersion:
+            send_error(conn, bad.request_id, ErrorCode::kBadVersion,
+                       "unsupported protocol version " +
+                           std::to_string(bad.version) +
+                           " (this server speaks " +
+                           std::to_string(kProtocolVersion) + ")");
+            break;
+          case HeaderVerdict::kOversized:
+            send_error(conn, bad.request_id, ErrorCode::kMalformedFrame,
+                       "frame payload larger than the protocol cap");
+            break;
+          case HeaderVerdict::kOk:
+            break;  // unreachable: consume() only fails on a bad verdict
+        }
+        conn->read_closed = true;
+        break;
+      }
+      // A short read drained the socket; the next readiness event (level-
+      // triggered) resumes if more arrived meanwhile.
+      if (r.bytes < io.read_buf.size()) break;
     }
   } catch (const SocketError&) {
-    // Peer vanished / timed out mid-message: clean disconnect.
+    // Peer reset mid-read: nothing left to answer.
+    close_connection(io, conn);
+    return;
   }
-  conn->socket.shutdown_read();
-  // Reap: drop the server's reference so the descriptor closes as soon as
-  // the last in-flight reply (workers hold their own ConnectionPtr) is
-  // written. Without this a churn of short-lived connections — the fuzz
-  // suite opens ~1000 — would hold every fd until stop().
-  std::lock_guard<std::mutex> lock(conn_mutex_);
-  std::erase(connections_, conn);
+  flush_and_update(io, conn);
 }
 
-bool Server::serve_frame(const ConnectionPtr& conn) {
-  std::uint8_t header_bytes[kFrameHeaderBytes];
-  if (!conn->socket.read_exact(header_bytes, sizeof header_bytes))
-    return false;  // clean end-of-stream between frames
-
-  FrameHeader header;
-  switch (decode_header(header_bytes, header)) {
-    case HeaderVerdict::kOk:
-      break;
-    case HeaderVerdict::kBadMagic:
-      // The stream's framing cannot be trusted any more: answer, then close.
-      send_error(conn, 0, ErrorCode::kMalformedFrame,
-                 "bad frame magic (expected PGSV)");
-      return false;
-    case HeaderVerdict::kBadVersion:
-      send_error(conn, header.request_id, ErrorCode::kBadVersion,
-                 "unsupported protocol version " +
-                     std::to_string(header.version) + " (this server speaks " +
-                     std::to_string(kProtocolVersion) + ")");
-      return false;
-    case HeaderVerdict::kOversized:
-      send_error(conn, header.request_id, ErrorCode::kMalformedFrame,
-                 "frame payload larger than the protocol cap");
-      return false;
-  }
-
+void Server::process_frame(const ConnectionPtr& conn,
+                           FrameAssembler::Frame&& frame) {
+  const FrameHeader& header = frame.header;
   switch (header.kind) {
     case FrameKind::kPing:
-      conn->socket.discard_exact(header.payload_bytes);
       stat_pings_.fetch_add(1, std::memory_order_relaxed);
       send_frame(conn, FrameKind::kPongReply, header.request_id, nullptr, 0);
-      return true;
+      return;
 
     case FrameKind::kPredictRequest: {
-      if (header.payload_bytes == 0) {
+      if (frame.payload.empty()) {
         send_error(conn, header.request_id, ErrorCode::kBadPayload,
                    "zero-length predict payload (expected a .psample "
                    "container)");
-        return true;  // request-scoped failure: the connection lives on
+        return;  // request-scoped failure: the connection lives on
       }
-      std::string payload(static_cast<std::size_t>(header.payload_bytes), '\0');
-      if (!conn->socket.read_exact(payload.data(), payload.size()))
-        throw SocketError("connection closed mid-payload");
 
       // Bytes fast path: a byte-identical repeat of a cached request needs
       // no decode, no queue hop, and no forward pass — the whole pipeline
       // is deterministic in the payload bytes, so the stored prediction IS
       // what recomputation would produce.
       if (cache_ != nullptr) {
-        if (const auto hit = cache_->lookup_bytes(payload)) {
+        if (const auto hit = cache_->lookup_bytes(frame.payload)) {
           PredictReply reply;
           reply.scaled = *hit;
           reply.runtime_us = scaler_set_.from_target(*hit);
@@ -223,7 +438,7 @@ bool Server::serve_frame(const ConnectionPtr& conn) {
           stat_requests_ok_.fetch_add(1, std::memory_order_relaxed);
           send_frame(conn, FrameKind::kPredictReply, header.request_id,
                      out.data(), out.size());
-          return true;
+          return;
         }
       }
 
@@ -231,51 +446,163 @@ bool Server::serve_frame(const ConnectionPtr& conn) {
       pending.conn = conn;
       pending.request_id = header.request_id;
       try {
-        std::istringstream is(payload);
+        std::istringstream is(frame.payload);
         model::TrainingSample sample = io::read_sample(is);
         pending.graph = std::move(sample.graph);
         pending.aux = sample.aux;
-        if (cache_ != nullptr) pending.bytes = std::move(payload);
+        if (cache_ != nullptr) pending.bytes = std::move(frame.payload);
       } catch (const io::FormatError& e) {
         // Per-request error isolation: one malformed sample answers with an
         // error reply and never disturbs the process or this connection.
         send_error(conn, header.request_id, ErrorCode::kBadPayload, e.what());
-        return true;
+        return;
       }
 
-      if (stopping_.load()) {
-        send_error(conn, header.request_id, ErrorCode::kShuttingDown,
-                   "server shutting down");
-        return true;
+      // Admit: inflight counts up BEFORE the queue sees the request, so the
+      // read gate can never undercount; every non-kOk outcome answers with
+      // completes=true to count back down.
+      conn->inflight.fetch_add(1, std::memory_order_relaxed);
+      switch (try_enqueue(std::move(pending))) {
+        case Enqueue::kOk:
+          return;
+        case Enqueue::kBusy:
+          stat_busy_.fetch_add(1, std::memory_order_relaxed);
+          send_frame(conn, FrameKind::kBusyReply, header.request_id, nullptr,
+                     0, /*completes=*/true);
+          return;
+        case Enqueue::kShuttingDown:
+          send_error(conn, header.request_id, ErrorCode::kShuttingDown,
+                     "server shutting down", /*completes=*/true);
+          return;
       }
-      if (!try_enqueue(std::move(pending))) {
-        stat_busy_.fetch_add(1, std::memory_order_relaxed);
-        send_frame(conn, FrameKind::kBusyReply, header.request_id, nullptr, 0);
-      }
-      return true;
+      return;
     }
 
     default:
-      // Unknown or reply-direction kind; the length field is trusted, so
-      // skip the payload and keep the connection.
-      conn->socket.discard_exact(header.payload_bytes);
+      // Unknown or reply-direction kind; the assembler already consumed the
+      // payload, so just answer and keep the connection.
       send_error(conn, header.request_id, ErrorCode::kBadKind,
                  "unexpected frame kind " +
                      std::to_string(static_cast<unsigned>(header.kind)));
-      return true;
+      return;
   }
+}
+
+void Server::reap_idle(IoThread& io) {
+  if (config_.idle_timeout_ms <= 0) return;
+  const auto now = Clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<ConnectionPtr> victims;
+  for (const auto& [fd, conn] : io.conns) {
+    // "Idle" means nothing owed in either direction — a connection merely
+    // waiting on a slow batch or a slow flush is live, not idle.
+    if (conn->inflight.load(std::memory_order_relaxed) > 0) continue;
+    if (conn->write_queue_bytes.load(std::memory_order_relaxed) > 0) continue;
+    if (now - conn->last_activity >= limit) victims.push_back(conn);
+  }
+  for (const ConnectionPtr& conn : victims) {
+    stat_idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    close_connection(io, conn);
+  }
+}
+
+void Server::flush_and_update(IoThread& io, const ConnectionPtr& conn) {
+  bool should_close = false;
+  std::uint32_t want = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->closed) return;
+    try {
+      while (!conn->write_queue.empty()) {
+        // Gather up to kMaxFlushIov queued frames into one sendmsg: every
+        // reply that landed in this window leaves in a single syscall.
+        struct iovec iov[kMaxFlushIov];
+        int iovcnt = 0;
+        std::size_t gathered = 0;
+        for (const std::vector<std::uint8_t>& buf : conn->write_queue) {
+          if (iovcnt == kMaxFlushIov) break;
+          const std::size_t off =
+              (iovcnt == 0) ? conn->write_head_offset : 0;
+          iov[iovcnt].iov_base =
+              const_cast<std::uint8_t*>(buf.data()) + off;
+          iov[iovcnt].iov_len = buf.size() - off;
+          gathered += iov[iovcnt].iov_len;
+          ++iovcnt;
+        }
+        const std::size_t wrote = conn->socket.write_some(iov, iovcnt);
+        if (wrote == 0) break;  // kernel send buffer full: wait for EPOLLOUT
+        stat_writev_calls_.fetch_add(1, std::memory_order_relaxed);
+        conn->write_queue_bytes.fetch_sub(wrote, std::memory_order_relaxed);
+        std::size_t consumed = conn->write_head_offset + wrote;
+        while (!conn->write_queue.empty() &&
+               consumed >= conn->write_queue.front().size()) {
+          consumed -= conn->write_queue.front().size();
+          conn->write_queue.pop_front();
+          stat_reply_frames_.fetch_add(1, std::memory_order_relaxed);
+        }
+        conn->write_head_offset = consumed;
+        if (wrote < gathered) break;  // partial: kernel buffer just filled
+      }
+    } catch (const SocketError&) {
+      // The peer is gone; dropping its queued replies is the correct
+      // outcome.
+      should_close = true;
+    }
+    if (!should_close) {
+      const bool empty = conn->write_queue.empty();
+      if (empty && conn->read_closed &&
+          conn->inflight.load(std::memory_order_relaxed) == 0) {
+        // Nothing more will ever be owed: requests all answered, answers
+        // all written, no more requests coming.
+        should_close = true;
+      } else {
+        const bool gated = read_gate_engaged(*conn);
+        if (gated && !conn->read_gated)
+          stat_read_gated_.fetch_add(1, std::memory_order_relaxed);
+        conn->read_gated = gated;
+        if (!conn->read_closed && !gated) want |= EPOLLIN;
+        if (!empty) want |= EPOLLOUT;
+      }
+    }
+  }
+  if (should_close) {
+    close_connection(io, conn);
+    return;
+  }
+  if (want != conn->armed_events) {
+    const int fd = conn->socket.fd();
+    io.epoll.mod(fd, want, static_cast<std::uint64_t>(fd));
+    conn->armed_events = want;
+  }
+}
+
+void Server::close_connection(IoThread& io, const ConnectionPtr& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    if (conn->closed) return;
+    conn->closed = true;
+    conn->write_queue.clear();
+    conn->write_queue_bytes.store(0, std::memory_order_relaxed);
+  }
+  const int fd = conn->socket.fd();
+  io.epoll.del(fd);
+  conn->socket.close();
+  io.conns.erase(fd);
 }
 
 // --- queue / workers ------------------------------------------------------
 
-bool Server::try_enqueue(Pending&& pending) {
+Server::Enqueue Server::try_enqueue(Pending&& pending) {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (queue_.size() >= config_.queue_depth) return false;
+    // Checked under the lock so stop()'s leftover sweep (which also holds
+    // queue_mutex_ after setting stopping_) can never miss an admission.
+    if (stopping_.load()) return Enqueue::kShuttingDown;
+    if (queue_.size() >= config_.queue_depth) return Enqueue::kBusy;
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_one();
-  return true;
+  return Enqueue::kOk;
 }
 
 std::vector<Server::Pending> Server::pop_batch() {
@@ -367,7 +694,8 @@ void Server::worker_loop(std::size_t /*worker_index*/) {
       }
     } catch (const std::exception& e) {
       for (const Pending& p : batch)
-        send_error(p.conn, p.request_id, ErrorCode::kInternal, e.what());
+        send_error(p.conn, p.request_id, ErrorCode::kInternal, e.what(),
+                   /*completes=*/true);
       continue;
     }
     stat_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -390,7 +718,7 @@ void Server::worker_loop(std::size_t /*worker_index*/) {
       // reply must already see this request.
       stat_requests_ok_.fetch_add(1, std::memory_order_relaxed);
       send_frame(batch[i].conn, FrameKind::kPredictReply, batch[i].request_id,
-                 payload.data(), payload.size());
+                 payload.data(), payload.size(), /*completes=*/true);
     }
   }
 }
@@ -399,25 +727,88 @@ void Server::worker_loop(std::size_t /*worker_index*/) {
 
 void Server::send_frame(const ConnectionPtr& conn, FrameKind kind,
                         std::uint64_t request_id, const void* payload,
-                        std::size_t payload_bytes) {
-  const auto frame = encode_frame(kind, request_id, payload, payload_bytes);
-  std::lock_guard<std::mutex> lock(conn->write_mutex);
-  try {
-    conn->socket.write_all(frame.data(), frame.size());
-  } catch (const SocketError&) {
-    // The peer is gone; dropping its reply is the correct outcome.
-  }
+                        std::size_t payload_bytes, bool completes) {
+  enqueue_reply(conn, encode_frame(kind, request_id, payload, payload_bytes),
+                completes);
 }
 
 void Server::send_error(const ConnectionPtr& conn, std::uint64_t request_id,
-                        ErrorCode code, const std::string& message) {
+                        ErrorCode code, const std::string& message,
+                        bool completes) {
   ErrorReply reply;
   reply.code = code;
   reply.message = message;
   const auto payload = encode_error_reply_payload(reply);
   stat_requests_error_.fetch_add(1, std::memory_order_relaxed);
   send_frame(conn, FrameKind::kErrorReply, request_id, payload.data(),
-             payload.size());
+             payload.size(), completes);
+}
+
+void Server::enqueue_reply(const ConnectionPtr& conn,
+                           std::vector<std::uint8_t>&& frame, bool completes) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    // The inflight count-down happens here, under the same mutex as the
+    // queue push and the close check in flush_and_update: the owning io
+    // thread can never observe "queue empty + inflight 0" with this reply
+    // still unqueued, so the last reply on a read-closed connection is
+    // never dropped by an early close.
+    if (completes) conn->inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (!conn->closed) {
+      // Opportunistic direct write: with nothing queued ahead of it the
+      // frame can go straight to the kernel from this thread (the mutex
+      // serialises all writers of this socket) — the common case costs one
+      // sendmsg and zero reactor wakeups. Anything the kernel did not take
+      // is queued for the reactor to finish under EPOLLOUT.
+      std::size_t wrote = 0;
+      if (conn->write_queue.empty()) {
+        struct iovec iov;
+        iov.iov_base = frame.data();
+        iov.iov_len = frame.size();
+        try {
+          wrote = conn->socket.write_some(&iov, 1);
+        } catch (const SocketError&) {
+          // Hard error: queue the frame anyway; the reactor's flush hits
+          // the same error and closes the connection (only the owning io
+          // thread may close).
+          wrote = 0;
+        }
+        if (wrote > 0)
+          stat_writev_calls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (wrote >= frame.size()) {
+        stat_reply_frames_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        if (conn->write_queue.empty()) conn->write_head_offset = wrote;
+        conn->write_queue_bytes.fetch_add(frame.size() - wrote,
+                                          std::memory_order_relaxed);
+        conn->write_queue.push_back(std::move(frame));
+      }
+      // Wake the owning io thread only when there is reactor work left:
+      // unwritten bytes (arm EPOLLOUT), an engaged read gate that this
+      // completion may release (re-arm EPOLLIN), or a finished connection
+      // to close.
+      const bool work_left = !conn->write_queue.empty();
+      const bool gate_recheck = conn->read_gated;
+      const bool close_ready =
+          !work_left && conn->read_closed &&
+          conn->inflight.load(std::memory_order_relaxed) == 0;
+      if ((work_left || gate_recheck || close_ready) && !conn->dirty) {
+        conn->dirty = true;
+        notify = true;
+      }
+    }
+    // closed: the peer is gone (or shutdown passed); dropping is correct.
+  }
+  if (notify) {
+    IoThread& io = *io_threads_[conn->io_index];
+    {
+      std::lock_guard<std::mutex> lock(io.mutex);
+      io.dirty.push_back(conn);
+    }
+    io.wake.signal();
+  }
 }
 
 }  // namespace pg::serve

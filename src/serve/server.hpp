@@ -1,18 +1,35 @@
 // paragraph-serve core: a resident prediction service over the frame
 // protocol in serve/protocol.hpp.
 //
-// Request flow:
+// Request flow (event-driven reactor — no thread ever belongs to one
+// connection):
 //
-//   accept thread ──▶ one reader thread per connection
-//        reader: read frame, decode the .psample payload (in parallel
-//                across connections), try_push into the admission queue
-//                — full queue => immediate kBusyReply (backpressure)
+//   io threads (PARAGRAPH_SERVE_IO_THREADS, default min(4, cores)), each
+//   running nonblocking sockets behind its own epoll_wait:
+//        accept:  io thread 0 owns the (nonblocking) listener; accepted
+//                 connections are assigned round-robin across io threads
+//        read:    readiness events feed a per-connection FrameAssembler —
+//                 partial headers/payloads accumulate as ~bytes of state
+//                 instead of parking a blocked thread; complete predict
+//                 frames decode and try_push into the admission queue
+//                 (full queue => immediate kBusyReply backpressure)
+//        write:   replies append to a bounded per-connection write queue;
+//                 the owning io thread drains it with ONE gathered
+//                 sendmsg per readiness window, so replies completing in
+//                 the same batching window coalesce into one syscall
+//        gate:    a connection whose admitted-but-unanswered requests
+//                 exceed conn_inflight_cap, or whose queued reply bytes
+//                 exceed write_queue_cap (a peer that never reads), stops
+//                 being polled for reads until it drains (level-triggered
+//                 backpressure — bytes wait in the kernel buffer)
+//        timers:  idle connections past idle_timeout_ms are closed by the
+//                 reactor's timer pass (no per-socket SO_RCVTIMEO)
 //   admission queue (bounded, FIFO)
 //        worker threads: pop the first request, then keep collecting until
 //                batch_max requests are in hand or batch_window_us has
 //                elapsed since the first pop (the dynamic batching window),
 //                run ONE InferenceEngine::predict_batch over the coalesced
-//                graphs, write each reply back on its own connection.
+//                graphs, queue each reply back on its own connection.
 //
 // Each worker owns a private InferenceEngine shard (engine per-thread state
 // is keyed by OpenMP thread ids, which std::threads share — sharding keeps
@@ -20,27 +37,40 @@
 // predict_one regardless of how graphs are coalesced, every reply is
 // bitwise-equal to a single-threaded in-process prediction no matter how
 // the batching window cut the traffic (tests/serve_test.cpp pins this).
+// Reply write coalescing moves bytes, never values: frames are concatenated
+// verbatim, so the wire bytes are identical to one write_all per frame.
 //
-// Shutdown (stop()): close the listener, shut the read side of every
-// connection (readers drain out), let workers finish everything already
-// admitted, then join all threads. One malformed frame never takes down
-// the process: framing errors answer with kErrorReply and at worst close
-// that one connection.
+// The daemon's thread count is FIXED at io_threads + workers regardless of
+// connection count — thousands of mostly-idle connections cost a few
+// hundred bytes of state each, not a blocked reader thread each
+// (tests/serve_concurrency_test.cpp pins the thread ceiling under 512 idle
+// + 32 active connections).
+//
+// Shutdown (stop()): close the listener; io threads stop admitting (late
+// predict frames answer kShuttingDown); workers drain everything already
+// admitted; any request admitted in the shutdown race still gets a
+// kShuttingDown reply; io threads flush every queued reply (bounded drain
+// deadline for peers that stopped reading), then close all sockets. One
+// malformed frame never takes down the process: framing errors answer with
+// kErrorReply and at worst close that one connection.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "model/checkpoint.hpp"
 #include "model/engine.hpp"
 #include "model/paragraph_model.hpp"
 #include "model/sample.hpp"
+#include "serve/frame_assembler.hpp"
 #include "serve/protocol.hpp"
 #include "serve/semantic_cache.hpp"
 #include "serve/socket.hpp"
@@ -54,7 +84,13 @@ struct ServeConfig {
   std::size_t batch_max = 16;     // flush the batching window at N graphs...
   std::uint32_t batch_window_us = 200;  // ...or T microseconds, whichever first
   std::size_t workers = 1;        // InferenceEngine shards
-  int idle_timeout_ms = 0;        // per-connection recv timeout; 0 = none
+  std::size_t io_threads = 0;     // reactor threads; 0 = min(4, cores)
+  // Per-connection read-gating caps (level-triggered backpressure): stop
+  // polling a connection for reads while it has this many admitted-but-
+  // unanswered requests, or this many queued-but-unwritten reply bytes.
+  std::size_t conn_inflight_cap = 64;
+  std::size_t write_queue_cap = 1 << 20;  // bytes
+  int idle_timeout_ms = 0;  // reactor-timer idle close; 0 = never
   // Semantic prediction cache (serve/semantic_cache.hpp). Off by default so
   // replies stay bitwise-identical to predict_one; cache_eps = 0 means only
   // bitwise-equal (embedding, aux) pairs hit — still byte-identical replies.
@@ -64,9 +100,9 @@ struct ServeConfig {
 };
 
 /// Env-knob layer (documented in docs/SERVING.md): PARAGRAPH_SERVE_PORT,
-/// _WORKERS, _QUEUE, _BATCH, _WINDOW_US, _IDLE_TIMEOUT_MS, _CACHE,
-/// _CACHE_EPS, _CACHE_CAP override the defaults; out-of-range values are
-/// clamped to sane bounds.
+/// _WORKERS, _IO_THREADS, _QUEUE, _BATCH, _WINDOW_US, _IDLE_TIMEOUT_MS,
+/// _CONN_INFLIGHT, _WRITEQ_CAP, _CACHE, _CACHE_EPS, _CACHE_CAP override the
+/// defaults; out-of-range values are clamped to sane bounds.
 ServeConfig serve_config_from_env(ServeConfig base = {});
 
 /// Monotonic counters; safe to read while the server runs.
@@ -77,6 +113,13 @@ struct ServerStats {
   std::uint64_t busy_rejected = 0;    // kBusyReply backpressure responses
   std::uint64_t batches = 0;          // fused predict_batch calls
   std::uint64_t pings = 0;
+  // Reactor counters. reply_frames / writev_calls is the write-coalescing
+  // ratio: frames that left in the same gathered sendmsg as a neighbour.
+  std::uint64_t accepts_dropped = 0;  // accept failures (EMFILE, ...) backed off
+  std::uint64_t idle_closed = 0;      // connections reaped by the idle timer
+  std::uint64_t read_gated = 0;       // times a connection's reads were paused
+  std::uint64_t writev_calls = 0;     // gathered reply-flush syscalls
+  std::uint64_t reply_frames = 0;     // reply frames fully written
   // Scheduler counters aggregated over every worker's engine shard (the
   // per-batch deltas of model::ScheduleStats): fused chunks dispatched,
   // node rows packed, and chunks run under intra-batch parallelism.
@@ -99,11 +142,12 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds + listens and spawns the accept/worker threads.
+  /// Binds + listens and spawns the io/worker threads.
   void start();
 
-  /// Graceful shutdown: stop accepting, drain the admission queue, join all
-  /// threads. Idempotent; also run by the destructor.
+  /// Graceful shutdown: stop accepting, drain the admission queue, flush
+  /// every queued reply, join all threads. Idempotent; also run by the
+  /// destructor.
   void stop();
 
   /// The actual bound port (after start(); resolves config port 0).
@@ -111,13 +155,51 @@ class Server {
 
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] const ServeConfig& config() const { return config_; }
+  /// Reactor threads actually spawned (resolves config io_threads = 0).
+  [[nodiscard]] std::size_t io_thread_count() const {
+    return io_threads_.size();
+  }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Connection {
     Socket socket;
-    std::mutex write_mutex;  // replies interleave from workers + reader
+    std::size_t io_index = 0;  // owning io thread
+
+    // Read-side state: touched ONLY by the owning io thread.
+    FrameAssembler assembler;
+    Clock::time_point last_activity{};
+    bool read_closed = false;     // peer EOF or fatal framing error
+    bool read_gated = false;      // backpressure pause currently engaged
+    std::uint32_t armed_events = 0;  // events currently registered in epoll
+
+    // Admitted-but-unanswered requests (read by the io thread's gate, also
+    // the "still owed a reply" count that delays the final close).
+    std::atomic<std::uint32_t> inflight{0};
+
+    // Write queue: workers append under write_mutex, the owning io thread
+    // drains with gathered writes. One deque entry == one reply frame.
+    std::mutex write_mutex;
+    std::deque<std::vector<std::uint8_t>> write_queue;
+    std::size_t write_head_offset = 0;  // bytes of the front frame written
+    std::atomic<std::size_t> write_queue_bytes{0};
+    bool closed = false;  // fd gone — drop any further replies
+    bool dirty = false;   // already queued on the io thread's dirty list
   };
   using ConnectionPtr = std::shared_ptr<Connection>;
+
+  struct IoThread {
+    EpollSet epoll;
+    WakeFd wake;
+    std::thread thread;
+    std::mutex mutex;  // guards incoming + dirty (handoff from other threads)
+    std::vector<ConnectionPtr> incoming;
+    std::vector<ConnectionPtr> dirty;
+    // Owning connection table, io thread only. Keyed by fd (the epoll tag).
+    std::unordered_map<int, ConnectionPtr> conns;
+    std::vector<std::uint8_t> read_buf;  // per-thread read scratch
+  };
 
   struct Pending {
     ConnectionPtr conn;
@@ -127,22 +209,41 @@ class Server {
     std::string bytes;  // wire payload, kept (cache on) to key insertions
   };
 
-  void accept_loop();
-  void reader_loop(const ConnectionPtr& conn);
-  /// One protocol frame: returns false when the connection should close.
-  bool serve_frame(const ConnectionPtr& conn);
-  void worker_loop(std::size_t worker_index);
+  // Reactor (io threads).
+  void io_loop(std::size_t index);
+  void adopt_incoming(IoThread& io);
+  void process_dirty(IoThread& io);
+  void handle_accept(IoThread& io);
+  void handle_readable(IoThread& io, const ConnectionPtr& conn);
+  void process_frame(const ConnectionPtr& conn, FrameAssembler::Frame&& frame);
+  void reap_idle(IoThread& io);
+  /// Drains the write queue with gathered writes, then re-arms epoll
+  /// interest (EPOLLOUT while bytes remain, EPOLLIN unless gated/closed)
+  /// and closes the connection once it is fully finished. The single
+  /// point where epoll interest changes — io thread only.
+  void flush_and_update(IoThread& io, const ConnectionPtr& conn);
+  void close_connection(IoThread& io, const ConnectionPtr& conn);
+  [[nodiscard]] bool read_gate_engaged(const Connection& conn) const;
 
+  // Replies (any thread): append to the write queue and wake the owner.
+  // `completes` marks the final answer to an admitted request — the
+  // inflight count-down happens inside enqueue_reply, under write_mutex,
+  // so the close check can never race it.
   void send_frame(const ConnectionPtr& conn, FrameKind kind,
                   std::uint64_t request_id, const void* payload,
-                  std::size_t payload_bytes);
+                  std::size_t payload_bytes, bool completes = false);
   void send_error(const ConnectionPtr& conn, std::uint64_t request_id,
-                  ErrorCode code, const std::string& message);
+                  ErrorCode code, const std::string& message,
+                  bool completes = false);
+  void enqueue_reply(const ConnectionPtr& conn,
+                     std::vector<std::uint8_t>&& frame, bool completes);
 
-  bool try_enqueue(Pending&& pending);
+  enum class Enqueue { kOk, kBusy, kShuttingDown };
+  Enqueue try_enqueue(Pending&& pending);
   /// Pops a coalesced batch honouring batch_max/batch_window_us. Empty
   /// result means the server is draining and fully drained.
   std::vector<Pending> pop_batch();
+  void worker_loop(std::size_t worker_index);
 
   const model::ParaGraphModel* model_;
   model::SampleSet scaler_set_;  // from_target() for microsecond replies
@@ -150,12 +251,10 @@ class Server {
   std::unique_ptr<SemanticCache> cache_;  // null when config_.cache is off
 
   Listener listener_;
-  std::thread accept_thread_;
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  std::size_t next_io_ = 0;  // round-robin assignment (io thread 0 only)
+  Clock::time_point accept_cooldown_until_{};  // io thread 0 only
   std::vector<std::thread> worker_threads_;
-
-  std::mutex conn_mutex_;
-  std::vector<ConnectionPtr> connections_;
-  std::vector<std::thread> reader_threads_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -163,7 +262,9 @@ class Server {
 
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};  // final reply flush in progress
   std::atomic<bool> stopped_{false};
+  Clock::time_point drain_deadline_{};
 
   // Stats counters (relaxed; read via stats()).
   std::atomic<std::uint64_t> stat_connections_{0};
@@ -172,6 +273,11 @@ class Server {
   std::atomic<std::uint64_t> stat_busy_{0};
   std::atomic<std::uint64_t> stat_batches_{0};
   std::atomic<std::uint64_t> stat_pings_{0};
+  std::atomic<std::uint64_t> stat_accepts_dropped_{0};
+  std::atomic<std::uint64_t> stat_idle_closed_{0};
+  std::atomic<std::uint64_t> stat_read_gated_{0};
+  std::atomic<std::uint64_t> stat_writev_calls_{0};
+  std::atomic<std::uint64_t> stat_reply_frames_{0};
   std::atomic<std::uint64_t> stat_sched_chunks_{0};
   std::atomic<std::uint64_t> stat_sched_rows_{0};
   std::atomic<std::uint64_t> stat_sched_intra_{0};

@@ -1,10 +1,15 @@
-// POSIX implementation of the loopback socket wrappers.
+// POSIX implementation of the loopback socket wrappers and the epoll/
+// eventfd reactor primitives.
 #include "serve/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -101,6 +106,126 @@ void Socket::set_recv_timeout_ms(int ms) {
     throw SocketError(errno_text("setsockopt(SO_RCVTIMEO) failed"));
 }
 
+void Socket::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw SocketError(errno_text("fcntl(F_GETFL) failed"));
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd_, F_SETFL, want) != 0)
+    throw SocketError(errno_text("fcntl(F_SETFL) failed"));
+}
+
+void Socket::set_nodelay(bool on) {
+  const int v = on ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &v, sizeof v);
+}
+
+Socket::ReadResult Socket::read_some(void* out, std::size_t n) {
+  while (true) {
+    const ssize_t r = ::recv(fd_, out, n, 0);
+    if (r > 0) return {ReadStatus::kData, static_cast<std::size_t>(r)};
+    if (r == 0) return {ReadStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return {ReadStatus::kWouldBlock, 0};
+    throw SocketError(errno_text("recv failed"));
+  }
+}
+
+std::size_t Socket::write_some(const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  while (true) {
+    const ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (w >= 0) return static_cast<std::size_t>(w);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    throw SocketError(errno_text("sendmsg failed"));
+  }
+}
+
+// --- EpollSet -------------------------------------------------------------
+
+EpollSet::EpollSet() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (fd_ < 0) throw SocketError(errno_text("epoll_create1 failed"));
+}
+
+EpollSet::~EpollSet() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+EpollSet& EpollSet::operator=(EpollSet&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void EpollSet::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    throw SocketError(errno_text("epoll_ctl(ADD) failed"));
+}
+
+void EpollSet::mod(int fd, std::uint32_t events, std::uint64_t tag) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) != 0 && errno != ENOENT &&
+      errno != EBADF)
+    throw SocketError(errno_text("epoll_ctl(MOD) failed"));
+}
+
+void EpollSet::del(int fd) {
+  // ENOENT/EBADF: the fd was closed, which already removed it.
+  ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EpollSet::wait(struct epoll_event* out, int max_events, int timeout_ms) {
+  while (true) {
+    const int n = ::epoll_wait(fd_, out, max_events, timeout_ms);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    throw SocketError(errno_text("epoll_wait failed"));
+  }
+}
+
+// --- WakeFd ---------------------------------------------------------------
+
+WakeFd::WakeFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (fd_ < 0) throw SocketError(errno_text("eventfd failed"));
+}
+
+WakeFd::~WakeFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WakeFd& WakeFd::operator=(WakeFd&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void WakeFd::signal() {
+  const std::uint64_t one = 1;
+  // EAGAIN = counter saturated = a wake is already pending: success.
+  [[maybe_unused]] const ssize_t w = ::write(fd_, &one, sizeof one);
+}
+
+void WakeFd::drain() {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t r = ::read(fd_, &count, sizeof count);
+}
+
+// --- Listener -------------------------------------------------------------
+
 void Listener::listen(std::uint16_t port, int backlog) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
   if (!sock.valid()) throw SocketError(errno_text("socket failed"));
@@ -138,6 +263,14 @@ Socket Listener::accept() {
   const int fd = ::accept(socket_.fd(), nullptr, nullptr);
   return Socket(fd);  // invalid on failure; the caller checks
 }
+
+Socket Listener::try_accept(int& err_out) {
+  const int fd = ::accept4(socket_.fd(), nullptr, nullptr, SOCK_NONBLOCK);
+  err_out = fd >= 0 ? 0 : errno;
+  return Socket(fd);
+}
+
+void Listener::set_nonblocking(bool on) { socket_.set_nonblocking(on); }
 
 Socket connect_loopback(std::uint16_t port) {
   Socket sock(::socket(AF_INET, SOCK_STREAM, 0));

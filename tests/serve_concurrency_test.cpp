@@ -7,6 +7,8 @@
 // prediction.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -194,6 +196,123 @@ TEST(ServeConcurrency, TinyQueueExercisesBackpressure) {
   ASSERT_TRUE(response.has_value());
   ASSERT_EQ(response->kind, serve::FrameKind::kPredictReply);
   EXPECT_EQ(std::memcmp(&response->prediction.scaled, &expected, 8), 0);
+  server.stop();
+}
+
+/// Live thread count of this process (gtest + server + OpenMP pool).
+std::size_t process_thread_count() {
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line))
+    if (line.rfind("Threads:", 0) == 0)
+      return static_cast<std::size_t>(std::stoul(line.substr(8)));
+  ADD_FAILURE() << "no Threads: line in /proc/self/status";
+  return 0;
+}
+
+TEST(ServeConcurrency, FixedThreadPoolServesHundredsOfIdleConnections) {
+  // The reactor's scaling contract: connection count and thread count are
+  // decoupled. 512 held-open idle connections plus 32 active ones must be
+  // served by exactly the fixed pool (io threads + workers) — no thread per
+  // connection — and every active reply stays bitwise-exact.
+  rlimit rl{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &rl), 0);
+  const rlim_t want = std::min<rlim_t>(rl.rlim_max, 4096);
+  if (rl.rlim_cur < want) {
+    rlimit raised = rl;
+    raised.rlim_cur = want;
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0)
+      ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &rl), 0);
+  }
+  // Leave ~256 fds of headroom for the server side of each connection plus
+  // everything else the process holds open.
+  std::size_t idle_count = 512;
+  if (rl.rlim_cur < 2 * 512 + 256)
+    idle_count = rl.rlim_cur > 512 ? (rl.rlim_cur - 256) / 2 : 64;
+
+  Fixture fx;
+  ASSERT_NO_FATAL_FAILURE(build_fixture(fx));
+
+  serve::ServeConfig config;
+  config.workers = 2;
+  config.io_threads = 2;
+  config.batch_max = 8;
+  config.batch_window_us = 200;
+  config.queue_depth = 1024;  // admit the full idle-sweep burst, no busies
+  serve::Server server(*fx.model, fx.scalers, config);
+
+  const std::size_t threads_before_start = process_thread_count();
+  server.start();
+  ASSERT_EQ(server.io_thread_count(), 2u);
+  const std::size_t threads_after_start = process_thread_count();
+  EXPECT_LE(threads_after_start - threads_before_start,
+            server.io_thread_count() + config.workers + 1)
+      << "server spawned more than its fixed pool";
+
+  // Hold open the idle herd. Thread count must not move by a single thread.
+  std::vector<serve::Socket> idle;
+  idle.reserve(idle_count);
+  for (std::size_t i = 0; i < idle_count; ++i) {
+    idle.push_back(serve::connect_loopback(server.port()));
+    idle.back().set_recv_timeout_ms(30000);
+  }
+  // Give the reactor a beat to pull every pending accept off the listener.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(process_thread_count(), threads_after_start)
+      << idle_count << " idle connections grew the thread count";
+
+  // 32 active connections interleaving requests while the herd idles.
+  std::vector<std::unique_ptr<serve::Client>> active;
+  for (int c = 0; c < 32; ++c)
+    active.push_back(std::make_unique<serve::Client>(server.port(), 30000));
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t c = 0; c < active.size(); ++c) {
+      const std::size_t which = (round + c) % std::size(kGoldenNames);
+      const auto response =
+          active[c]->predict_until_served(fx.psample_bytes[which]);
+      ASSERT_TRUE(response.has_value()) << "client " << c;
+      ASSERT_EQ(response->kind, serve::FrameKind::kPredictReply);
+      EXPECT_EQ(std::memcmp(&response->prediction.scaled,
+                            &fx.expected_scaled[which], 8),
+                0)
+          << "client " << c << " round " << round;
+    }
+  }
+  EXPECT_EQ(process_thread_count(), threads_after_start)
+      << "active traffic grew the thread count";
+
+  // The idle herd was never starved: every held connection can still run a
+  // pipelined predict and gets the bitwise-exact answer.
+  const std::string& psample = fx.psample_bytes[0];
+  const double expected = fx.expected_scaled[0];
+  for (std::size_t i = 0; i < idle.size(); ++i) {
+    const auto frame = serve::encode_frame(serve::FrameKind::kPredictRequest,
+                                           static_cast<std::uint64_t>(i),
+                                           psample.data(), psample.size());
+    idle[i].write_all(frame.data(), frame.size());
+  }
+  for (std::size_t i = 0; i < idle.size(); ++i) {
+    std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+    ASSERT_TRUE(idle[i].read_exact(header_bytes, sizeof header_bytes))
+        << "idle conn " << i;
+    serve::FrameHeader header;
+    ASSERT_EQ(serve::decode_header(header_bytes, header),
+              serve::HeaderVerdict::kOk);
+    ASSERT_EQ(header.kind, serve::FrameKind::kPredictReply)
+        << "idle conn " << i;
+    EXPECT_EQ(header.request_id, static_cast<std::uint64_t>(i));
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(header.payload_bytes));
+    ASSERT_TRUE(idle[i].read_exact(payload.data(), payload.size()));
+    const auto reply =
+        serve::decode_predict_reply_payload(payload.data(), payload.size());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(std::memcmp(&reply->scaled, &expected, 8), 0)
+        << "idle conn " << i;
+  }
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.connections, idle_count + active.size());
   server.stop();
 }
 

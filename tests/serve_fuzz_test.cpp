@@ -234,6 +234,173 @@ TEST_F(ServeFuzz, SeededMutationsNeverCrashOrHangTheServer) {
   (void)disconnects;
 }
 
+TEST_F(ServeFuzz, SlowLorisFramesStillGetExactReplies) {
+  // The classic reactor adversary: many connections trickling valid frames
+  // a few bytes at a time. A thread-per-connection server parks a thread on
+  // each; the reactor must assemble all of them concurrently with its fixed
+  // pool and answer every frame — predictions bitwise-exact.
+  constexpr std::size_t kConns = 16;
+  std::vector<serve::Socket> conns;
+  std::vector<std::string> streams(kConns);
+  for (std::size_t c = 0; c < kConns; ++c) {
+    conns.push_back(serve::connect_loopback(server_->port()));
+    conns.back().set_recv_timeout_ms(20000);
+    // ping, predict, ping — the predict buried between partial-frame
+    // neighbours.
+    append_frame(streams[c], serve::FrameKind::kPing, 100 + c, "");
+    append_frame(streams[c], serve::FrameKind::kPredictRequest, 200 + c,
+                 matvec_bytes_);
+    append_frame(streams[c], serve::FrameKind::kPing, 300 + c, "");
+  }
+
+  // Interleave across connections: byte-at-a-time through every header
+  // boundary region, then small odd-sized chunks for the payload bulk, so
+  // each connection's assembler sees dozens of partial spans while 15
+  // others are mid-frame too.
+  std::vector<std::size_t> offset(kConns, 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t c = 0; c < kConns; ++c) {
+      const std::string& s = streams[c];
+      if (offset[c] >= s.size()) continue;
+      const std::size_t chunk =
+          std::min(offset[c] < 100 ? std::size_t{1} : std::size_t{509},
+                   s.size() - offset[c]);
+      conns[c].write_all(s.data() + offset[c], chunk);
+      offset[c] += chunk;
+      progress = true;
+    }
+  }
+
+  // Every connection is owed exactly: two pongs and one bitwise-exact
+  // predict reply (completion order between them is not pinned).
+  for (std::size_t c = 0; c < kConns; ++c) {
+    int pongs = 0;
+    int predicts = 0;
+    for (int r = 0; r < 3; ++r) {
+      std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+      ASSERT_TRUE(conns[c].read_exact(header_bytes, sizeof header_bytes))
+          << "conn " << c << " reply " << r;
+      serve::FrameHeader header;
+      ASSERT_EQ(serve::decode_header(header_bytes, header),
+                serve::HeaderVerdict::kOk);
+      if (header.kind == serve::FrameKind::kPongReply) {
+        ++pongs;
+        EXPECT_TRUE(header.request_id == 100 + c || header.request_id == 300 + c)
+            << "conn " << c;
+        conns[c].discard_exact(header.payload_bytes);
+        continue;
+      }
+      ASSERT_EQ(header.kind, serve::FrameKind::kPredictReply)
+          << "conn " << c << " reply " << r;
+      EXPECT_EQ(header.request_id, 200 + c);
+      std::vector<std::uint8_t> payload(
+          static_cast<std::size_t>(header.payload_bytes));
+      ASSERT_TRUE(conns[c].read_exact(payload.data(), payload.size()));
+      const auto reply =
+          serve::decode_predict_reply_payload(payload.data(), payload.size());
+      ASSERT_TRUE(reply.has_value());
+      EXPECT_EQ(std::memcmp(&reply->scaled, &expected_, 8), 0)
+          << "slow-loris delivery changed prediction bits on conn " << c;
+      ++predicts;
+    }
+    EXPECT_EQ(pongs, 2) << "conn " << c;
+    EXPECT_EQ(predicts, 1) << "conn " << c;
+  }
+  ASSERT_NO_FATAL_FAILURE(expect_healthy(-2));
+}
+
+TEST_F(ServeFuzz, MidFrameDisconnectsNeverWedgeTheReactor) {
+  // Connections that vanish partway through a frame: random prefixes of a
+  // valid stream, then an abrupt close (no end-of-requests courtesy). The
+  // assembler state must be reclaimed and the daemon unharmed.
+  std::string stream;
+  append_frame(stream, serve::FrameKind::kPing, 1, "");
+  append_frame(stream, serve::FrameKind::kPredictRequest, 2, matvec_bytes_);
+
+  Rng rng(0x10af5e7ed15c0ULL);
+  constexpr int kConns = 50;
+  for (int i = 0; i < kConns; ++i) {
+    try {
+      serve::Socket socket = serve::connect_loopback(server_->port());
+      const std::size_t prefix = rng.index(stream.size());
+      if (prefix > 0) socket.write_all(stream.data(), prefix);
+      // Destructor closes with bytes possibly still owed both ways.
+    } catch (const serve::SocketError&) {
+      // reset while writing: also a disconnect
+    }
+  }
+  ASSERT_NO_FATAL_FAILURE(expect_healthy(-3));
+}
+
+TEST(ServeReadGate, ConnectionThatNeverReadsIsGatedNotFatal) {
+  // Write-queue backpressure: a client that pipelines requests but refuses
+  // to read replies. The reactor must stop polling its reads once the
+  // inflight cap is hit (read_gated counts the engagements), keep the rest
+  // of the server healthy, and deliver every reply — bitwise exact — once
+  // the client finally reads.
+  const io::StoredSampleSet stored =
+      io::read_sample_set_file(golden_path("corpus.pgds"));
+  const model::CheckpointScalers scalers =
+      model::CheckpointScalers::from_sample_set(stored.set);
+  model::ModelConfig config;
+  model::ParaGraphModel model(config);
+  model::InferenceEngine engine(*&model);
+  const model::TrainingSample sample =
+      io::read_sample_file(golden_path("matvec_cpu.psample"));
+  const double expected = engine.predict_one(sample.graph, sample.aux);
+  const std::string psample = slurp(golden_path("matvec_cpu.psample"));
+
+  serve::ServeConfig serve_config;
+  serve_config.workers = 1;
+  serve_config.batch_max = 4;
+  serve_config.batch_window_us = 100;
+  serve_config.queue_depth = 64;
+  serve_config.conn_inflight_cap = 2;   // gate engages almost immediately
+  serve_config.write_queue_cap = 4096;  // the floor
+  serve::Server server(model, scalers, serve_config);
+  server.start();
+
+  serve::Socket socket = serve::connect_loopback(server.port());
+  socket.set_recv_timeout_ms(30000);
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto frame = serve::encode_frame(serve::FrameKind::kPredictRequest,
+                                           static_cast<std::uint64_t>(i),
+                                           psample.data(), psample.size());
+    socket.write_all(frame.data(), frame.size());
+  }
+
+  // While this connection sulks, an ordinary client must sail through.
+  serve::Client bystander(server.port(), 20000);
+  const auto aside = bystander.predict_until_served(psample);
+  ASSERT_TRUE(aside.has_value());
+  ASSERT_EQ(aside->kind, serve::FrameKind::kPredictReply);
+
+  // Now read everything: all 24 replies arrive, each bitwise exact.
+  for (int i = 0; i < kRequests; ++i) {
+    std::uint8_t header_bytes[serve::kFrameHeaderBytes];
+    ASSERT_TRUE(socket.read_exact(header_bytes, sizeof header_bytes))
+        << "reply " << i;
+    serve::FrameHeader header;
+    ASSERT_EQ(serve::decode_header(header_bytes, header),
+              serve::HeaderVerdict::kOk);
+    ASSERT_EQ(header.kind, serve::FrameKind::kPredictReply) << "reply " << i;
+    std::vector<std::uint8_t> payload(
+        static_cast<std::size_t>(header.payload_bytes));
+    ASSERT_TRUE(socket.read_exact(payload.data(), payload.size()));
+    const auto reply =
+        serve::decode_predict_reply_payload(payload.data(), payload.size());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(std::memcmp(&reply->scaled, &expected, 8), 0) << "reply " << i;
+  }
+
+  EXPECT_GT(server.stats().read_gated, 0u)
+      << "pipelining far past conn_inflight_cap never engaged the read gate";
+  server.stop();
+}
+
 TEST_F(ServeFuzz, DegenerateStreams) {
   // Hand-picked worst cases that random mutation might miss at one seed.
   const std::string psample = slurp(golden_path("matvec_cpu.psample"));

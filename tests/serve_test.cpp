@@ -6,7 +6,11 @@
 // batching must never change a single bit of any prediction.
 #include <gtest/gtest.h>
 
+#include <sys/epoll.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -14,6 +18,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/pgraph_io.hpp"
@@ -127,6 +132,167 @@ TEST(ServeProtocol, ErrorReplyPayloadRoundTrip) {
   for (std::size_t n = 0; n < payload.size(); ++n)
     EXPECT_FALSE(serve::decode_error_reply_payload(payload.data(), n))
         << "truncated to " << n << " bytes";
+}
+
+// --- incremental frame assembly -------------------------------------------
+
+std::vector<std::uint8_t> make_frame(serve::FrameKind kind, std::uint64_t id,
+                                     const std::string& payload) {
+  return serve::encode_frame(kind, id, payload.data(), payload.size());
+}
+
+TEST(FrameAssembler, PartialHeaderAccumulatesAcrossSpans) {
+  // Byte-at-a-time delivery — the worst slow-loris case: no frame may
+  // complete before the last byte, and exactly one after it.
+  const auto frame =
+      make_frame(serve::FrameKind::kPredictRequest, 42, "hello sample");
+  serve::FrameAssembler assembler;
+  std::vector<serve::FrameAssembler::Frame> out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    ASSERT_TRUE(assembler.consume(&frame[i], 1, out)) << "byte " << i;
+    ASSERT_TRUE(out.empty()) << "frame completed early at byte " << i;
+    EXPECT_GT(assembler.pending_bytes(), 0u);
+  }
+  ASSERT_TRUE(assembler.consume(&frame[frame.size() - 1], 1, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header.kind, serve::FrameKind::kPredictRequest);
+  EXPECT_EQ(out[0].header.request_id, 42u);
+  EXPECT_EQ(out[0].payload, "hello sample");
+  EXPECT_EQ(assembler.pending_bytes(), 0u);  // back on a frame boundary
+}
+
+TEST(FrameAssembler, PartialPayloadSplitMidBody) {
+  // Header + half the payload in one span, the rest in a second.
+  const std::string payload(1000, 'x');
+  const auto frame = make_frame(serve::FrameKind::kPredictRequest, 7, payload);
+  serve::FrameAssembler assembler;
+  std::vector<serve::FrameAssembler::Frame> out;
+  const std::size_t cut = serve::kFrameHeaderBytes + 500;
+  ASSERT_TRUE(assembler.consume(frame.data(), cut, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(assembler.pending_bytes(), cut);
+  ASSERT_TRUE(assembler.consume(frame.data() + cut, frame.size() - cut, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, payload);
+}
+
+TEST(FrameAssembler, PipelinedFramesInOneSpanAllEmerge) {
+  // Three frames (one empty-payload ping between two predicts) concatenated
+  // into a single readiness event's bytes: all three come out, in order.
+  std::vector<std::uint8_t> wire;
+  for (const auto& frame :
+       {make_frame(serve::FrameKind::kPredictRequest, 1, "first"),
+        make_frame(serve::FrameKind::kPing, 2, ""),
+        make_frame(serve::FrameKind::kPredictRequest, 3, "third")})
+    wire.insert(wire.end(), frame.begin(), frame.end());
+
+  serve::FrameAssembler assembler;
+  std::vector<serve::FrameAssembler::Frame> out;
+  ASSERT_TRUE(assembler.consume(wire.data(), wire.size(), out));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].header.request_id, 1u);
+  EXPECT_EQ(out[0].payload, "first");
+  EXPECT_EQ(out[1].header.kind, serve::FrameKind::kPing);
+  EXPECT_TRUE(out[1].payload.empty());
+  EXPECT_EQ(out[2].header.request_id, 3u);
+  EXPECT_EQ(out[2].payload, "third");
+}
+
+TEST(FrameAssembler, OversizedFrameIsFatalBeforeAllocation) {
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPredictRequest;
+  header.request_id = 99;
+  header.payload_bytes = std::uint64_t{1} << 62;  // a hostile length field
+  std::uint8_t bytes[serve::kFrameHeaderBytes];
+  serve::encode_header(header, bytes);
+
+  serve::FrameAssembler assembler;
+  std::vector<serve::FrameAssembler::Frame> out;
+  // Must reject on the header alone — no 2^62-byte buffer is ever resized.
+  EXPECT_FALSE(assembler.consume(bytes, sizeof bytes, out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(assembler.fatal());
+  EXPECT_EQ(assembler.fatal_verdict(), serve::HeaderVerdict::kOversized);
+  EXPECT_EQ(assembler.fatal_header().request_id, 99u);  // echoable
+}
+
+TEST(FrameAssembler, BadMagicAndVersionAreFatalAndInputIsThenIgnored) {
+  serve::FrameAssembler bad_magic;
+  std::vector<serve::FrameAssembler::Frame> out;
+  std::uint8_t junk[serve::kFrameHeaderBytes] = {'J', 'U', 'N', 'K'};
+  EXPECT_FALSE(bad_magic.consume(junk, sizeof junk, out));
+  EXPECT_EQ(bad_magic.fatal_verdict(), serve::HeaderVerdict::kBadMagic);
+
+  serve::FrameHeader header;
+  header.kind = serve::FrameKind::kPing;
+  header.request_id = 77;
+  std::uint8_t skewed[serve::kFrameHeaderBytes];
+  serve::encode_header(header, skewed);
+  skewed[4] = 0x63;  // version little-endian low byte
+  serve::FrameAssembler bad_version;
+  EXPECT_FALSE(bad_version.consume(skewed, sizeof skewed, out));
+  EXPECT_EQ(bad_version.fatal_verdict(), serve::HeaderVerdict::kBadVersion);
+  EXPECT_EQ(bad_version.fatal_header().request_id, 77u);
+
+  // Once fatal, a later (perfectly valid) frame must NOT resynchronise the
+  // stream — framing trust is gone for good.
+  const auto valid = make_frame(serve::FrameKind::kPing, 5, "");
+  EXPECT_FALSE(bad_version.consume(valid.data(), valid.size(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameAssembler, FramesBeforeTheFatalHeaderStillEmerge) {
+  // A valid predict followed by garbage in ONE span: the predict comes out
+  // (it deserves its reply) even though consume() reports the fatal.
+  std::vector<std::uint8_t> wire =
+      make_frame(serve::FrameKind::kPredictRequest, 8, "payload");
+  const std::uint8_t junk[serve::kFrameHeaderBytes] = {'J', 'U', 'N', 'K'};
+  wire.insert(wire.end(), junk, junk + sizeof junk);
+
+  serve::FrameAssembler assembler;
+  std::vector<serve::FrameAssembler::Frame> out;
+  EXPECT_FALSE(assembler.consume(wire.data(), wire.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].header.request_id, 8u);
+}
+
+// --- reactor primitives ---------------------------------------------------
+
+TEST(Reactor, EpollSetReportsPipeReadinessWithTag) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  serve::EpollSet epoll;
+  epoll.add(fds[0], EPOLLIN, /*tag=*/0xfeedu);
+
+  epoll_event events[4];
+  EXPECT_EQ(epoll.wait(events, 4, 0), 0);  // nothing buffered yet
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  ASSERT_EQ(epoll.wait(events, 4, 1000), 1);
+  EXPECT_EQ(events[0].data.u64, 0xfeedu);
+  EXPECT_TRUE(events[0].events & EPOLLIN);
+
+  char byte;
+  ASSERT_EQ(::read(fds[0], &byte, 1), 1);
+  EXPECT_EQ(epoll.wait(events, 4, 0), 0);  // level-triggered: drained = quiet
+
+  epoll.del(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Reactor, WakeFdSignalsThroughEpollAndDrains) {
+  serve::WakeFd wake;
+  serve::EpollSet epoll;
+  epoll.add(wake.fd(), EPOLLIN, /*tag=*/1);
+
+  epoll_event events[1];
+  EXPECT_EQ(epoll.wait(events, 1, 0), 0);
+  wake.signal();
+  wake.signal();  // coalesces: still one readiness, one drain
+  ASSERT_EQ(epoll.wait(events, 1, 1000), 1);
+  wake.drain();
+  EXPECT_EQ(epoll.wait(events, 1, 0), 0);
 }
 
 // --- loopback end-to-end --------------------------------------------------
@@ -368,27 +534,71 @@ TEST_F(ServeLoopback, ClientSampleBytesMatchWireFormat) {
             slurp(golden_path("matvec_cpu.psample")));
 }
 
+TEST(ServeIdleTimeout, ReactorTimerClosesIdleConnections) {
+  // Dedicated server with a short idle timeout: a connection that sends
+  // nothing gets reaped by the reactor's timer pass (no SO_RCVTIMEO — the
+  // close costs no thread) and the client observes a clean end-of-stream.
+  const io::StoredSampleSet stored =
+      io::read_sample_set_file(golden_path("corpus.pgds"));
+  const model::CheckpointScalers scalers =
+      model::CheckpointScalers::from_sample_set(stored.set);
+  model::ModelConfig config;
+  model::ParaGraphModel model(config);
+
+  serve::ServeConfig serve_config;
+  serve_config.workers = 1;
+  serve_config.idle_timeout_ms = 100;
+  serve::Server server(model, scalers, serve_config);
+  server.start();
+
+  serve::Socket idle = serve::connect_loopback(server.port());
+  idle.set_recv_timeout_ms(5000);
+  std::uint8_t byte = 0;
+  // Blocks until the reaper closes us; EOF well before the recv timeout.
+  EXPECT_FALSE(idle.read_exact(&byte, 1));
+  EXPECT_GE(server.stats().idle_closed, 1u);
+
+  // An ACTIVE connection with in-flight traffic must never be reaped: ping
+  // repeatedly past several timeout periods.
+  serve::Client client(server.port(), 5000);
+  for (int i = 0; i < 5; ++i) {
+    const auto pong = client.ping();
+    ASSERT_TRUE(pong.has_value()) << "active connection reaped at ping " << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  server.stop();
+}
+
 TEST(ServeConfigEnv, KnobsAreReadAndClamped) {
   struct Restore {
     ~Restore() {
       unsetenv("PARAGRAPH_SERVE_WORKERS");
+      unsetenv("PARAGRAPH_SERVE_IO_THREADS");
       unsetenv("PARAGRAPH_SERVE_QUEUE");
       unsetenv("PARAGRAPH_SERVE_WINDOW_US");
+      unsetenv("PARAGRAPH_SERVE_CONN_INFLIGHT");
+      unsetenv("PARAGRAPH_SERVE_WRITEQ_CAP");
       unsetenv("PARAGRAPH_SERVE_CACHE");
       unsetenv("PARAGRAPH_SERVE_CACHE_EPS");
       unsetenv("PARAGRAPH_SERVE_CACHE_CAP");
     }
   } restore;
   setenv("PARAGRAPH_SERVE_WORKERS", "3", 1);
+  setenv("PARAGRAPH_SERVE_IO_THREADS", "2", 1);
   setenv("PARAGRAPH_SERVE_QUEUE", "0", 1);  // below the floor of 1 -> clamped
   setenv("PARAGRAPH_SERVE_WINDOW_US", "500", 1);
+  setenv("PARAGRAPH_SERVE_CONN_INFLIGHT", "0", 1);  // floor is 1 -> clamped
+  setenv("PARAGRAPH_SERVE_WRITEQ_CAP", "1", 1);  // floor is 4096 -> clamped
   setenv("PARAGRAPH_SERVE_CACHE", "1", 1);
   setenv("PARAGRAPH_SERVE_CACHE_EPS", "-0.5", 1);  // negative -> clamped to 0
   setenv("PARAGRAPH_SERVE_CACHE_CAP", "64", 1);
   const serve::ServeConfig config = serve::serve_config_from_env();
   EXPECT_EQ(config.workers, 3u);
+  EXPECT_EQ(config.io_threads, 2u);
   EXPECT_EQ(config.queue_depth, 1u);
   EXPECT_EQ(config.batch_window_us, 500u);
+  EXPECT_EQ(config.conn_inflight_cap, 1u);
+  EXPECT_EQ(config.write_queue_cap, 4096u);
   EXPECT_TRUE(config.cache);
   EXPECT_EQ(config.cache_eps, 0.0);
   EXPECT_EQ(config.cache_capacity, 64u);

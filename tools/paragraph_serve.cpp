@@ -38,10 +38,11 @@ int usage() {
   --port P              listen port on 127.0.0.1 (default 0 = ephemeral)
   --port-file <file>    write the bound port as one line (for scripts)
   --workers N           InferenceEngine shards (default 2)
+  --io-threads N        epoll reactor threads (default 0 = min(4, cores))
   --queue-depth N       admission queue bound (default 256)
   --batch-max N         batching window flushes at N graphs (default 16)
   --window-us T         ...or after T microseconds (default 200)
-  --idle-timeout-ms T   per-connection receive timeout (default 0 = none)
+  --idle-timeout-ms T   reactor idle-connection timeout (default 0 = none)
   --duration-s S        exit after S seconds (default 0 = run until signal)
   --threads N           OpenMP threads per engine shard (PARAGRAPH_THREADS)
   --simd LEVEL          kernel dispatch: scalar|sse2|avx2 (PARAGRAPH_SIMD)
@@ -50,9 +51,11 @@ int usage() {
   --cache-cap N         cache capacity before LRU eviction (default 1024)
 
   Environment defaults (overridden by the flags above): PARAGRAPH_SERVE_PORT,
-  PARAGRAPH_SERVE_WORKERS, PARAGRAPH_SERVE_QUEUE, PARAGRAPH_SERVE_BATCH,
-  PARAGRAPH_SERVE_WINDOW_US, PARAGRAPH_SERVE_IDLE_TIMEOUT_MS,
-  PARAGRAPH_SERVE_CACHE, PARAGRAPH_SERVE_CACHE_EPS, PARAGRAPH_SERVE_CACHE_CAP.
+  PARAGRAPH_SERVE_WORKERS, PARAGRAPH_SERVE_IO_THREADS, PARAGRAPH_SERVE_QUEUE,
+  PARAGRAPH_SERVE_BATCH, PARAGRAPH_SERVE_WINDOW_US,
+  PARAGRAPH_SERVE_IDLE_TIMEOUT_MS, PARAGRAPH_SERVE_CONN_INFLIGHT,
+  PARAGRAPH_SERVE_WRITEQ_CAP, PARAGRAPH_SERVE_CACHE,
+  PARAGRAPH_SERVE_CACHE_EPS, PARAGRAPH_SERVE_CACHE_CAP.
 )");
   return 2;
 }
@@ -112,6 +115,9 @@ int main(int argc, char** argv) {
     serve_config.workers = static_cast<std::size_t>(int_option(
         argc, argv, "--workers",
         static_cast<std::int64_t>(std::max<std::size_t>(serve_config.workers, 2))));
+    serve_config.io_threads = static_cast<std::size_t>(
+        int_option(argc, argv, "--io-threads",
+                   static_cast<std::int64_t>(serve_config.io_threads)));
     serve_config.queue_depth = static_cast<std::size_t>(
         int_option(argc, argv, "--queue-depth",
                    static_cast<std::int64_t>(serve_config.queue_depth)));
@@ -137,11 +143,13 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, handle_signal);
 
     std::printf("paragraph-serve: listening on 127.0.0.1:%u (simd %s, "
-                "%zu workers, queue %zu, batch %zu@%uus, cache %s)\n",
+                "%zu io threads, %zu workers, queue %zu, batch %zu@%uus, "
+                "cache %s)\n",
                 server.port(),
                 tensor::simd::level_name(tensor::simd::active_level()),
-                serve_config.workers, serve_config.queue_depth,
-                serve_config.batch_max, serve_config.batch_window_us,
+                server.io_thread_count(), serve_config.workers,
+                serve_config.queue_depth, serve_config.batch_max,
+                serve_config.batch_window_us,
                 serve_config.cache ? "on" : "off");
     std::fflush(stdout);
     if (const char* port_file = option_value(argc, argv, "--port-file")) {
@@ -172,6 +180,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.requests_error),
                 static_cast<unsigned long long>(stats.busy_rejected),
                 static_cast<unsigned long long>(stats.pings));
+    const double coalesce = stats.writev_calls > 0
+                                ? static_cast<double>(stats.reply_frames) /
+                                      static_cast<double>(stats.writev_calls)
+                                : 0.0;
+    std::printf("paragraph-serve: reactor — %llu reply frames in %llu "
+                "gathered writes (%.2f frames/write), %llu reads gated, "
+                "%llu idle closes, %llu accepts dropped\n",
+                static_cast<unsigned long long>(stats.reply_frames),
+                static_cast<unsigned long long>(stats.writev_calls), coalesce,
+                static_cast<unsigned long long>(stats.read_gated),
+                static_cast<unsigned long long>(stats.idle_closed),
+                static_cast<unsigned long long>(stats.accepts_dropped));
     const double rows_per_chunk =
         stats.sched_chunks > 0 ? static_cast<double>(stats.sched_rows) /
                                      static_cast<double>(stats.sched_chunks)
